@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one table or figure from the paper via the drivers
+in :mod:`repro.bench` and prints the resulting rows/series, so running::
+
+    pytest benchmarks/ --benchmark-only
+
+produces both timing data (how long each experiment takes to regenerate) and
+the experimental results themselves.
+
+Scale: benchmarks default to scaled-down images so the whole suite finishes in
+minutes.  Set ``IMPRESSIONS_BENCH_SCALE=1.0`` to run paper-sized experiments.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale(default: float) -> float:
+    """Benchmark image scale, overridable via IMPRESSIONS_BENCH_SCALE."""
+    value = os.environ.get("IMPRESSIONS_BENCH_SCALE")
+    if value is None:
+        return default
+    return float(value)
+
+
+@pytest.fixture(scope="session")
+def print_result():
+    """Print a driver's formatted table underneath the benchmark output."""
+
+    def _print(title: str, table: str) -> None:
+        print()
+        print(f"=== {title} ===")
+        print(table)
+
+    return _print

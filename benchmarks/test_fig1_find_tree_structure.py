@@ -1,0 +1,16 @@
+"""Figure 1 — impact of directory tree structure on ``find``."""
+
+from repro.bench import fig1_find
+
+
+def test_fig1_find_tree_structure(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: fig1_find.run(num_files=1_500, seed=42), iterations=1, rounds=1
+    )
+    print_result("Figure 1: relative find time", fig1_find.format_table(result))
+
+    relative = result["relative_overhead"]
+    assert relative["Cached"] < 0.1
+    assert relative["Flat Tree"] < 1.0 < relative["Deep Tree"]
+    assert relative["Fragmented"] > 1.05
+    assert relative["Deep Tree"] / relative["Flat Tree"] > 2.0

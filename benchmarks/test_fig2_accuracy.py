@@ -1,0 +1,23 @@
+"""Figure 2 — accuracy of Impressions in recreating file-system properties."""
+
+from conftest import bench_scale
+
+from repro.bench import fig2_accuracy
+
+
+def test_fig2_accuracy(benchmark, print_result):
+    scale = bench_scale(0.15)
+    result = benchmark.pedantic(
+        lambda: fig2_accuracy.run(scale=scale, seed=42), iterations=1, rounds=1
+    )
+    print_result("Figure 2: generated vs desired distributions", fig2_accuracy.format_table(result))
+
+    mdcc = result["mdcc"]
+    # Size, extension and subdirectory curves match tightly even at small scale;
+    # the per-depth curves carry more sampling noise but stay clearly aligned.
+    assert mdcc["file_size_by_count"] < 0.10
+    assert mdcc["extension_popularity"] < 0.10
+    assert mdcc["directory_size_subdirectories"] < 0.15
+    assert mdcc["directory_count_with_depth"] < 0.30
+    assert mdcc["file_count_with_depth"] < 0.30
+    assert mdcc["file_size_by_bytes"] < 0.45

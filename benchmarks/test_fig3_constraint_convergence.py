@@ -1,0 +1,21 @@
+"""Figure 3 — convergence of constraint resolution and constrained distributions."""
+
+from repro.bench import fig3_constraints
+
+
+def test_fig3_constraint_convergence(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: fig3_constraints.run(num_files=1_000, target_sum=90_000.0, trials=5, seed=42),
+        iterations=1,
+        rounds=1,
+    )
+    print_result("Figure 3: resolving multiple constraints", fig3_constraints.format_table(result))
+
+    # Most trials converge to within the 5% band (paper: 90% for the 90K case).
+    assert result["converged_fraction"] >= 0.6
+    # The constrained histogram still resembles the original one.
+    original = result["original_files_by_size"]
+    constrained = result["constrained_files_by_size"]
+    assert len(original) == len(constrained)
+    max_gap = max(abs(a - b) for a, b in zip(original, constrained))
+    assert max_gap < 0.15

@@ -1,0 +1,22 @@
+"""Figure 4 — piecewise interpolation of file-size curves."""
+
+from repro.bench import fig4_interpolation
+
+
+def test_fig4_piecewise_interpolation(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: fig4_interpolation.run(target_size_gib=75.0, max_files_per_snapshot=3_000),
+        iterations=1,
+        rounds=1,
+    )
+    print_result("Figure 4: piecewise interpolation", fig4_interpolation.format_table(result))
+
+    assert result["known_sizes_gib"] == [10.0, 50.0, 100.0]
+    composite = result["composite_fractions"]
+    assert abs(sum(composite) - 1.0) < 1e-9
+    # Every interpolated bin lies within the envelope of the known curves
+    # (linear interpolation inside the known range cannot overshoot).
+    for bin_index, segment in result["segments"].items():
+        low, high = min(segment), max(segment)
+        # compare pre-normalisation value implicitly via a loose envelope check
+        assert composite[bin_index] <= high + 0.05

@@ -1,0 +1,20 @@
+"""Figure 5 — accuracy of interpolation (75 GB) and extrapolation (125 GB)."""
+
+from repro.bench import fig5_interpolation
+
+
+def test_fig5_interpolation_accuracy(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: fig5_interpolation.run(max_files_per_snapshot=3_000, seed=2009),
+        iterations=1,
+        rounds=1,
+    )
+    print_result("Figure 5: interpolation/extrapolation accuracy", fig5_interpolation.format_table(result))
+
+    views = result["results"]
+    # The by-count curves are the easier ones (paper: D = 0.054 / 0.081).
+    assert views["files_by_count"][75.0]["mdcc"] < 0.15
+    assert views["files_by_count"][125.0]["mdcc"] < 0.20
+    # The bytes-weighted curves are noisier (paper: D = 0.105) but still useful.
+    assert views["files_by_bytes"][75.0]["mdcc"] < 0.45
+    assert views["files_by_bytes"][125.0]["mdcc"] < 0.45

@@ -1,0 +1,33 @@
+"""Figure 6 — debunking application assumptions (content missed by cutoffs)."""
+
+from conftest import bench_scale
+
+from repro.bench import fig6_assumptions
+
+
+def test_fig6_application_assumptions(benchmark, print_result):
+    scale = bench_scale(0.25)
+    result = benchmark.pedantic(
+        lambda: fig6_assumptions.run(scale=scale, seed=42), iterations=1, rounds=1
+    )
+    print_result("Figure 6: content missed by application cutoffs", fig6_assumptions.format_table(result))
+
+    by_parameter = {entry["parameter"]: entry for entry in result["assumptions"]}
+
+    gdl_depth = next(v for k, v in by_parameter.items() if "deep" in k)
+    # Paper: ~10% of files are deeper than GDL's 10-level cutoff.
+    assert 0.0 <= gdl_depth["missed_file_fraction"] < 0.35
+
+    gdl_text = next(
+        v for k, v in by_parameter.items() if v["application"] == "GDL" and "Text" in k
+    )
+    # Paper: 13% of text files but ~90% of text bytes exceed 200 KB.
+    assert 0.03 < gdl_text["missed_file_fraction"] < 0.35
+    assert gdl_text["missed_byte_fraction"] > 0.5
+
+    beagle_text = next(
+        v for k, v in by_parameter.items() if v["application"] == "Beagle" and "Text" in k
+    )
+    # Paper: 0.13% of files, 71% of bytes above 5 MB — files small, bytes large.
+    assert beagle_text["missed_file_fraction"] < 0.05
+    assert beagle_text["missed_byte_fraction"] > beagle_text["missed_file_fraction"]

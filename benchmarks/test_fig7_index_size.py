@@ -1,0 +1,31 @@
+"""Figure 7 — impact of file content on index size (Beagle vs GDL)."""
+
+from conftest import bench_scale
+
+from repro.bench import fig7_index_size
+
+
+def test_fig7_index_size_comparison(benchmark, print_result):
+    scale = bench_scale(0.08)
+    result = benchmark.pedantic(
+        lambda: fig7_index_size.run(scale=scale, seed=42), iterations=1, rounds=1
+    )
+    print_result("Figure 7: index size / FS size", fig7_index_size.format_table(result))
+
+    scenarios = result["scenarios"]
+    model_text = scenarios["Text (Model)"]
+    single_word = scenarios["Text (1 Word)"]
+    binary = scenarios["Binary"]
+
+    # Word-model text: Beagle's index is the larger one.
+    assert model_text["beagle"]["index_to_fs_ratio"] > model_text["gdl"]["index_to_fs_ratio"]
+    # Binary content: the ordering flips and GDL's index is larger.
+    assert binary["gdl"]["index_to_fs_ratio"] > binary["beagle"]["index_to_fs_ratio"]
+    # Degenerate single-word text produces a smaller index than realistic text.
+    assert (
+        single_word["beagle"]["index_to_fs_ratio"] < model_text["beagle"]["index_to_fs_ratio"]
+    )
+    # Ratios live in the 0.001-0.5 band the paper's log axis spans.
+    for scenario in scenarios.values():
+        for engine in ("beagle", "gdl"):
+            assert 0.0005 < scenario[engine]["index_to_fs_ratio"] < 0.5

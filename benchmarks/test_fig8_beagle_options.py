@@ -1,0 +1,32 @@
+"""Figure 8 — Beagle indexing options across content types."""
+
+from conftest import bench_scale
+
+from repro.bench import fig8_beagle_options
+
+
+def test_fig8_beagle_index_options(benchmark, print_result):
+    scale = bench_scale(0.08)
+    result = benchmark.pedantic(
+        lambda: fig8_beagle_options.run(scale=scale, seed=42), iterations=1, rounds=1
+    )
+    print_result(
+        "Figure 8: Beagle relative index time and size", fig8_beagle_options.format_table(result)
+    )
+
+    relative_size = result["relative_size"]
+    relative_time = result["relative_time"]
+
+    # Everything is normalised to Original/Default.
+    assert abs(relative_size["Original"]["Default"] - 1.0) < 1e-9
+    assert abs(relative_time["Original"]["Default"] - 1.0) < 1e-9
+
+    # TextCache inflates the index for text-heavy images (paper: ~2-3x).
+    assert relative_size["TextCache"]["Text"] > 1.2 * relative_size["Original"]["Text"]
+    # DisFilter collapses the index to attribute records only.
+    assert relative_size["DisFilter"]["Default"] < 0.7 * relative_size["Original"]["Default"]
+    assert relative_time["DisFilter"]["Default"] < relative_time["Original"]["Default"]
+    # DisDir is a modest saving.
+    assert relative_size["DisDir"]["Default"] < relative_size["Original"]["Default"]
+    # The all-text image is the most expensive one to index under Original.
+    assert relative_time["Original"]["Text"] >= relative_time["Original"]["Binary"]

@@ -1,0 +1,14 @@
+"""Table 1 — choice of file-system parameters in prior research (motivation)."""
+
+from repro.bench import table1_prior_work
+
+
+def test_table1_prior_work(benchmark, print_result):
+    result = benchmark(table1_prior_work.run)
+    print_result("Table 1: prior-work file-system images", table1_prior_work.format_table(result))
+
+    assert result["num_entries"] == 13
+    papers = {entry["paper"] for entry in result["entries"]}
+    assert {"HAC", "IRON", "LBFS", "PAST", "Pastiche", "WAFL backup", "yFS"}.issubset(papers)
+    # Exactly one of the thirteen papers provided no description at all.
+    assert result["num_entries"] - result["with_description"] == 1

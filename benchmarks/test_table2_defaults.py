@@ -1,0 +1,15 @@
+"""Table 2 — parameters and default values in Impressions."""
+
+from repro.bench.common import format_mapping
+from repro.core.config import ImpressionsConfig
+
+
+def test_table2_default_parameters(benchmark, print_result):
+    table = benchmark(lambda: ImpressionsConfig().parameter_table())
+    print_result("Table 2: default parameters", format_mapping(table))
+
+    assert "Lognormal" in table["File size by count"] or "lognormal" in table["File size by count"]
+    assert "pareto" in table["File size by count"].lower() or "xm" in table["File size by count"]
+    assert "6.49" in table["File count w/ depth"]
+    assert "2.36" in table["Directory size (files)"]
+    assert "Layout score (1)" in table["Degree of Fragmentation"]

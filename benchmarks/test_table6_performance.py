@@ -1,0 +1,24 @@
+"""Table 6 — performance of Impressions (time to create images)."""
+
+from conftest import bench_scale
+
+from repro.bench import table6_performance
+
+
+def test_table6_image_creation_performance(benchmark, print_result):
+    scale = bench_scale(0.05)
+    result = benchmark.pedantic(
+        lambda: table6_performance.run(scale=scale, seed=42, include_content_row=True),
+        iterations=1,
+        rounds=1,
+    )
+    print_result("Table 6: generation time breakdown", table6_performance.format_table(result))
+
+    timings1 = result["image1"]["timings_s"]
+    timings2 = result["image2"]["timings_s"]
+    # Image2 (12 GB / 52k files) costs more than Image1 (4.55 GB / 20k files).
+    assert timings2["total"] > timings1["total"]
+    # The optional fragmentation row achieves the requested 0.98 score.
+    assert abs(result["extra"]["image1_layout_098_score"] - 0.98) < 0.02
+    # The content row measured a non-trivial amount of generated text.
+    assert result["extra"]["image1_content_bytes"] > 0

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Why file content matters: content-addressable storage (Section 3.6).
+
+The paper's motivating example: Postmark fills every file with the same bytes,
+so a CAS/deduplicating store collapses the whole benchmark to a single file's
+worth of unique data and the measured "performance" is meaningless.  This
+example ingests the same file-system image into a simulated CAS under four
+content policies and compares the deduplication each one produces:
+
+* single-word text (the Postmark anti-pattern),
+* word-model text (the Impressions default),
+* unique random binary, and
+* similarity-controlled binary (the paper's suggested extension, with the
+  duplicate fraction dialled explicitly).
+
+Run with::
+
+    python examples/cas_dedup_study.py
+"""
+
+from __future__ import annotations
+
+from repro.content.generators import ContentPolicy
+from repro.content.similarity import SimilarityProfile
+from repro.core.config import ImpressionsConfig
+from repro.core.impressions import Impressions
+from repro.workloads.cas import CasSimulator
+
+
+def build_image(policy: ContentPolicy):
+    config = ImpressionsConfig(
+        fs_size_bytes=None,
+        num_files=150,
+        num_directories=30,
+        seed=77,
+        generate_content=True,
+        content=policy,
+    )
+    return Impressions(config).generate()
+
+
+def main() -> None:
+    policies = {
+        "single-word text (Postmark-style)": ContentPolicy(
+            text_model="single-word", force_kind="text"
+        ),
+        "word-model text (Impressions default)": ContentPolicy(
+            text_model="hybrid", force_kind="text"
+        ),
+        "unique random binary": ContentPolicy(force_kind="binary", typed_headers=False),
+        "similarity-controlled binary (40% duplicate chunks)": ContentPolicy(
+            force_kind="binary",
+            typed_headers=False,
+            similarity=SimilarityProfile(duplicate_fraction=0.4),
+        ),
+    }
+
+    simulator = CasSimulator(chunk_size=4096)
+    print(f"{'content policy':<52s} {'dedup ratio':>12s} {'duplicate bytes':>16s}")
+    print("-" * 84)
+    for label, policy in policies.items():
+        image = build_image(policy)
+        result = simulator.ingest(image)
+        print(
+            f"{label:<52s} {result.dedup_ratio:>11.2f}x "
+            f"{result.duplicate_byte_fraction:>15.1%}"
+        )
+    print()
+    print(
+        "A CAS evaluation run against the single-word image would conclude the\n"
+        "system is dramatically faster than it really is; the word-model and\n"
+        "similarity-controlled images give it a realistic amount of unique data."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro — a reproduction of Impressions (FAST '09).
+
+Impressions generates statistically accurate file-system images — directory
+trees, file metadata and file content — from parameterised empirical
+distributions, so that file-system and application benchmarks can run against
+realistic, reproducible state.
+
+The top-level package re-exports the most frequently used entry points so that
+a quickstart is just::
+
+    from repro import Impressions, ImpressionsConfig
+
+    image = Impressions(ImpressionsConfig(num_files=2000, seed=42)).generate()
+    print(image.summary())
+"""
+
+from repro.core.config import ImpressionsConfig
+from repro.core.image import FileSystemImage
+from repro.core.impressions import Impressions
+
+__all__ = [
+    "Impressions",
+    "ImpressionsConfig",
+    "FileSystemImage",
+    "__version__",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,74 @@
+"""Shared helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.config import GIB, ImpressionsConfig
+
+__all__ = [
+    "scaled_default_config",
+    "format_rows",
+    "PAPER_DEFAULT_FILES",
+    "PAPER_DEFAULT_DIRS",
+    "PAPER_DEFAULT_BYTES",
+]
+
+#: The paper's evaluation image (Image1 of Table 6): 4.55 GB, 20 000 files,
+#: 4 000 directories.
+PAPER_DEFAULT_BYTES = int(4.55 * GIB)
+PAPER_DEFAULT_FILES = 20_000
+PAPER_DEFAULT_DIRS = 4_000
+
+
+def scaled_default_config(scale: float = 0.1, seed: int = 42, **overrides) -> ImpressionsConfig:
+    """The paper's default image configuration shrunk by ``scale``.
+
+    ``scale=1.0`` is the paper-sized image; smaller values shrink the file and
+    directory counts and the target size proportionally (minimum 50 files / 10
+    directories so distributions remain meaningful).
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must lie in (0, 1]")
+    config = ImpressionsConfig(
+        fs_size_bytes=max(int(PAPER_DEFAULT_BYTES * scale), 16 * 1024 * 1024),
+        num_files=max(int(PAPER_DEFAULT_FILES * scale), 50),
+        num_directories=max(int(PAPER_DEFAULT_DIRS * scale), 10),
+        seed=seed,
+    )
+    if overrides:
+        config = config.with_overrides(**overrides)
+    return config
+
+
+def format_rows(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table (what the benches print)."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    lines.append("  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[index] for index in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(value.ljust(widths[index]) for index, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_mapping(mapping: Mapping[str, object], title: str | None = None) -> str:
+    """Render a {name: value} mapping as a two-column table."""
+    return format_rows(["parameter", "value"], [[k, v] for k, v in mapping.items()], title=title)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

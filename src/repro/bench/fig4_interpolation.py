@@ -1,0 +1,64 @@
+"""Figure 4 — piecewise interpolation of file sizes.
+
+Illustrates the mechanism: starting from the bytes-by-file-size curves of
+10 GB, 50 GB and 100 GB file systems, each power-of-two bin is treated as an
+individual interpolation segment and the composite interpolated curve for an
+intermediate size is assembled from the per-segment results.
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import format_rows
+from repro.dataset.synthetic import SyntheticDatasetBuilder
+from repro.stats.interpolation import BinnedDistribution, PiecewiseInterpolator
+
+__all__ = ["run", "format_table", "KNOWN_SIZES_GIB"]
+
+KNOWN_SIZES_GIB = (10.0, 50.0, 100.0)
+
+
+def run(
+    target_size_gib: float = 75.0,
+    max_files_per_snapshot: int = 4_000,
+    seed: int = 2009,
+    by_bytes: bool = True,
+) -> dict:
+    """Build the known curves, interpolate the target, and expose the segments."""
+    builder = SyntheticDatasetBuilder(seed=seed)
+    corpus = builder.build_corpus(list(KNOWN_SIZES_GIB), max_files_per_snapshot=max_files_per_snapshot)
+    curves = {
+        size: BinnedDistribution.from_values(snapshot.file_sizes(), by_bytes=by_bytes)
+        for size, snapshot in corpus.items()
+    }
+    interpolator = PiecewiseInterpolator(curves)
+    composite = interpolator.interpolate(target_size_gib)
+
+    segments = {
+        bin_index: interpolator.segment_values(bin_index).tolist()
+        for bin_index in range(interpolator.num_bins)
+    }
+    return {
+        "known_sizes_gib": list(KNOWN_SIZES_GIB),
+        "target_size_gib": target_size_gib,
+        "segments": segments,
+        "composite_fractions": composite.fractions.tolist(),
+        "num_bins": interpolator.num_bins,
+        "by_bytes": by_bytes,
+    }
+
+
+def format_table(result: dict) -> str:
+    rows = []
+    for bin_index, values in result["segments"].items():
+        composite = result["composite_fractions"][bin_index]
+        if composite < 1e-6 and all(value < 1e-6 for value in values):
+            continue
+        rows.append([bin_index, *values, composite])
+    headers = ["bin"] + [f"{size:g} GB" for size in result["known_sizes_gib"]] + [
+        f"{result['target_size_gib']:g} GB (interpolated)"
+    ]
+    return format_rows(
+        headers,
+        rows,
+        title="Figure 4: piecewise interpolation of the bytes-by-file-size curve",
+    )

@@ -1,0 +1,92 @@
+"""Figure 8 — reproducible images: impact of content on Beagle's options.
+
+Four file-system images (Default content mix, all-Text, all-Image, all-Binary)
+are indexed under four Beagle configurations (Original, TextCache, DisDir,
+DisFilter); the paper plots indexing time and index size relative to the
+Original run on the Default image.  Expected shape: TextCache costs extra time
+and roughly doubles-to-triples the index for text-heavy images; DisDir is a
+small saving; DisFilter collapses both time and size because only attributes
+are indexed.
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import format_rows, scaled_default_config
+from repro.content.generators import ContentPolicy
+from repro.core.impressions import Impressions
+from repro.workloads.search.beagle import BeagleIndexOptions, BeagleSearchEngine
+
+__all__ = ["run", "format_table", "CONTENT_IMAGES", "INDEX_OPTIONS"]
+
+#: Figure 8's image variants: label → forced content kind (None = default mix).
+CONTENT_IMAGES = {
+    "Default": None,
+    "Text": "text",
+    "Image": "image",
+    "Binary": "binary",
+}
+
+#: Figure 8's Beagle index options.
+INDEX_OPTIONS = {
+    "Original": BeagleIndexOptions.original(),
+    "TextCache": BeagleIndexOptions.textcache(),
+    "DisDir": BeagleIndexOptions.disdir(),
+    "DisFilter": BeagleIndexOptions.disfilter(),
+}
+
+
+def run(scale: float = 0.1, seed: int = 42) -> dict:
+    """Index every (content image, index option) pair and normalise to Original/Default."""
+    images = {}
+    for label, forced_kind in CONTENT_IMAGES.items():
+        config = scaled_default_config(
+            scale=scale,
+            seed=seed,
+            generate_content=True,
+            content=ContentPolicy(text_model="hybrid", force_kind=forced_kind),
+        )
+        images[label] = Impressions(config).generate()
+
+    raw: dict[str, dict[str, dict]] = {}
+    for option_label, options in INDEX_OPTIONS.items():
+        engine = BeagleSearchEngine(options)
+        raw[option_label] = {}
+        for image_label, image in images.items():
+            outcome = engine.index(image)
+            raw[option_label][image_label] = {
+                "indexing_time_ms": outcome.indexing_time_ms,
+                "index_size_bytes": outcome.index_size_bytes,
+                "content_coverage": outcome.content_coverage,
+            }
+
+    baseline = raw["Original"]["Default"]
+    relative_time = {
+        option: {
+            image: raw[option][image]["indexing_time_ms"] / baseline["indexing_time_ms"]
+            for image in CONTENT_IMAGES
+        }
+        for option in INDEX_OPTIONS
+    }
+    relative_size = {
+        option: {
+            image: raw[option][image]["index_size_bytes"] / baseline["index_size_bytes"]
+            for image in CONTENT_IMAGES
+        }
+        for option in INDEX_OPTIONS
+    }
+    return {"raw": raw, "relative_time": relative_time, "relative_size": relative_size, "scale": scale}
+
+
+def format_table(result: dict) -> str:
+    time_rows = [
+        [option, *[result["relative_time"][option][image] for image in CONTENT_IMAGES]]
+        for option in INDEX_OPTIONS
+    ]
+    size_rows = [
+        [option, *[result["relative_size"][option][image] for image in CONTENT_IMAGES]]
+        for option in INDEX_OPTIONS
+    ]
+    headers = ["index option", *CONTENT_IMAGES.keys()]
+    time_table = format_rows(headers, time_rows, title="Figure 8 (left): Beagle relative time to index")
+    size_table = format_rows(headers, size_rows, title="Figure 8 (right): Beagle relative index size")
+    return time_table + "\n\n" + size_table

@@ -1,0 +1,124 @@
+"""Table 1 — choice of file-system parameters in prior research.
+
+The paper's motivation table: thirteen published systems, the ad-hoc
+file-system images they were evaluated on, and what the evaluation measured.
+This is static data, reproduced verbatim so that the motivation example in the
+README/EXPERIMENTS can cite it and so that the quickstart can contrast an
+Impressions image description against the prior practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.common import format_rows
+
+__all__ = ["PriorWorkEntry", "PRIOR_WORK", "run", "format_table"]
+
+
+@dataclass(frozen=True)
+class PriorWorkEntry:
+    paper: str
+    description: str
+    used_to_measure: str
+
+
+PRIOR_WORK: tuple[PriorWorkEntry, ...] = (
+    PriorWorkEntry(
+        "HAC",
+        "File system with 17000 files totaling 150 MB",
+        "Time and space needed to create a Glimpse index",
+    ),
+    PriorWorkEntry(
+        "IRON",
+        "None provided",
+        "Checksum and metadata replication overhead; parity block overhead for user files",
+    ),
+    PriorWorkEntry(
+        "LBFS",
+        "10702 files from /usr/local, total size 354 MB",
+        "Performance of LBFS chunking algorithm",
+    ),
+    PriorWorkEntry(
+        "LISFS",
+        "633 MP3 files, 860 program files, 11502 man pages",
+        "Disk space overhead; performance of search-like activities: UNIX find and LISFS lookup",
+    ),
+    PriorWorkEntry(
+        "PAST",
+        "2 million files, mean size 86 KB, median 4 KB, largest file size 2.7 GB, "
+        "smallest 0 Bytes, total size 166.6 GB",
+        "File insertion, global storage utilization in a P2P system",
+    ),
+    PriorWorkEntry(
+        "Pastiche",
+        "File system with 1641 files, 109 dirs, 13.4 MB total size",
+        "Performance of backup and restore utilities",
+    ),
+    PriorWorkEntry(
+        "Pergamum",
+        "Randomly generated files of 'several' megabytes",
+        "Data transfer performance",
+    ),
+    PriorWorkEntry(
+        "Samsara",
+        "File system with 1676 files and 13 MB total size",
+        "Data transfer and querying performance, load during querying",
+    ),
+    PriorWorkEntry(
+        "Segank",
+        "5-deep directory tree, 5 subdirs and 10 8 KB files per directory",
+        "Performance of Segank: volume update, creation of read-only snapshot, read from new snapshot",
+    ),
+    PriorWorkEntry(
+        "SFS read-only",
+        "1000 files distributed evenly across 10 directories and contain random data",
+        "Single client/single server read performance",
+    ),
+    PriorWorkEntry(
+        "TFS",
+        "Files taken from /usr to get 'realistic' mix of file sizes",
+        "Performance with varying contribution of space from local file systems",
+    ),
+    PriorWorkEntry(
+        "WAFL backup",
+        "188 GB and 129 GB volumes taken from the Engineering department",
+        "Performance of physical and logical backup, and recovery strategies",
+    ),
+    PriorWorkEntry(
+        "yFS",
+        "Avg. file size 16 KB, avg. number of files per directory 64, random file names",
+        "Performance under various benchmarks (file creation, deletion)",
+    ),
+)
+
+
+def run() -> dict:
+    """Return the table plus simple aggregate statistics about its entries."""
+    with_full_description = sum(
+        1 for entry in PRIOR_WORK if "None provided" not in entry.description
+    )
+    return {
+        "entries": [
+            {
+                "paper": entry.paper,
+                "description": entry.description,
+                "used_to_measure": entry.used_to_measure,
+            }
+            for entry in PRIOR_WORK
+        ],
+        "num_entries": len(PRIOR_WORK),
+        "with_description": with_full_description,
+    }
+
+
+def format_table(result: dict) -> str:
+    rows = [
+        [entry["paper"], entry["description"], entry["used_to_measure"]]
+        for entry in result["entries"]
+    ]
+    return format_rows(
+        ["paper", "description", "used to measure"],
+        rows,
+        title="Table 1: choice of file system parameters in prior research",
+    )

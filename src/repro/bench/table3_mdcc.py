@@ -1,0 +1,61 @@
+"""Table 3 — statistical accuracy of generated images (MDCC over 20 trials).
+
+For every parameter of Figure 2, the paper reports the MDCC (Maximum
+Displacement of the Cumulative Curves) between the generated and desired
+distributions, averaged over 20 trials.  Expected magnitudes: a few percent
+for every parameter (0.004–0.06), plus ~0.1 MB average difference for bytes
+with depth (reported in MB rather than as an MDCC).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.common import format_rows
+from repro.bench.fig2_accuracy import build_desired_and_generated
+from repro.dataset.study import compare_distribution_sets
+
+__all__ = ["run", "format_table", "PAPER_REFERENCE"]
+
+#: The paper's Table 3 values, for side-by-side comparison in EXPERIMENTS.md.
+PAPER_REFERENCE = {
+    "directory_count_with_depth": 0.03,
+    "directory_size_subdirectories": 0.004,
+    "file_size_by_count": 0.04,
+    "file_size_by_bytes": 0.02,
+    "extension_popularity": 0.03,
+    "file_count_with_depth": 0.05,
+    "bytes_with_depth_mb": 0.12,
+    "file_count_with_depth_special_dirs": 0.06,
+}
+
+
+def run(trials: int = 20, scale: float = 0.05, seed: int = 42) -> dict:
+    """Average the Figure 2 MDCC values over ``trials`` independent images."""
+    if trials < 1:
+        raise ValueError("trials must be at least 1")
+    per_trial: list[dict[str, float]] = []
+    for trial in range(trials):
+        desired, generated = build_desired_and_generated(scale=scale, seed=seed + trial)
+        per_trial.append(compare_distribution_sets(desired, generated))
+    averaged = {
+        key: float(np.mean([trial_result[key] for trial_result in per_trial]))
+        for key in per_trial[0]
+    }
+    spread = {
+        key: float(np.std([trial_result[key] for trial_result in per_trial]))
+        for key in per_trial[0]
+    }
+    return {"trials": trials, "average_mdcc": averaged, "std_mdcc": spread, "per_trial": per_trial}
+
+
+def format_table(result: dict) -> str:
+    rows = []
+    for parameter, value in result["average_mdcc"].items():
+        paper_value = PAPER_REFERENCE.get(parameter, "-")
+        rows.append([parameter, value, result["std_mdcc"][parameter], paper_value])
+    return format_rows(
+        ["parameter", "avg MDCC", "std", "paper"],
+        rows,
+        title=f"Table 3: statistical accuracy over {result['trials']} trials",
+    )

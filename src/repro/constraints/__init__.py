@@ -1,0 +1,32 @@
+"""Constraint resolution (Section 3.4 of the paper).
+
+Users may pin several parameters at once — e.g. exactly ``N`` files whose
+sizes are drawn from distribution ``D`` but must sum to the requested
+file-system size ``S`` within a relative error ``β``.  Impressions resolves
+these constraints by oversampling extra candidate values and selecting an
+exactly-``N``-element subset whose sum is close to ``S``, then checking that
+the selected subset still follows ``D`` with a two-sample K-S test.
+
+* :mod:`repro.constraints.subset_sum` — the approximation algorithm for the
+  fixed-cardinality Subset Sum variant (random maximal start + local
+  improvement, after Przydatek).
+* :mod:`repro.constraints.resolver` — the oversampling/convergence loop and
+  its bookkeeping (β, α, λ, per-trial traces used by Figure 3 and Table 4).
+"""
+
+from repro.constraints.resolver import (
+    ConstraintResolutionError,
+    ConstraintResolver,
+    ConstraintSpec,
+    ResolutionResult,
+)
+from repro.constraints.subset_sum import SubsetSumSolution, solve_fixed_size_subset_sum
+
+__all__ = [
+    "ConstraintSpec",
+    "ConstraintResolver",
+    "ConstraintResolutionError",
+    "ResolutionResult",
+    "SubsetSumSolution",
+    "solve_fixed_size_subset_sum",
+]

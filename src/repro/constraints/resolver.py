@@ -1,0 +1,277 @@
+"""Multi-constraint resolution (Section 3.4).
+
+The resolver draws an initial sample of ``N`` file sizes from the requested
+distribution, then repeatedly **oversamples** one extra value at a time and
+searches (via the fixed-cardinality subset-sum approximation) for an exactly
+``N``-element subset whose sum is within ``β·S`` of the desired file-system
+size ``S``.  A two-sample Kolmogorov-Smirnov test at 0.05 significance gates
+acceptance so the constrained sample still follows the original distribution.
+If the oversampling factor ``α/N`` exceeds ``λ`` without success, the current
+sample set is discarded and the procedure restarts (the paper's behaviour for
+the hard 90 K case).
+
+The per-oversample traces (:class:`ConvergenceTrace`) feed Figure 3(a); the
+aggregate statistics of :class:`ResolutionResult` feed Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.constraints.subset_sum import solve_fixed_size_subset_sum
+from repro.stats.distributions import Distribution
+from repro.stats.goodness_of_fit import ks_test_two_sample
+
+__all__ = [
+    "ConstraintSpec",
+    "ConvergenceTrace",
+    "ResolutionResult",
+    "ConstraintResolutionError",
+    "ConstraintResolver",
+]
+
+
+class ConstraintResolutionError(RuntimeError):
+    """Raised when the resolver cannot satisfy the constraints within budget."""
+
+
+@dataclass(frozen=True)
+class ConstraintSpec:
+    """A multi-constraint problem instance.
+
+    Attributes:
+        num_values: ``N`` — the exact number of values (files) required.
+        target_sum: ``S`` — the required sum of the values (file-system used
+            space in bytes).
+        distribution: ``D3`` — the distribution the values must follow.
+        beta: maximum relative error allowed between the achieved and desired
+            sums (the paper uses 0.05).
+        max_oversampling_factor: ``λ`` — maximum allowed ``α/N`` before the
+            sample set is discarded and the resolver starts over.
+        significance: significance level of the K-S acceptance test.
+        max_restarts: how many times the resolver may start over before giving
+            up entirely.
+    """
+
+    num_values: int
+    target_sum: float
+    distribution: Distribution
+    beta: float = 0.05
+    max_oversampling_factor: float = 1.0
+    significance: float = 0.05
+    max_restarts: int = 10
+
+    def __post_init__(self) -> None:
+        if self.num_values <= 0:
+            raise ValueError("num_values must be positive")
+        if self.target_sum <= 0:
+            raise ValueError("target_sum must be positive")
+        if not 0.0 < self.beta < 1.0:
+            raise ValueError("beta must lie in (0, 1)")
+        if self.max_oversampling_factor <= 0:
+            raise ValueError("max_oversampling_factor must be positive")
+        if self.max_restarts < 1:
+            raise ValueError("max_restarts must be at least 1")
+
+
+@dataclass
+class ConvergenceTrace:
+    """Per-trial record of how the achieved sum converged (Figure 3(a)).
+
+    ``sums[i]`` is the best achieved subset sum after ``i`` oversamples; the
+    initial sample's sum is ``sums[0]``.
+    """
+
+    sums: list[float] = field(default_factory=list)
+    oversamples: int = 0
+    restarts: int = 0
+
+    def record(self, achieved_sum: float) -> None:
+        self.sums.append(float(achieved_sum))
+
+
+@dataclass
+class ResolutionResult:
+    """Outcome of resolving one constraint problem.
+
+    Attributes:
+        values: the final ``N`` values satisfying the constraints.
+        initial_beta: relative sum error of the very first (pre-resolution)
+            sample — the "Avg. β Initial" column of Table 4.
+        final_beta: relative sum error of the accepted subset.
+        oversampling_factor: ``α/N`` for the accepted subset (Table 4's
+            "Avg. α").
+        ks_statistic_vs_initial: two-sample K-S ``D`` between the accepted
+            subset and a fresh reference sample from the distribution.
+        ks_passed: whether the K-S acceptance test passed.
+        converged: whether the sum constraint was met within budget.
+        trace: the convergence trace (for Figure 3(a)).
+    """
+
+    values: np.ndarray
+    initial_beta: float
+    final_beta: float
+    oversampling_factor: float
+    ks_statistic_vs_initial: float
+    ks_passed: bool
+    converged: bool
+    trace: ConvergenceTrace
+
+
+class ConstraintResolver:
+    """Resolves a :class:`ConstraintSpec` into a concrete sample of values."""
+
+    def __init__(self, spec: ConstraintSpec, rng: np.random.Generator) -> None:
+        self._spec = spec
+        self._rng = rng
+
+    @property
+    def spec(self) -> ConstraintSpec:
+        return self._spec
+
+    def resolve(self, raise_on_failure: bool = False) -> ResolutionResult:
+        """Run the oversampling loop until the constraints are satisfied.
+
+        Args:
+            raise_on_failure: raise :class:`ConstraintResolutionError` instead
+                of returning a non-converged result when every restart fails.
+        """
+        spec = self._spec
+        trace = ConvergenceTrace()
+        initial_beta: float | None = None
+        best_result: ResolutionResult | None = None
+
+        for restart in range(spec.max_restarts):
+            trace.restarts = restart
+            outcome = self._attempt(trace, record_initial_beta=initial_beta is None)
+            if outcome.initial_beta_observed is not None and initial_beta is None:
+                initial_beta = outcome.initial_beta_observed
+            result = self._finalise(outcome, initial_beta or 0.0, trace)
+            if best_result is None or result.final_beta < best_result.final_beta:
+                best_result = result
+            if result.converged and result.ks_passed:
+                return result
+
+        assert best_result is not None
+        if raise_on_failure:
+            raise ConstraintResolutionError(
+                f"failed to satisfy constraints after {spec.max_restarts} restarts "
+                f"(best beta={best_result.final_beta:.4f})"
+            )
+        return best_result
+
+    # Internal helpers -----------------------------------------------------
+
+    @dataclass
+    class _AttemptOutcome:
+        values: np.ndarray
+        final_beta: float
+        oversamples: int
+        converged: bool
+        initial_beta_observed: float | None
+
+    def _attempt(self, trace: ConvergenceTrace, record_initial_beta: bool) -> "_AttemptOutcome":
+        spec = self._spec
+        n = spec.num_values
+        max_oversamples = max(1, int(np.ceil(spec.max_oversampling_factor * n)))
+
+        pool = np.asarray(spec.distribution.sample(self._rng, n), dtype=float)
+        initial_sum = float(pool.sum())
+        initial_beta = abs(initial_sum - spec.target_sum) / spec.target_sum
+        trace.record(initial_sum)
+
+        best_values = pool.copy()
+        best_beta = initial_beta
+        oversamples = 0
+
+        # Check whether the raw sample already satisfies the sum constraint.
+        if initial_beta <= spec.beta:
+            return self._AttemptOutcome(
+                values=pool,
+                final_beta=initial_beta,
+                oversamples=0,
+                converged=True,
+                initial_beta_observed=initial_beta if record_initial_beta else None,
+            )
+
+        while oversamples < max_oversamples:
+            extra = np.asarray(spec.distribution.sample(self._rng, 1), dtype=float)
+            pool = np.concatenate([pool, extra])
+            oversamples += 1
+            trace.oversamples += 1
+
+            solution = solve_fixed_size_subset_sum(
+                values=pool,
+                subset_size=n,
+                target_sum=spec.target_sum,
+                rng=self._rng,
+            )
+            trace.record(solution.achieved_sum)
+            if solution.relative_error < best_beta:
+                best_beta = solution.relative_error
+                best_values = pool[solution.indices]
+            if solution.relative_error <= spec.beta:
+                return self._AttemptOutcome(
+                    values=pool[solution.indices],
+                    final_beta=solution.relative_error,
+                    oversamples=oversamples,
+                    converged=True,
+                    initial_beta_observed=initial_beta if record_initial_beta else None,
+                )
+
+        return self._AttemptOutcome(
+            values=best_values,
+            final_beta=best_beta,
+            oversamples=oversamples,
+            converged=False,
+            initial_beta_observed=initial_beta if record_initial_beta else None,
+        )
+
+    def _finalise(
+        self, outcome: "_AttemptOutcome", initial_beta: float, trace: ConvergenceTrace
+    ) -> ResolutionResult:
+        spec = self._spec
+        reference = np.asarray(
+            spec.distribution.sample(self._rng, max(spec.num_values, 200)), dtype=float
+        )
+        ks = ks_test_two_sample(outcome.values, reference, significance=spec.significance)
+        return ResolutionResult(
+            values=np.asarray(outcome.values, dtype=float),
+            initial_beta=initial_beta,
+            final_beta=outcome.final_beta,
+            oversampling_factor=outcome.oversamples / spec.num_values,
+            ks_statistic_vs_initial=ks.statistic,
+            ks_passed=ks.passed,
+            converged=outcome.converged,
+            trace=trace,
+        )
+
+
+def summarize_trials(results: Sequence[ResolutionResult], beta_threshold: float = 0.05) -> dict:
+    """Aggregate many resolution trials into the Table 4 row format.
+
+    Returns a dictionary with the averages the paper reports: initial β,
+    final β, oversampling factor α, K-S D statistic, and success rate (a trial
+    succeeds when its final β is within the threshold and the K-S test
+    passed).
+    """
+    if not results:
+        raise ValueError("summarize_trials needs at least one result")
+    initial_betas = [result.initial_beta for result in results]
+    final_betas = [result.final_beta for result in results]
+    alphas = [result.oversampling_factor for result in results]
+    ds = [result.ks_statistic_vs_initial for result in results]
+    successes = [
+        result.final_beta <= beta_threshold and result.ks_passed for result in results
+    ]
+    return {
+        "avg_initial_beta": float(np.mean(initial_betas)),
+        "avg_final_beta": float(np.mean(final_betas)),
+        "avg_alpha": float(np.mean(alphas)),
+        "avg_ks_d": float(np.mean(ds)),
+        "success_rate": float(np.mean(successes)),
+        "trials": len(results),
+    }

@@ -1,0 +1,200 @@
+"""Fixed-cardinality Subset Sum approximation.
+
+The paper's constraint resolver needs, given a pool ``F`` of ``N + α``
+candidate file sizes, a subset ``F_sub`` of *exactly* ``N`` elements whose sum
+is within ``β·S`` of the target ``S``.  Subset Sum is NP-complete; the paper
+adapts an O(n log n) approximation algorithm (Przydatek) with two phases:
+
+1. **Random maximal start** — pick a random permutation and greedily take
+   elements while the running sum stays below the target; here the start is
+   additionally forced to contain exactly ``N`` elements.
+2. **Local improvement** — for each selected element, look for an unselected
+   element that, when swapped in, reduces the gap to the target sum.
+
+Because the subset size is fixed, "maximal" from the original algorithm is
+replaced by "exactly N, preferring small elements when the sum would
+overshoot"; the improvement phase swaps single elements (keeping cardinality
+constant) using binary search over the sorted complement, which keeps the
+whole routine O(n log n).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SubsetSumSolution", "solve_fixed_size_subset_sum"]
+
+
+@dataclass
+class SubsetSumSolution:
+    """Result of the fixed-size subset-sum search.
+
+    Attributes:
+        indices: indices (into the candidate pool) of the selected subset.
+        achieved_sum: sum of the selected values.
+        target_sum: the requested sum.
+        relative_error: ``|achieved - target| / target``.
+        swaps: number of improvement swaps performed.
+    """
+
+    indices: np.ndarray
+    achieved_sum: float
+    target_sum: float
+    relative_error: float
+    swaps: int
+
+    @property
+    def size(self) -> int:
+        return int(self.indices.size)
+
+
+def solve_fixed_size_subset_sum(
+    values: np.ndarray,
+    subset_size: int,
+    target_sum: float,
+    rng: np.random.Generator,
+    max_improvement_passes: int = 3,
+) -> SubsetSumSolution:
+    """Select exactly ``subset_size`` elements of ``values`` summing close to ``target_sum``.
+
+    Args:
+        values: candidate pool (the ``N + α`` oversampled file sizes).
+        subset_size: required cardinality ``N``.
+        target_sum: desired sum ``S``.
+        rng: random generator used for the randomised initial solution.
+        max_improvement_passes: how many sweeps of local improvement to run;
+            each sweep visits every selected element once.
+
+    Returns:
+        The best subset found.  The caller decides whether the relative error
+        is acceptable (the resolver enforces β and the K-S gate).
+    """
+    pool = np.asarray(values, dtype=float)
+    n = pool.size
+    if subset_size <= 0:
+        raise ValueError("subset_size must be positive")
+    if subset_size > n:
+        raise ValueError(f"subset_size {subset_size} exceeds pool size {n}")
+    if target_sum <= 0:
+        raise ValueError("target_sum must be positive")
+
+    selected_mask = _initial_selection(pool, subset_size, target_sum, rng)
+    swaps = 0
+    for _ in range(max_improvement_passes):
+        improved, selected_mask = _improvement_pass(pool, selected_mask, target_sum)
+        swaps += improved
+        if improved == 0:
+            break
+
+    indices = np.flatnonzero(selected_mask)
+    achieved = float(pool[indices].sum())
+    relative_error = abs(achieved - target_sum) / target_sum
+    return SubsetSumSolution(
+        indices=indices,
+        achieved_sum=achieved,
+        target_sum=target_sum,
+        relative_error=relative_error,
+        swaps=swaps,
+    )
+
+
+def _initial_selection(
+    pool: np.ndarray, subset_size: int, target_sum: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Phase 1: a random exactly-N selection whose sum tries to stay below S.
+
+    Mirrors the paper's modification of the first phase: take a random
+    permutation and accept elements while the sum stays below the target; once
+    the quota can only be met by accepting regardless, fall back to the
+    smallest remaining elements so the overshoot is as small as possible.
+    """
+    n = pool.size
+    order = rng.permutation(n)
+    selected: list[int] = []
+    running = 0.0
+    skipped: list[int] = []
+    for index in order:
+        if len(selected) == subset_size:
+            break
+        value = pool[index]
+        if running + value <= target_sum:
+            selected.append(int(index))
+            running += value
+        else:
+            skipped.append(int(index))
+    if len(selected) < subset_size:
+        # Not enough "fitting" elements: top up with the smallest skipped ones.
+        needed = subset_size - len(selected)
+        skipped.sort(key=lambda idx: pool[idx])
+        selected.extend(skipped[:needed])
+    mask = np.zeros(n, dtype=bool)
+    mask[np.asarray(selected, dtype=int)] = True
+    return mask
+
+
+def _improvement_pass(
+    pool: np.ndarray, selected_mask: np.ndarray, target_sum: float
+) -> tuple[int, np.ndarray]:
+    """Phase 2: one sweep of single-element swaps that shrink |sum - target|.
+
+    For each selected element ``x`` we binary-search the sorted complement for
+    the value closest to ``x + (target - current_sum)``; if swapping it in
+    strictly reduces the absolute gap, the swap is applied immediately.
+    """
+    mask = selected_mask.copy()
+    selected_indices = list(np.flatnonzero(mask))
+    complement_indices = list(np.flatnonzero(~mask))
+    complement_indices.sort(key=lambda idx: pool[idx])
+    complement_values = [float(pool[idx]) for idx in complement_indices]
+
+    current_sum = float(pool[mask].sum())
+    swaps = 0
+    for position, sel_idx in enumerate(selected_indices):
+        if not complement_indices:
+            break
+        gap = target_sum - current_sum
+        if gap == 0:
+            break
+        desired_value = float(pool[sel_idx]) + gap
+        candidate_pos = _closest_position(complement_values, desired_value)
+        best_pos = None
+        best_error = abs(gap)
+        for probe in (candidate_pos - 1, candidate_pos, candidate_pos + 1):
+            if 0 <= probe < len(complement_values):
+                new_sum = current_sum - float(pool[sel_idx]) + complement_values[probe]
+                error = abs(target_sum - new_sum)
+                if error < best_error - 1e-12:
+                    best_error = error
+                    best_pos = probe
+        if best_pos is None:
+            continue
+        swap_idx = complement_indices[best_pos]
+        # Apply the swap.
+        current_sum = current_sum - float(pool[sel_idx]) + float(pool[swap_idx])
+        mask[sel_idx] = False
+        mask[swap_idx] = True
+        # Keep the complement sorted: remove the swapped-in value, insert the
+        # swapped-out one.
+        del complement_indices[best_pos]
+        del complement_values[best_pos]
+        insert_at = bisect.bisect_left(complement_values, float(pool[sel_idx]))
+        complement_values.insert(insert_at, float(pool[sel_idx]))
+        complement_indices.insert(insert_at, sel_idx)
+        selected_indices[position] = swap_idx
+        swaps += 1
+    return swaps, mask
+
+
+def _closest_position(sorted_values: list[float], target: float) -> int:
+    """Index in ``sorted_values`` whose value is closest to ``target``."""
+    position = bisect.bisect_left(sorted_values, target)
+    if position <= 0:
+        return 0
+    if position >= len(sorted_values):
+        return len(sorted_values) - 1
+    before = sorted_values[position - 1]
+    after = sorted_values[position]
+    return position - 1 if target - before <= after - target else position

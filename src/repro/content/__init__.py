@@ -1,0 +1,39 @@
+"""File content generation (Section 3.6).
+
+Actual file content can dominate application behaviour (the paper's examples:
+content-addressable storage and desktop search), so Impressions can fill files
+with:
+
+* a **single repeated word** (the Postmark-style degenerate baseline),
+* words drawn from a **word-popularity model** of common English words,
+* words built from a **word-length frequency model** (Sigurd et al.) for the
+  long tail,
+* a **hybrid** of the two (popularity for the body, length-frequency for the
+  tail),
+* **random binary** bytes, and
+* **typed files** with structurally valid headers/footers (mp3, gif, jpeg,
+  png, pdf, html, …) so that type-sniffing applications classify them
+  correctly.
+
+The public entry point is :class:`repro.content.generators.ContentGenerator`.
+"""
+
+from repro.content.generators import ContentGenerator, ContentPolicy
+from repro.content.similarity import SimilarityContentGenerator, SimilarityProfile
+from repro.content.wordmodel import (
+    HybridWordModel,
+    SingleWordModel,
+    WordLengthFrequencyModel,
+    WordPopularityModel,
+)
+
+__all__ = [
+    "ContentGenerator",
+    "ContentPolicy",
+    "WordPopularityModel",
+    "WordLengthFrequencyModel",
+    "HybridWordModel",
+    "SingleWordModel",
+    "SimilarityProfile",
+    "SimilarityContentGenerator",
+]

@@ -1,0 +1,154 @@
+"""Synthetic typed-file headers and footers.
+
+The original Impressions shells out to third-party tools (Id3v2 for mp3,
+GraphApp for gif/jpeg, MPlayer for video, asciidoc/ascii2pdf for html/pdf) to
+produce valid typed files.  Those tools are not available offline, so this
+module synthesises the *structural* parts itself: correct magic numbers,
+minimal valid header fields, and trailers where the format requires one.  That
+is sufficient for anything that type-sniffs files (desktop search filters,
+`file`, MIME detectors) to classify them correctly, which is all the paper
+relies on.
+
+Each builder returns ``(header, footer)`` byte strings; the content generator
+fills the middle with payload bytes so the total file size is exact.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+__all__ = ["typed_header_footer", "SUPPORTED_TYPED_EXTENSIONS", "minimum_typed_size"]
+
+
+def _id3v2_header() -> bytes:
+    """Minimal ID3v2.3 tag header (10 bytes) followed by an MPEG frame sync."""
+    # "ID3", version 2.3.0, no flags, tag size 0 (synchsafe).
+    id3 = b"ID3" + bytes([0x03, 0x00, 0x00]) + bytes([0x00, 0x00, 0x00, 0x00])
+    # MPEG-1 Layer III frame sync header (0xFFFB), 128 kbps, 44.1 kHz.
+    frame_sync = bytes([0xFF, 0xFB, 0x90, 0x00])
+    return id3 + frame_sync
+
+
+def _gif_header() -> bytes:
+    """GIF89a header with a 1x1 logical screen."""
+    return b"GIF89a" + struct.pack("<HH", 1, 1) + bytes([0x80, 0x00, 0x00]) + b"\x00\x00\x00\xff\xff\xff"
+
+
+def _gif_footer() -> bytes:
+    return b"\x3b"  # GIF trailer
+
+
+def _jpeg_header() -> bytes:
+    """JPEG SOI + JFIF APP0 marker."""
+    app0 = b"\xff\xe0" + struct.pack(">H", 16) + b"JFIF\x00" + bytes([1, 1, 0]) + struct.pack(">HH", 72, 72) + bytes([0, 0])
+    return b"\xff\xd8" + app0
+
+
+def _jpeg_footer() -> bytes:
+    return b"\xff\xd9"  # EOI
+
+
+def _png_header() -> bytes:
+    """PNG signature plus a minimal IHDR chunk for a 1x1 grayscale image."""
+    signature = b"\x89PNG\r\n\x1a\n"
+    ihdr_data = struct.pack(">IIBBBBB", 1, 1, 8, 0, 0, 0, 0)
+    ihdr = struct.pack(">I", len(ihdr_data)) + b"IHDR" + ihdr_data
+    ihdr += struct.pack(">I", zlib.crc32(b"IHDR" + ihdr_data) & 0xFFFFFFFF)
+    return signature + ihdr
+
+
+def _png_footer() -> bytes:
+    iend = struct.pack(">I", 0) + b"IEND"
+    iend += struct.pack(">I", zlib.crc32(b"IEND") & 0xFFFFFFFF)
+    return iend
+
+
+def _pdf_header() -> bytes:
+    return b"%PDF-1.4\n%\xe2\xe3\xcf\xd3\n1 0 obj\n<< /Type /Catalog >>\nendobj\n"
+
+
+def _pdf_footer() -> bytes:
+    return b"\ntrailer\n<< /Size 2 /Root 1 0 R >>\nstartxref\n0\n%%EOF\n"
+
+
+def _html_header() -> bytes:
+    return b"<!DOCTYPE html>\n<html>\n<head><title>impressions</title></head>\n<body>\n<p>"
+
+
+def _html_footer() -> bytes:
+    return b"</p>\n</body>\n</html>\n"
+
+
+def _mp4_header() -> bytes:
+    """MP4/ISO-BMFF ftyp box."""
+    ftyp_payload = b"isom" + struct.pack(">I", 512) + b"isomiso2avc1mp41"
+    return struct.pack(">I", 8 + len(ftyp_payload)) + b"ftyp" + ftyp_payload
+
+
+def _avi_header() -> bytes:
+    return b"RIFF" + struct.pack("<I", 0) + b"AVI LIST"
+
+
+def _wav_header() -> bytes:
+    fmt = struct.pack("<IHHIIHH", 16, 1, 1, 44100, 88200, 2, 16)
+    return b"RIFF" + struct.pack("<I", 36) + b"WAVE" + b"fmt " + fmt + b"data" + struct.pack("<I", 0)
+
+
+def _zip_header() -> bytes:
+    """Local file header for an empty stored entry."""
+    return b"PK\x03\x04" + struct.pack("<HHHHHIIIHH", 20, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+
+
+def _zip_footer() -> bytes:
+    """End-of-central-directory record for an empty archive."""
+    return b"PK\x05\x06" + struct.pack("<HHHHIIH", 0, 0, 0, 0, 0, 0, 0)
+
+
+def _exe_header() -> bytes:
+    """MZ DOS stub header followed by a tiny PE signature."""
+    mz = b"MZ" + bytes(58) + struct.pack("<I", 64)
+    return mz + b"PE\x00\x00"
+
+
+def _doc_header() -> bytes:
+    """OLE2 compound document signature (legacy .doc)."""
+    return b"\xd0\xcf\x11\xe0\xa1\xb1\x1a\xe1" + bytes(24)
+
+
+_BUILDERS: dict[str, tuple[bytes, bytes]] = {}
+
+
+def _register(extensions: tuple[str, ...], header: bytes, footer: bytes = b"") -> None:
+    for extension in extensions:
+        _BUILDERS[extension] = (header, footer)
+
+
+_register(("mp3",), _id3v2_header())
+_register(("gif",), _gif_header(), _gif_footer())
+_register(("jpg", "jpeg"), _jpeg_header(), _jpeg_footer())
+_register(("png",), _png_header(), _png_footer())
+_register(("pdf",), _pdf_header(), _pdf_footer())
+_register(("htm", "html"), _html_header(), _html_footer())
+_register(("mp4", "mpg", "mpeg"), _mp4_header())
+_register(("avi",), _avi_header())
+_register(("wav", "wma"), _wav_header())
+_register(("zip", "cab", "iso"), _zip_header(), _zip_footer())
+_register(("exe", "dll", "lib", "obj", "pdb"), _exe_header())
+_register(("doc", "mdb", "pst", "vhd"), _doc_header())
+
+SUPPORTED_TYPED_EXTENSIONS: tuple[str, ...] = tuple(sorted(_BUILDERS.keys()))
+
+
+def typed_header_footer(extension: str) -> tuple[bytes, bytes]:
+    """Header and footer bytes for a typed extension.
+
+    Unknown extensions get empty header/footer (pure payload files).
+    """
+    return _BUILDERS.get(extension.lower().lstrip("."), (b"", b""))
+
+
+def minimum_typed_size(extension: str) -> int:
+    """Smallest file size (bytes) that can carry the full header and footer."""
+    header, footer = typed_header_footer(extension)
+    return len(header) + len(footer)

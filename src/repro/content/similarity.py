@@ -1,0 +1,98 @@
+"""Controlled content similarity across files (Section 3.6, future extension).
+
+The paper motivates realistic content with content-addressable storage (CAS):
+Postmark fills every file with identical bytes, so a CAS system deduplicates
+everything and the evaluation becomes meaningless.  The paper notes that "an
+example of such an extension is one that carefully controls the degree of
+content similarity across files" — this module is that extension.
+
+:class:`SimilarityProfile` specifies what fraction of each file's chunks
+should be drawn from a shared pool (duplicated across files) versus generated
+uniquely.  :class:`SimilarityContentGenerator` produces file contents honouring
+the profile; the resulting corpus has a predictable deduplication ratio that
+the CAS workload (:mod:`repro.workloads.cas`) can measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SimilarityProfile", "SimilarityContentGenerator"]
+
+
+@dataclass(frozen=True)
+class SimilarityProfile:
+    """How similar file contents should be across a generated corpus.
+
+    Attributes:
+        duplicate_fraction: target fraction of chunks (by count) drawn from
+            the shared pool; 0.0 gives fully unique content, 1.0 makes every
+            chunk a duplicate of some pool chunk.
+        chunk_size: granularity of sharing, in bytes (4 KB default, matching
+            a typical CAS block size).
+        pool_chunks: number of distinct chunks in the shared pool; a smaller
+            pool concentrates duplicates on fewer distinct blocks.
+    """
+
+    duplicate_fraction: float = 0.3
+    chunk_size: int = 4096
+    pool_chunks: int = 256
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.duplicate_fraction <= 1.0:
+            raise ValueError("duplicate_fraction must lie in [0, 1]")
+        if self.chunk_size < 16:
+            raise ValueError("chunk_size must be at least 16 bytes")
+        if self.pool_chunks < 1:
+            raise ValueError("pool_chunks must be at least 1")
+
+
+class SimilarityContentGenerator:
+    """Generates file contents with a controlled cross-file duplicate fraction.
+
+    The shared chunk pool is derived deterministically from ``pool_seed``, so
+    two images generated with the same profile and seed share bytes exactly —
+    which is what makes CAS experiments reproducible.
+    """
+
+    def __init__(self, profile: SimilarityProfile | None = None, pool_seed: int = 0) -> None:
+        self._profile = profile or SimilarityProfile()
+        self._pool_seed = pool_seed
+        pool_rng = np.random.default_rng((pool_seed, 0xC0FFEE))
+        self._pool = [
+            pool_rng.integers(0, 256, size=self._profile.chunk_size, dtype=np.uint8).tobytes()
+            for _ in range(self._profile.pool_chunks)
+        ]
+
+    @property
+    def profile(self) -> SimilarityProfile:
+        return self._profile
+
+    @property
+    def pool_seed(self) -> int:
+        return self._pool_seed
+
+    def generate(self, size: int, rng: np.random.Generator) -> bytes:
+        """Produce exactly ``size`` bytes honouring the similarity profile."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if size == 0:
+            return b""
+        chunk_size = self._profile.chunk_size
+        pieces: list[bytes] = []
+        remaining = size
+        while remaining > 0:
+            piece = min(chunk_size, remaining)
+            if rng.random() < self._profile.duplicate_fraction:
+                chunk = self._pool[int(rng.integers(len(self._pool)))][:piece]
+            else:
+                chunk = rng.integers(0, 256, size=piece, dtype=np.uint8).tobytes()
+            pieces.append(chunk)
+            remaining -= piece
+        return b"".join(pieces)
+
+    def expected_duplicate_fraction(self) -> float:
+        """The configured duplicate fraction (for reporting)."""
+        return self._profile.duplicate_fraction

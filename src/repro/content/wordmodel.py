@@ -1,0 +1,235 @@
+"""Word models for human-readable file content (Section 3.6).
+
+Three models, mirroring the paper:
+
+* :class:`WordPopularityModel` — a Monte-Carlo generator driven by the
+  relative popularity of the most common English words (a Zipf-like head).
+* :class:`WordLengthFrequencyModel` — generates the long tail of rare words
+  from the empirical distribution of English word lengths (Sigurd,
+  Eeg-Olofsson & van de Weijer, 2004): the popularity list stays short, so
+  content generation stays fast.
+* :class:`HybridWordModel` — popularity model for the body of the stream,
+  length-frequency model for a configurable tail fraction; this is the
+  paper's performance compromise and the default for text content.
+* :class:`SingleWordModel` — the degenerate "same word over and over"
+  baseline that Postmark effectively uses; kept because Figure 7 compares
+  single-word text against model text.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "WordModel",
+    "WordPopularityModel",
+    "WordLengthFrequencyModel",
+    "HybridWordModel",
+    "SingleWordModel",
+    "TOP_ENGLISH_WORDS",
+    "WORD_LENGTH_FREQUENCIES",
+]
+
+#: The most common English words with relative frequencies (per million words,
+#: rescaled).  A Zipf-like head: "the" alone is ~6–7% of running text.
+TOP_ENGLISH_WORDS: tuple[tuple[str, float], ...] = (
+    ("the", 6.90), ("of", 3.59), ("and", 2.84), ("to", 2.57), ("a", 2.27),
+    ("in", 2.11), ("is", 1.12), ("it", 0.99), ("you", 0.92), ("that", 0.91),
+    ("he", 0.88), ("was", 0.83), ("for", 0.79), ("on", 0.73), ("are", 0.68),
+    ("with", 0.66), ("as", 0.64), ("i", 0.62), ("his", 0.60), ("they", 0.59),
+    ("be", 0.58), ("at", 0.52), ("one", 0.50), ("have", 0.49), ("this", 0.48),
+    ("from", 0.47), ("or", 0.45), ("had", 0.44), ("by", 0.43), ("not", 0.42),
+    ("word", 0.41), ("but", 0.40), ("what", 0.39), ("some", 0.37), ("we", 0.36),
+    ("can", 0.35), ("out", 0.34), ("other", 0.33), ("were", 0.33), ("all", 0.32),
+    ("there", 0.31), ("when", 0.30), ("up", 0.29), ("use", 0.28), ("your", 0.27),
+    ("how", 0.26), ("said", 0.26), ("an", 0.25), ("each", 0.24), ("she", 0.24),
+    ("which", 0.23), ("do", 0.23), ("their", 0.22), ("time", 0.22), ("if", 0.21),
+    ("will", 0.21), ("way", 0.20), ("about", 0.20), ("many", 0.19), ("then", 0.19),
+    ("them", 0.18), ("write", 0.18), ("would", 0.18), ("like", 0.17), ("so", 0.17),
+    ("these", 0.16), ("her", 0.16), ("long", 0.16), ("make", 0.15), ("thing", 0.15),
+    ("see", 0.15), ("him", 0.14), ("two", 0.14), ("has", 0.14), ("look", 0.13),
+    ("more", 0.13), ("day", 0.13), ("could", 0.12), ("go", 0.12), ("come", 0.12),
+    ("did", 0.12), ("number", 0.11), ("sound", 0.11), ("no", 0.11), ("most", 0.11),
+    ("people", 0.10), ("my", 0.10), ("over", 0.10), ("know", 0.10), ("water", 0.10),
+    ("than", 0.09), ("call", 0.09), ("first", 0.09), ("who", 0.09), ("may", 0.09),
+    ("down", 0.09), ("side", 0.08), ("been", 0.08), ("now", 0.08), ("find", 0.08),
+)
+
+#: Empirical distribution of English word lengths (letters → relative
+#: frequency), after Sigurd et al. (2004): the distribution peaks at 3 letters
+#: and has a gamma-like tail.
+WORD_LENGTH_FREQUENCIES: tuple[tuple[int, float], ...] = (
+    (1, 0.0316), (2, 0.1695), (3, 0.2140), (4, 0.1587), (5, 0.1091),
+    (6, 0.0844), (7, 0.0734), (8, 0.0537), (9, 0.0432), (10, 0.0284),
+    (11, 0.0166), (12, 0.0093), (13, 0.0049), (14, 0.0021), (15, 0.0008),
+    (16, 0.0003),
+)
+
+_LETTER_FREQUENCIES: tuple[tuple[str, float], ...] = (
+    ("e", 12.70), ("t", 9.06), ("a", 8.17), ("o", 7.51), ("i", 6.97),
+    ("n", 6.75), ("s", 6.33), ("h", 6.09), ("r", 5.99), ("d", 4.25),
+    ("l", 4.03), ("c", 2.78), ("u", 2.76), ("m", 2.41), ("w", 2.36),
+    ("f", 2.23), ("g", 2.02), ("y", 1.97), ("p", 1.93), ("b", 1.49),
+    ("v", 0.98), ("k", 0.77), ("j", 0.15), ("x", 0.15), ("q", 0.10),
+    ("z", 0.07),
+)
+
+
+class WordModel(abc.ABC):
+    """Common interface for the word generators."""
+
+    name: str = "word-model"
+
+    @abc.abstractmethod
+    def words(self, rng: np.random.Generator, count: int) -> list[str]:
+        """Generate ``count`` words."""
+
+    def text(self, rng: np.random.Generator, num_bytes: int) -> str:
+        """Generate approximately ``num_bytes`` of space-separated text.
+
+        The result is truncated (or padded with spaces) to exactly
+        ``num_bytes`` characters so file sizes stay exact.
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return ""
+        pieces: list[str] = []
+        generated = 0
+        # Draw in chunks to avoid per-word Python overhead on large files.
+        while generated < num_bytes:
+            needed_words = max(8, (num_bytes - generated) // 6)
+            chunk = self.words(rng, needed_words)
+            for word in chunk:
+                pieces.append(word)
+                generated += len(word) + 1
+                if generated >= num_bytes:
+                    break
+        text = " ".join(pieces)
+        if len(text) < num_bytes:
+            text = text + " " * (num_bytes - len(text))
+        return text[:num_bytes]
+
+
+class WordPopularityModel(WordModel):
+    """Monte-Carlo word generation from a popularity table."""
+
+    name = "word-popularity"
+
+    def __init__(self, vocabulary: Sequence[tuple[str, float]] = TOP_ENGLISH_WORDS) -> None:
+        if not vocabulary:
+            raise ValueError("vocabulary must be non-empty")
+        self._words = [word for word, _ in vocabulary]
+        weights = np.asarray([weight for _, weight in vocabulary], dtype=float)
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ValueError("word weights must be non-negative and not all zero")
+        self._probabilities = weights / weights.sum()
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._words)
+
+    def words(self, rng: np.random.Generator, count: int) -> list[str]:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        indices = rng.choice(len(self._words), size=count, p=self._probabilities)
+        return [self._words[index] for index in indices]
+
+
+class WordLengthFrequencyModel(WordModel):
+    """Generates synthetic words whose lengths follow English statistics.
+
+    Letters within a word are drawn from English letter frequencies, so the
+    output is pronounceable-ish gibberish with a realistic length profile —
+    exactly what is needed to model the heavy tail of rare words without
+    storing a huge vocabulary.
+    """
+
+    name = "word-length-frequency"
+
+    def __init__(
+        self, length_table: Sequence[tuple[int, float]] = WORD_LENGTH_FREQUENCIES
+    ) -> None:
+        if not length_table:
+            raise ValueError("length_table must be non-empty")
+        self._lengths = np.asarray([length for length, _ in length_table], dtype=int)
+        weights = np.asarray([weight for _, weight in length_table], dtype=float)
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ValueError("length weights must be non-negative and not all zero")
+        self._length_probabilities = weights / weights.sum()
+        self._letters = np.asarray([letter for letter, _ in _LETTER_FREQUENCIES])
+        letter_weights = np.asarray([weight for _, weight in _LETTER_FREQUENCIES], dtype=float)
+        self._letter_probabilities = letter_weights / letter_weights.sum()
+
+    def mean_word_length(self) -> float:
+        return float(np.dot(self._lengths, self._length_probabilities))
+
+    def words(self, rng: np.random.Generator, count: int) -> list[str]:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        lengths = rng.choice(self._lengths, size=count, p=self._length_probabilities)
+        total_letters = int(lengths.sum())
+        letters = rng.choice(self._letters, size=total_letters, p=self._letter_probabilities)
+        out: list[str] = []
+        cursor = 0
+        for length in lengths:
+            out.append("".join(letters[cursor : cursor + int(length)]))
+            cursor += int(length)
+        return out
+
+
+class HybridWordModel(WordModel):
+    """Popularity model for the body of the text, length model for the tail.
+
+    ``popular_fraction`` of generated words come from the popularity table and
+    the rest from the length-frequency model, matching the paper's hybrid that
+    trades a little realism for much faster generation.
+    """
+
+    name = "hybrid-word-model"
+
+    def __init__(
+        self,
+        popularity: WordPopularityModel | None = None,
+        length_model: WordLengthFrequencyModel | None = None,
+        popular_fraction: float = 0.8,
+    ) -> None:
+        if not 0.0 <= popular_fraction <= 1.0:
+            raise ValueError("popular_fraction must lie in [0, 1]")
+        self._popularity = popularity or WordPopularityModel()
+        self._length_model = length_model or WordLengthFrequencyModel()
+        self._popular_fraction = popular_fraction
+
+    @property
+    def popular_fraction(self) -> float:
+        return self._popular_fraction
+
+    def words(self, rng: np.random.Generator, count: int) -> list[str]:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return []
+        from_popular = rng.random(count) < self._popular_fraction
+        popular_count = int(from_popular.sum())
+        popular_words = iter(self._popularity.words(rng, popular_count))
+        rare_words = iter(self._length_model.words(rng, count - popular_count))
+        return [next(popular_words) if flag else next(rare_words) for flag in from_popular]
+
+
+class SingleWordModel(WordModel):
+    """Fills content with one repeated word — the Postmark anti-pattern."""
+
+    name = "single-word"
+
+    def __init__(self, word: str = "impressions") -> None:
+        if not word:
+            raise ValueError("word must be non-empty")
+        self._word = word
+
+    def words(self, rng: np.random.Generator, count: int) -> list[str]:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self._word] * count

@@ -1,0 +1,138 @@
+"""Command-line interface.
+
+"Ease of use: by providing a simple, yet powerful, command-line interface."
+The CLI exposes the automated mode (just pass ``--size`` / ``--files``) and
+the most common user-specified knobs; it prints the image summary and the
+full reproducibility report, and can materialise the image to a directory.
+
+Examples::
+
+    impressions --files 2000 --dirs 400 --seed 7
+    impressions --size-gb 4.55 --files 20000 --enforce-size --report out.json
+    impressions --files 500 --content hybrid --materialize /tmp/image
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.content.generators import ContentPolicy
+from repro.core.config import GIB, ImpressionsConfig
+from repro.core.impressions import Impressions
+
+__all__ = ["main", "build_parser", "config_from_args"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="impressions",
+        description="Generate statistically accurate file-system images (FAST '09 reproduction).",
+    )
+    parser.add_argument("--size-gb", type=float, default=None, help="target file-system size in GiB")
+    parser.add_argument("--size-bytes", type=int, default=None, help="target file-system size in bytes")
+    parser.add_argument("--files", type=int, default=None, help="number of files")
+    parser.add_argument("--dirs", type=int, default=None, help="number of directories")
+    parser.add_argument("--seed", type=int, default=42, help="random seed (reported for reproducibility)")
+    parser.add_argument(
+        "--enforce-size",
+        action="store_true",
+        help="resolve file sizes against the target size with the constraint resolver",
+    )
+    parser.add_argument("--beta", type=float, default=0.05, help="allowed relative error on the total size")
+    parser.add_argument(
+        "--layout-score", type=float, default=1.0, help="target on-disk layout score in (0, 1]"
+    )
+    parser.add_argument(
+        "--content",
+        choices=["none", "single-word", "word-popularity", "word-length", "hybrid"],
+        default="none",
+        help="file-content model (default: metadata only)",
+    )
+    parser.add_argument(
+        "--simple-size-model",
+        action="store_true",
+        help="use the plain lognormal size model instead of the hybrid lognormal+Pareto",
+    )
+    parser.add_argument(
+        "--no-special-dirs", action="store_true", help="disable special-directory biases"
+    )
+    parser.add_argument(
+        "--materialize", metavar="PATH", default=None, help="write the image to this directory"
+    )
+    parser.add_argument(
+        "--report", metavar="PATH", default=None, help="write the reproducibility report (JSON) here"
+    )
+    parser.add_argument("--quiet", action="store_true", help="only print the summary line")
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ImpressionsConfig:
+    """Translate parsed CLI arguments into an :class:`ImpressionsConfig`."""
+    fs_size_bytes: int | None
+    if args.size_bytes is not None:
+        fs_size_bytes = args.size_bytes
+    elif args.size_gb is not None:
+        fs_size_bytes = int(args.size_gb * GIB)
+    else:
+        fs_size_bytes = None
+
+    if fs_size_bytes is None and args.files is None:
+        # Automated mode with no input at all: fall back to the paper default.
+        fs_size_bytes = ImpressionsConfig().fs_size_bytes
+
+    generate_content = args.content != "none"
+    content_policy = ContentPolicy(text_model=args.content if generate_content else "hybrid")
+
+    return ImpressionsConfig(
+        fs_size_bytes=fs_size_bytes,
+        num_files=args.files,
+        num_directories=args.dirs,
+        seed=args.seed,
+        enforce_fs_size=args.enforce_size,
+        beta=args.beta,
+        layout_score=args.layout_score,
+        generate_content=generate_content,
+        content=content_policy,
+        use_simple_size_model=args.simple_size_model,
+        special_directories=() if args.no_special_dirs else ImpressionsConfig().special_directories,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``impressions`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        config = config_from_args(args)
+    except ValueError as error:
+        parser.error(str(error))
+        return 2  # pragma: no cover - parser.error raises SystemExit
+
+    image = Impressions(config).generate()
+    summary = image.summary()
+    print(
+        "generated image: "
+        f"{summary['files']} files, {summary['directories']} directories, "
+        f"{summary['total_bytes']} bytes, layout score {summary['layout_score']:.3f}"
+    )
+
+    if not args.quiet and image.report is not None:
+        print()
+        print(image.report.render_text())
+
+    if args.report and image.report is not None:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(image.report.to_json())
+        print(f"reproducibility report written to {args.report}")
+
+    if args.materialize:
+        written = image.materialize(args.materialize)
+        print(f"materialized {written} files under {args.materialize}")
+
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

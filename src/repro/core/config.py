@@ -1,0 +1,247 @@
+"""Impressions configuration — the knobs of Table 2.
+
+:class:`ImpressionsConfig` collects every user-controllable parameter.  The
+two modes of operation from Section 3.1 map onto it directly:
+
+* **automated mode** — construct the config with only the desired file-system
+  size (or file count); every distribution keeps its default from Table 2.
+* **user-specified mode** — override any subset of parameters; the framework
+  resolves the remaining ones and reconciles conflicting constraints via the
+  constraint resolver.
+
+Reproducibility (Section 3.1) is guaranteed by recording the seed and every
+distribution's parameters in the :class:`~repro.core.report.ReproducibilityReport`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.content.generators import ContentPolicy
+from repro.metadata.extensions import DEFAULT_EXTENSION_MODEL, ExtensionPopularityModel
+from repro.metadata.filesizes import (
+    default_file_size_by_bytes_model,
+    default_file_size_by_count_model,
+    simple_lognormal_size_model,
+)
+from repro.metadata.timestamps import TimestampModel
+from repro.namespace.placement import DEFAULT_MEAN_BYTES_BY_DEPTH, PlacementModel
+from repro.namespace.special_dirs import DEFAULT_SPECIAL_DIRECTORIES, SpecialDirectorySpec
+from repro.stats.distributions import (
+    Distribution,
+    InversePolynomialDistribution,
+    ShiftedPoissonDistribution,
+)
+
+__all__ = ["ImpressionsConfig", "GIB", "MIB"]
+
+GIB = 1024**3
+MIB = 1024**2
+
+#: Default image shape used throughout the paper's evaluation: 4.55 GB,
+#: 20 000 files, 4 000 directories (Image1 of Table 6).
+DEFAULT_FS_BYTES = int(4.55 * GIB)
+DEFAULT_NUM_FILES = 20_000
+DEFAULT_NUM_DIRECTORIES = 4_000
+
+
+@dataclass
+class ImpressionsConfig:
+    """Complete parameter set for one file-system image.
+
+    Attributes mirror Table 2; ``None`` means "derive from the other
+    parameters / use the default distribution".
+
+    Attributes:
+        fs_size_bytes: total used space the image should occupy.  When both
+            ``fs_size_bytes`` and ``num_files`` are given, the constraint
+            resolver reconciles the sampled file sizes against the target sum.
+        num_files: number of files; derived from ``fs_size_bytes`` and the
+            mean of the file-size model when omitted.
+        num_directories: number of directories; derived from ``num_files``
+            using the dataset's files-per-directory ratio when omitted.
+        file_size_model: distribution of file sizes by count (hybrid
+            lognormal + Pareto tail by default).
+        file_size_by_bytes_model: distribution of file sizes weighted by
+            bytes (mixture of lognormals); used for dataset synthesis and
+            reporting, not for direct sampling.
+        use_simple_size_model: replace the hybrid model with the plain
+            lognormal (the paper's earlier, inferior model — kept for the
+            ablation).
+        extension_model: extension popularity percentile model.
+        depth_distribution: Poisson model of file count by depth.
+        mean_bytes_by_depth: target mean file size per depth.
+        directory_file_count_model: inverse-polynomial directories-by-file-count
+            model.
+        special_directories: special-directory specs (empty tuple disables).
+        attachment_offset: the ``+2`` constant of the generative tree model.
+        enforce_fs_size: run the multi-constraint resolver so sampled sizes
+            sum to ``fs_size_bytes`` within ``beta``.
+        beta: allowed relative error on the total size.
+        max_oversampling_factor: λ of the constraint resolver.
+        content: content-generation policy.
+        generate_content: whether to generate content at all (metadata-only
+            images are much faster and sufficient for many experiments).
+        layout_score: target on-disk layout score (1.0 = perfect layout).
+        disk_capacity_bytes: capacity of the simulated disk; defaults to
+            1.5 × ``fs_size_bytes``.
+        block_size: block size of the simulated disk.
+        files_per_directory: used to derive ``num_directories`` when omitted.
+        seed: master random seed (reported for reproducibility).
+    """
+
+    fs_size_bytes: int | None = DEFAULT_FS_BYTES
+    num_files: int | None = DEFAULT_NUM_FILES
+    num_directories: int | None = DEFAULT_NUM_DIRECTORIES
+
+    file_size_model: Distribution | None = None
+    file_size_by_bytes_model: Distribution | None = None
+    use_simple_size_model: bool = False
+
+    extension_model: ExtensionPopularityModel = field(
+        default_factory=lambda: DEFAULT_EXTENSION_MODEL
+    )
+    depth_distribution: ShiftedPoissonDistribution = field(
+        default_factory=lambda: ShiftedPoissonDistribution(lam=6.49)
+    )
+    mean_bytes_by_depth: Mapping[int, float] = field(
+        default_factory=lambda: dict(DEFAULT_MEAN_BYTES_BY_DEPTH)
+    )
+    directory_file_count_model: InversePolynomialDistribution = field(
+        default_factory=lambda: InversePolynomialDistribution(degree=2.0, offset=2.36, max_value=4096)
+    )
+    special_directories: Sequence[SpecialDirectorySpec] = DEFAULT_SPECIAL_DIRECTORIES
+    attachment_offset: float = 2.0
+    use_multiplicative_depth_model: bool = True
+
+    enforce_fs_size: bool = False
+    beta: float = 0.05
+    max_oversampling_factor: float = 1.0
+
+    content: ContentPolicy = field(default_factory=ContentPolicy)
+    generate_content: bool = False
+
+    #: optional file-age/timestamp model; when set every generated file gets
+    #: (created, modified, accessed) timestamps sampled relative to
+    #: ``timestamp_now`` (POSIX seconds; defaults to the generation time and
+    #: is recorded in the reproducibility report).
+    timestamp_model: TimestampModel | None = None
+    timestamp_now: float | None = None
+
+    layout_score: float = 1.0
+    disk_capacity_bytes: int | None = None
+    block_size: int = 4096
+
+    files_per_directory: float = 5.0
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.fs_size_bytes is None and self.num_files is None:
+            raise ValueError("at least one of fs_size_bytes or num_files must be given")
+        if self.fs_size_bytes is not None and self.fs_size_bytes <= 0:
+            raise ValueError("fs_size_bytes must be positive")
+        if self.num_files is not None and self.num_files <= 0:
+            raise ValueError("num_files must be positive")
+        if self.num_directories is not None and self.num_directories < 1:
+            raise ValueError("num_directories must be at least 1")
+        if not 0.0 < self.layout_score <= 1.0:
+            raise ValueError("layout_score must lie in (0, 1]")
+        if not 0.0 < self.beta < 1.0:
+            raise ValueError("beta must lie in (0, 1)")
+        if self.files_per_directory <= 0:
+            raise ValueError("files_per_directory must be positive")
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+
+    # Derived values ------------------------------------------------------------
+
+    def resolved_size_model(self) -> Distribution:
+        """The file-size-by-count distribution actually used for sampling."""
+        if self.file_size_model is not None:
+            return self.file_size_model
+        if self.use_simple_size_model:
+            return simple_lognormal_size_model()
+        return default_file_size_by_count_model()
+
+    def resolved_bytes_model(self) -> Distribution:
+        if self.file_size_by_bytes_model is not None:
+            return self.file_size_by_bytes_model
+        return default_file_size_by_bytes_model()
+
+    def resolved_num_files(self) -> int:
+        """File count, deriving it from the FS size when not pinned."""
+        if self.num_files is not None:
+            return self.num_files
+        mean_size = max(self._finite_mean_file_size(), 1.0)
+        assert self.fs_size_bytes is not None  # guaranteed by __post_init__
+        return max(1, int(round(self.fs_size_bytes / mean_size)))
+
+    def resolved_num_directories(self) -> int:
+        if self.num_directories is not None:
+            return self.num_directories
+        return max(1, int(round(self.resolved_num_files() / self.files_per_directory)))
+
+    def resolved_fs_size_bytes(self) -> int | None:
+        return self.fs_size_bytes
+
+    def resolved_disk_capacity(self) -> int:
+        if self.disk_capacity_bytes is not None:
+            return self.disk_capacity_bytes
+        target = self.fs_size_bytes
+        if target is None:
+            target = int(self.resolved_num_files() * max(self._finite_mean_file_size(), 1.0))
+        return int(target * 1.5) + 64 * MIB
+
+    def _finite_mean_file_size(self) -> float:
+        """Mean of the size model, falling back to a sampled estimate when the
+        analytical mean is infinite (the Pareto tail has k <= 1)."""
+        mean = self.resolved_size_model().mean()
+        if math.isfinite(mean):
+            return float(mean)
+        sample = self.resolved_size_model().sample(np.random.default_rng(self.seed), 10_000)
+        return float(max(sample.mean(), 1.0))
+
+    def placement_model(self) -> PlacementModel:
+        return PlacementModel(
+            depth_distribution=self.depth_distribution,
+            mean_bytes_by_depth=dict(self.mean_bytes_by_depth),
+            directory_file_count=self.directory_file_count_model,
+            special_directories=tuple(self.special_directories),
+            use_multiplicative_model=self.use_multiplicative_depth_model,
+        )
+
+    def with_overrides(self, **overrides) -> "ImpressionsConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def parameter_table(self) -> dict[str, str]:
+        """Human-readable parameter table (the Table 2 view of this config)."""
+        size_model = self.resolved_size_model()
+        bytes_model = self.resolved_bytes_model()
+        return {
+            "Directory count w/ depth": f"Generative model (offset={self.attachment_offset:g})",
+            "Directory size (subdirs)": "Generative model",
+            "File size by count": size_model.describe(),
+            "File size by containing bytes": bytes_model.describe(),
+            "Extension popularity": (
+                f"Percentile values ({len(self.extension_model.popular_extensions)} popular extensions)"
+            ),
+            "File count w/ depth": self.depth_distribution.describe(),
+            "Bytes with depth": "Mean file size values",
+            "Directory size (files)": self.directory_file_count_model.describe(),
+            "File count w/ depth (w/ special directories)": (
+                f"Conditional probabilities ({len(self.special_directories)} special dirs)"
+                if self.special_directories
+                else "disabled"
+            ),
+            "Degree of Fragmentation": f"Layout score ({self.layout_score:g})",
+            "File system size": f"{self.fs_size_bytes}" if self.fs_size_bytes else "derived",
+            "Number of files": f"{self.resolved_num_files()}",
+            "Number of directories": f"{self.resolved_num_directories()}",
+            "Content model": self.content.text_model if self.generate_content else "metadata only",
+            "Seed": str(self.seed),
+        }

@@ -1,0 +1,158 @@
+"""The generated file-system image.
+
+A :class:`FileSystemImage` bundles everything the generation pipeline
+produced: the namespace tree, the simulated disk with its block layout, the
+content policy, per-phase timings and the reproducibility report.  It can
+
+* report summary statistics (Figure 2 / Table 3 compare these against the
+  desired distributions),
+* look up file content lazily (content bytes are generated on demand from the
+  per-file seed so the in-memory image stays small), and
+* **materialise** itself into a real directory tree on a host file system for
+  use with external tools.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from repro.content.generators import ContentGenerator
+from repro.layout.disk import SimulatedDisk
+from repro.layout.layout_score import layout_score
+from repro.namespace.tree import FileNode, FileSystemTree
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.report import ReproducibilityReport
+
+__all__ = ["FileSystemImage"]
+
+
+@dataclass
+class FileSystemImage:
+    """A fully generated file-system image.
+
+    Attributes:
+        tree: the namespace with all file metadata.
+        disk: the simulated disk holding the block layout (None when layout
+            was skipped).
+        content_generator: generator able to reproduce each file's bytes.
+        content_seed: base seed for per-file content generation.
+        report: the reproducibility report for this image.
+    """
+
+    tree: FileSystemTree
+    disk: SimulatedDisk | None = None
+    content_generator: ContentGenerator | None = None
+    content_seed: int = 0
+    report: "ReproducibilityReport | None" = None
+    extras: dict = field(default_factory=dict)
+
+    # Statistics ---------------------------------------------------------------
+
+    @property
+    def file_count(self) -> int:
+        return self.tree.file_count
+
+    @property
+    def directory_count(self) -> int:
+        return self.tree.directory_count
+
+    @property
+    def total_bytes(self) -> int:
+        return self.tree.total_bytes
+
+    def achieved_layout_score(self) -> float:
+        """Layout score of the on-disk layout (1.0 when layout was skipped)."""
+        if self.disk is None:
+            return 1.0
+        names = [self._disk_name(file) for file in self.tree.files]
+        present = [name for name in names if self.disk.has_file(name)]
+        if not present:
+            return 1.0
+        return layout_score(self.disk, present)
+
+    def summary(self) -> dict:
+        """Summary statistics of the image."""
+        stats = self.tree.summary()
+        stats["layout_score"] = self.achieved_layout_score()
+        stats["content"] = (
+            self.content_generator.policy.text_model if self.content_generator else "metadata only"
+        )
+        return stats
+
+    # Content ------------------------------------------------------------------
+
+    def file_content(self, file_node: FileNode) -> bytes:
+        """(Re)generate the content bytes of one file.
+
+        Content is a pure function of the image's content seed and the file's
+        index, so repeated calls return identical bytes and materialisation
+        matches what any in-memory consumer saw.
+        """
+        if self.content_generator is None:
+            raise RuntimeError("this image was generated without content")
+        rng = np.random.default_rng((self.content_seed, self._file_index(file_node)))
+        return self.content_generator.generate(file_node.size, file_node.extension, rng)
+
+    def iter_file_contents(self) -> Iterator[tuple[FileNode, bytes]]:
+        """Iterate over (file, content) pairs for every file in the image."""
+        for file_node in self.tree.files:
+            yield file_node, self.file_content(file_node)
+
+    # Materialisation ------------------------------------------------------------
+
+    def materialize(self, root_path: str, write_content: bool | None = None) -> int:
+        """Write the image to ``root_path`` on the host file system.
+
+        Creates every directory and file; file contents are written when
+        ``write_content`` is True (default: only if the image has a content
+        generator).  Returns the number of files written.  Materialisation is
+        intended for modest images (tests, examples); the in-memory image plus
+        the simulated disk is the primary artefact for experiments.
+        """
+        if write_content is None:
+            write_content = self.content_generator is not None
+        if write_content and self.content_generator is None:
+            raise RuntimeError("cannot write content: image has no content generator")
+
+        os.makedirs(root_path, exist_ok=True)
+        for directory in self.tree.walk_depth_first():
+            path = os.path.join(root_path, directory.path().lstrip("/"))
+            os.makedirs(path, exist_ok=True)
+
+        written = 0
+        for file_node in self.tree.files:
+            path = os.path.join(root_path, file_node.path().lstrip("/"))
+            if write_content:
+                rng = np.random.default_rng((self.content_seed, self._file_index(file_node)))
+                assert self.content_generator is not None
+                with open(path, "wb") as handle:
+                    for chunk in self.content_generator.iter_chunks(
+                        file_node.size, file_node.extension, rng
+                    ):
+                        handle.write(chunk)
+            else:
+                # Metadata-only materialisation: create sparse files of the
+                # right size so directory structure and sizes are faithful.
+                with open(path, "wb") as handle:
+                    if file_node.size:
+                        handle.seek(file_node.size - 1)
+                        handle.write(b"\0")
+            if file_node.timestamps is not None:
+                os.utime(path, (file_node.timestamps.accessed, file_node.timestamps.modified))
+            written += 1
+        return written
+
+    # Internal helpers -------------------------------------------------------------
+
+    def _file_index(self, file_node: FileNode) -> int:
+        if file_node.file_id < 0:
+            raise ValueError("file does not belong to a generated image")
+        return file_node.file_id
+
+    def _disk_name(self, file_node: FileNode) -> str:
+        return file_node.path()

@@ -1,0 +1,80 @@
+"""Reproducibility reporting (Section 3.1 / Section 4.2).
+
+"In both cases, Impressions ensures complete reproducibility of the
+file-system image by reporting the used distributions, their parameter values,
+and seeds for random number generators."  A :class:`ReproducibilityReport`
+captures exactly that, can be rendered as text or a plain dictionary, and can
+be fed back into a fresh :class:`~repro.core.config.ImpressionsConfig` (via
+the recorded parameters and seed) to regenerate the identical image.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["ReproducibilityReport"]
+
+
+@dataclass
+class ReproducibilityReport:
+    """Everything needed to regenerate an image bit-for-bit.
+
+    Attributes:
+        seed: master random seed.
+        parameters: the resolved parameter table (Table 2 view).
+        distributions: per-parameter distribution descriptions with concrete
+            parameter values.
+        derived: values Impressions derived during generation (actual file
+            count, total bytes, achieved layout score, …).
+        phase_timings: seconds spent per generation phase (Table 6 rows).
+    """
+
+    seed: int
+    parameters: Mapping[str, str] = field(default_factory=dict)
+    distributions: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+    derived: dict = field(default_factory=dict)
+    phase_timings: dict = field(default_factory=dict)
+
+    def record_derived(self, key: str, value) -> None:
+        self.derived[key] = value
+
+    def record_timing(self, phase: str, seconds: float) -> None:
+        self.phase_timings[phase] = float(seconds)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "parameters": dict(self.parameters),
+            "distributions": {name: dict(params) for name, params in self.distributions.items()},
+            "derived": dict(self.derived),
+            "phase_timings": dict(self.phase_timings),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True, default=str)
+
+    def render_text(self) -> str:
+        """Multi-line human readable report, suitable for the CLI and papers."""
+        lines = ["Impressions reproducibility report", "=" * 36, f"seed: {self.seed}", ""]
+        lines.append("Parameters:")
+        for key, value in self.parameters.items():
+            lines.append(f"  {key}: {value}")
+        if self.distributions:
+            lines.append("")
+            lines.append("Distributions:")
+            for name, params in self.distributions.items():
+                rendered = ", ".join(f"{k}={v:.6g}" for k, v in params.items())
+                lines.append(f"  {name}: {rendered}")
+        if self.derived:
+            lines.append("")
+            lines.append("Derived values:")
+            for key, value in self.derived.items():
+                lines.append(f"  {key}: {value}")
+        if self.phase_timings:
+            lines.append("")
+            lines.append("Phase timings (seconds):")
+            for phase, seconds in self.phase_timings.items():
+                lines.append(f"  {phase}: {seconds:.3f}")
+        return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Synthetic empirical dataset (substitute for the Microsoft metadata corpus).
+
+The paper's "desired" distributions come from a proprietary five-year dataset
+of over 60,000 Windows file-system snapshots.  Offline we synthesise an
+equivalent corpus by sampling the very distributions the original study
+published (Table 2): each synthetic snapshot records per-file and
+per-directory metadata exactly as the study's crawler would, so the analysis,
+curve-fitting, interpolation and accuracy experiments exercise the same code
+paths as they would against the real data.
+
+* :mod:`repro.dataset.snapshot` — the snapshot record types.
+* :mod:`repro.dataset.synthetic` — snapshot synthesis at arbitrary
+  file-system sizes.
+* :mod:`repro.dataset.study` — the analysis pass that turns snapshots (or a
+  generated image) into the distribution curves the figures compare.
+"""
+
+from repro.dataset.importer import fit_models_from_snapshot, import_directory_tree
+from repro.dataset.snapshot import DirectoryRecord, FileRecord, FileSystemSnapshot
+from repro.dataset.study import DistributionSet, analyze_image, analyze_snapshot
+from repro.dataset.synthetic import SyntheticDatasetBuilder
+
+__all__ = [
+    "FileRecord",
+    "DirectoryRecord",
+    "FileSystemSnapshot",
+    "SyntheticDatasetBuilder",
+    "DistributionSet",
+    "analyze_snapshot",
+    "analyze_image",
+    "import_directory_tree",
+    "fit_models_from_snapshot",
+]

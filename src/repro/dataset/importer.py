@@ -1,0 +1,110 @@
+"""Import a real directory tree as a dataset snapshot.
+
+"A user may want to use file system datasets other than the default choice.
+To enable this, Impressions provides automatic curve-fitting of empirical
+data."  The importer is the front half of that workflow: point it at any
+directory the benchmarking host can read, and it produces the same
+:class:`~repro.dataset.snapshot.FileSystemSnapshot` records the synthetic
+corpus uses — which the analysis (:mod:`repro.dataset.study`) and the fitters
+(:mod:`repro.stats.fitting`) then consume to derive user-specified
+distributions for image generation.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.dataset.snapshot import DirectoryRecord, FileRecord, FileSystemSnapshot
+from repro.metadata.filesizes import DEFAULT_TAIL_XM
+from repro.stats.fitting import fit_hybrid_lognormal_pareto, fit_lognormal, fit_poisson
+from repro.stats.distributions import Distribution
+
+__all__ = ["import_directory_tree", "fit_models_from_snapshot"]
+
+
+def import_directory_tree(
+    root_path: str,
+    hostname: str | None = None,
+    follow_symlinks: bool = False,
+    max_files: int | None = None,
+) -> FileSystemSnapshot:
+    """Crawl ``root_path`` and record per-file and per-directory metadata.
+
+    Symlinks are skipped by default (a crawler following them can loop);
+    unreadable entries are silently ignored, matching what a metadata crawler
+    on a live system has to do.  ``max_files`` bounds the crawl for tests and
+    interactive use.
+    """
+    root_path = os.path.abspath(root_path)
+    if not os.path.isdir(root_path):
+        raise ValueError(f"{root_path!r} is not a directory")
+
+    snapshot = FileSystemSnapshot(hostname=hostname or root_path, capacity_bytes=0)
+    directory_ids: dict[str, int] = {}
+    root_depth = root_path.rstrip(os.sep).count(os.sep)
+
+    for current, directories, files in os.walk(root_path, followlinks=follow_symlinks):
+        depth = current.rstrip(os.sep).count(os.sep) - root_depth
+        directory_id = directory_ids.setdefault(current, len(directory_ids))
+        file_count = 0
+        total_bytes_here = 0
+        for name in files:
+            path = os.path.join(current, name)
+            try:
+                if not follow_symlinks and os.path.islink(path):
+                    continue
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            extension = os.path.splitext(name)[1].lstrip(".").lower()
+            snapshot.files.append(
+                FileRecord(
+                    size=int(size),
+                    depth=depth + 1,
+                    extension=extension,
+                    directory_id=directory_id,
+                )
+            )
+            file_count += 1
+            total_bytes_here += size
+            if max_files is not None and len(snapshot.files) >= max_files:
+                break
+        snapshot.directories.append(
+            DirectoryRecord(
+                directory_id=directory_id,
+                depth=depth,
+                subdirectory_count=len(directories),
+                file_count=file_count,
+            )
+        )
+        snapshot.capacity_bytes += total_bytes_here
+        if max_files is not None and len(snapshot.files) >= max_files:
+            break
+    return snapshot
+
+
+def fit_models_from_snapshot(snapshot: FileSystemSnapshot) -> dict[str, Distribution]:
+    """Automatic curve fitting of the distributions Impressions needs.
+
+    Returns a dictionary with a fitted ``file_size_by_count`` model (hybrid
+    when the snapshot contains files beyond the 512 MB tail threshold, plain
+    lognormal otherwise), a ``file_depth`` Poisson model and, when the
+    snapshot holds enough data, a ``directory_file_count`` model offset.  The
+    result plugs straight into :class:`~repro.core.config.ImpressionsConfig`.
+    """
+    if snapshot.file_count == 0:
+        raise ValueError("cannot fit models from an empty snapshot")
+    sizes = [size for size in snapshot.file_sizes() if size > 0]
+    models: dict[str, Distribution] = {}
+    if not sizes:
+        raise ValueError("snapshot contains no non-empty files to fit")
+    if any(size >= DEFAULT_TAIL_XM for size in sizes) and len(sizes) >= 10:
+        models["file_size_by_count"] = fit_hybrid_lognormal_pareto(
+            sizes, tail_threshold=DEFAULT_TAIL_XM
+        )
+    else:
+        models["file_size_by_count"] = fit_lognormal(sizes)
+    depths = snapshot.file_depths()
+    if depths:
+        models["file_depth"] = fit_poisson(depths)
+    return models

@@ -1,0 +1,121 @@
+"""Workload-driven fragmentation measurement (the alternate mode of §3.7).
+
+Instead of requesting a layout score directly, a user can hand Impressions a
+pre-specified workload — a sequence of create/delete/append operations — run
+it against the (simulated) file system, and read back the layout score the
+workload produced.  "Thus if a file system employs better strategies to avoid
+fragmentation, it is reflected in the final layout score after running the
+fragmentation workload."
+
+:class:`AgingWorkload` provides both a replayable operation list and a
+generator of random aging workloads in the spirit of Smith & Seltzer's file
+system aging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.layout.disk import AllocationError, SimulatedDisk
+from repro.layout.layout_score import layout_score
+
+__all__ = ["WorkloadOperation", "AgingWorkload"]
+
+
+@dataclass(frozen=True)
+class WorkloadOperation:
+    """One operation of an aging workload.
+
+    ``kind`` is ``create`` or ``delete``; ``name`` identifies the file;
+    ``size_bytes`` only matters for creates.
+    """
+
+    kind: str
+    name: str
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("create", "delete"):
+            raise ValueError(f"unknown operation kind {self.kind!r}")
+        if self.kind == "create" and self.size_bytes < 0:
+            raise ValueError("create size must be non-negative")
+
+
+class AgingWorkload:
+    """A replayable create/delete workload used to age a file system."""
+
+    def __init__(self, operations: Sequence[WorkloadOperation]) -> None:
+        self._operations = list(operations)
+
+    @property
+    def operations(self) -> list[WorkloadOperation]:
+        return list(self._operations)
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    @classmethod
+    def random(
+        cls,
+        num_operations: int,
+        rng: np.random.Generator,
+        mean_file_size: int = 64 * 1024,
+        delete_fraction: float = 0.4,
+        name_prefix: str = "aging",
+    ) -> "AgingWorkload":
+        """Generate a random aging workload.
+
+        Creates dominate early (there is nothing to delete yet); afterwards a
+        ``delete_fraction`` share of operations remove a random live file,
+        which is what carves the holes that age a file system.
+        """
+        if num_operations < 1:
+            raise ValueError("num_operations must be positive")
+        if not 0.0 <= delete_fraction < 1.0:
+            raise ValueError("delete_fraction must lie in [0, 1)")
+        operations: list[WorkloadOperation] = []
+        live: list[str] = []
+        counter = 0
+        for _ in range(num_operations):
+            if live and rng.random() < delete_fraction:
+                victim_index = int(rng.integers(len(live)))
+                victim = live.pop(victim_index)
+                operations.append(WorkloadOperation(kind="delete", name=victim))
+            else:
+                name = f"{name_prefix}-{counter}"
+                counter += 1
+                size = int(max(1, rng.exponential(mean_file_size)))
+                operations.append(WorkloadOperation(kind="create", name=name, size_bytes=size))
+                live.append(name)
+        return cls(operations)
+
+    def replay(self, disk: SimulatedDisk) -> float:
+        """Replay the workload on ``disk`` and return the resulting layout score.
+
+        The score is computed over the files that survive the workload.
+        Creates that do not fit on the disk are skipped (the workload is a
+        best-effort aging pass, not a correctness test).
+        """
+        survivors: list[str] = []
+        for operation in self._operations:
+            if operation.kind == "create":
+                try:
+                    disk.allocate(operation.name, operation.size_bytes)
+                except AllocationError:
+                    continue
+                survivors.append(operation.name)
+            else:
+                if disk.has_file(operation.name):
+                    disk.delete(operation.name)
+                    if operation.name in survivors:
+                        survivors.remove(operation.name)
+        if not survivors:
+            return 1.0
+        return layout_score(disk, survivors)
+
+    def extended_with(self, operations: Iterable[WorkloadOperation]) -> "AgingWorkload":
+        """A new workload with extra operations appended."""
+        return AgingWorkload(self._operations + list(operations))

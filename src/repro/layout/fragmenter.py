@@ -1,0 +1,186 @@
+"""Creating layouts with a target degree of fragmentation (Section 3.7).
+
+Impressions achieves a requested layout score "by issuing pairs of temporary
+file create and delete operations, during creation of regular files".  The
+:class:`Fragmenter` wraps a :class:`~repro.layout.disk.SimulatedDisk` and,
+while a regular file is being written, interleaves small temporary files
+between chunks of it: each temporary pushes the next chunk off the end of the
+previous one, splitting the file, and deleting the temporaries afterwards
+leaves holes that later files fall into.  Both effects lower the aggregate
+layout score.
+
+How much to fragment each file is decided by a deficit controller: it tracks
+the exact number of non-optimally-placed blocks so far and plans just enough
+splits for the current file to keep the aggregate score on target.  A layout
+score of 1.0 disables the mechanism entirely (the paper's default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.layout.disk import AllocationError, SimulatedDisk
+
+__all__ = ["Fragmenter", "FragmentationReport"]
+
+
+@dataclass
+class FragmentationReport:
+    """Result of a fragmentation run."""
+
+    target_score: float
+    achieved_score: float
+    regular_files: int
+    temporary_operations: int
+
+    @property
+    def error(self) -> float:
+        return abs(self.achieved_score - self.target_score)
+
+
+class Fragmenter:
+    """Allocates regular files while steering the layout score to a target.
+
+    Args:
+        disk: the simulated disk to allocate on.
+        target_score: desired aggregate layout score in ``(0, 1]``.
+        rng: random generator (kept for API symmetry and used to spread the
+            planned splits across a file's chunks).
+        temp_file_blocks: size (in blocks) of each temporary file inserted
+            between chunks; 1 block produces the finest-grained holes.
+        max_splits_per_file: safety cap on how many times one file may be
+            split (a file of ``n`` blocks can be split at most ``n - 1``
+            times anyway).
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        target_score: float,
+        rng: np.random.Generator,
+        temp_file_blocks: int = 1,
+        max_splits_per_file: int = 64,
+    ) -> None:
+        if not 0.0 < target_score <= 1.0:
+            raise ValueError("target_score must lie in (0, 1]")
+        if temp_file_blocks < 1:
+            raise ValueError("temp_file_blocks must be at least 1")
+        if max_splits_per_file < 1:
+            raise ValueError("max_splits_per_file must be at least 1")
+        self._disk = disk
+        self._target = target_score
+        self._rng = rng
+        self._temp_blocks = temp_file_blocks
+        self._max_splits = max_splits_per_file
+        self._temp_counter = 0
+        self._regular_names: list[str] = []
+        self._temp_operations = 0
+        # Incremental layout-score bookkeeping: the aggregate score is
+        # optimal / candidates over all non-first blocks seen so far.
+        self._optimal_blocks = 0
+        self._candidate_blocks = 0
+
+    @property
+    def target_score(self) -> float:
+        return self._target
+
+    @property
+    def temporary_operations(self) -> int:
+        return self._temp_operations
+
+    def allocate_regular_file(self, name: str, size_bytes: int) -> list[int]:
+        """Allocate one regular file, fragmenting it as the target requires."""
+        needed_blocks = self._disk.blocks_needed(size_bytes)
+        planned_splits = self._planned_splits(needed_blocks)
+        if planned_splits == 0:
+            blocks = self._disk.allocate(name, size_bytes)
+        else:
+            blocks = self._allocate_fragmented(name, size_bytes, needed_blocks, planned_splits)
+        self._regular_names.append(name)
+        self._account(blocks)
+        return blocks
+
+    def finish(self) -> FragmentationReport:
+        """Report the final score (no temporaries outlive their file)."""
+        return FragmentationReport(
+            target_score=self._target,
+            achieved_score=self.current_score(),
+            regular_files=len(self._regular_names),
+            temporary_operations=self._temp_operations,
+        )
+
+    def current_score(self) -> float:
+        """Aggregate layout score of the regular files allocated so far.
+
+        Maintained incrementally so the controller stays O(1) per file;
+        :func:`repro.layout.layout_score.layout_score` recomputed over the
+        disk gives the same value (the tests assert this).
+        """
+        if self._candidate_blocks == 0:
+            return 1.0
+        return self._optimal_blocks / self._candidate_blocks
+
+    # Internal helpers ---------------------------------------------------------
+
+    def _planned_splits(self, needed_blocks: int) -> int:
+        """How many splits this file needs to keep the aggregate on target."""
+        if self._target >= 1.0 or needed_blocks <= 1:
+            return 0
+        future_candidates = self._candidate_blocks + needed_blocks - 1
+        desired_non_optimal = (1.0 - self._target) * future_candidates
+        current_non_optimal = self._candidate_blocks - self._optimal_blocks
+        deficit = desired_non_optimal - current_non_optimal
+        planned = int(round(deficit))
+        return int(np.clip(planned, 0, min(needed_blocks - 1, self._max_splits)))
+
+    def _allocate_fragmented(
+        self, name: str, size_bytes: int, needed_blocks: int, splits: int
+    ) -> list[int]:
+        """Create ``name`` in ``splits + 1`` chunks separated by temporary files."""
+        block_size = self._disk.geometry.block_size
+        chunk_sizes = self._chunk_blocks(needed_blocks, splits + 1)
+        temps: list[str] = []
+        blocks: list[int] = []
+        remaining_bytes = size_bytes
+        try:
+            for index, chunk in enumerate(chunk_sizes):
+                chunk_bytes = min(chunk * block_size, remaining_bytes)
+                remaining_bytes -= chunk_bytes
+                if index == 0:
+                    blocks.extend(self._disk.allocate(name, chunk_bytes))
+                else:
+                    temp_name = self._next_temp_name()
+                    try:
+                        self._disk.allocate(temp_name, self._temp_blocks * block_size)
+                        temps.append(temp_name)
+                        self._temp_operations += 1
+                    except AllocationError:
+                        pass
+                    blocks.extend(self._disk.extend(name, chunk_bytes))
+        finally:
+            for temp_name in temps:
+                self._disk.delete(temp_name)
+                self._temp_operations += 1
+        return blocks
+
+    def _chunk_blocks(self, needed_blocks: int, num_chunks: int) -> list[int]:
+        """Split ``needed_blocks`` into ``num_chunks`` roughly equal positive parts."""
+        num_chunks = min(num_chunks, needed_blocks)
+        base = needed_blocks // num_chunks
+        remainder = needed_blocks % num_chunks
+        return [base + (1 if index < remainder else 0) for index in range(num_chunks)]
+
+    def _next_temp_name(self) -> str:
+        name = f".impressions-tmp-{self._temp_counter}"
+        self._temp_counter += 1
+        return name
+
+    def _account(self, blocks: list[int]) -> None:
+        if len(blocks) <= 1:
+            return
+        self._candidate_blocks += len(blocks) - 1
+        self._optimal_blocks += sum(
+            1 for prev, cur in zip(blocks[:-1], blocks[1:]) if cur == prev + 1
+        )

@@ -1,0 +1,66 @@
+"""Layout score (Smith & Seltzer), the fragmentation metric of Section 3.7.
+
+For a single file the layout score is the fraction of its blocks that are
+*optimally placed*, i.e. immediately follow the previous logical block on
+disk; the first block is always counted as optimal.  A file laid out in one
+contiguous run scores 1.0; a file whose blocks are all scattered scores
+``1 / num_blocks`` (only the first block counts).  Files with zero or one
+block are defined to have a score of 1.0.
+
+The file-system-wide layout score is the block-weighted aggregate over all
+files: the fraction of all file blocks (excluding each file's first block)
+that are contiguous with their logical predecessor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.layout.disk import SimulatedDisk
+
+__all__ = ["file_layout_score", "layout_score", "layout_score_from_blockmaps"]
+
+
+def file_layout_score(blocks: Sequence[int]) -> float:
+    """Layout score of one file given its blocks in logical order."""
+    if len(blocks) <= 1:
+        return 1.0
+    optimal = sum(1 for prev, cur in zip(blocks[:-1], blocks[1:]) if cur == prev + 1)
+    return (optimal + 1) / len(blocks)
+
+
+def layout_score_from_blockmaps(blockmaps: Iterable[Sequence[int]]) -> float:
+    """Aggregate layout score over many files' block maps.
+
+    The aggregate follows the metric's original definition: the fraction of
+    non-first blocks that are optimally placed, pooled over all files.  An
+    empty file system (or one with only single-block files) scores 1.0.
+    """
+    optimal = 0
+    candidates = 0
+    for blocks in blockmaps:
+        if len(blocks) <= 1:
+            continue
+        candidates += len(blocks) - 1
+        optimal += sum(1 for prev, cur in zip(blocks[:-1], blocks[1:]) if cur == prev + 1)
+    if candidates == 0:
+        return 1.0
+    return optimal / candidates
+
+
+def layout_score(disk: SimulatedDisk, file_names: Iterable[str] | None = None) -> float:
+    """Layout score of (a subset of) the files on a simulated disk."""
+    if file_names is None:
+        blockmaps = [disk.blocks_of(name) for name in _all_names(disk)]
+    else:
+        blockmaps = [disk.blocks_of(name) for name in file_names]
+    return layout_score_from_blockmaps(blockmaps)
+
+
+def per_file_scores(disk: SimulatedDisk) -> Mapping[str, float]:
+    """Layout score of every file on the disk (diagnostic helper)."""
+    return {name: file_layout_score(disk.blocks_of(name)) for name in _all_names(disk)}
+
+
+def _all_names(disk: SimulatedDisk) -> list[str]:
+    return disk.file_names()

@@ -1,0 +1,36 @@
+"""File metadata models: sizes, extensions and names.
+
+* :mod:`repro.metadata.filesizes` — the default hybrid file-size-by-count
+  model and the mixture-of-lognormals bytes model, with Table 2's parameters.
+* :mod:`repro.metadata.extensions` — extension popularity percentile model
+  (top-20 extensions by count and by bytes plus random three-character
+  extensions for the rest) and the extension → content-kind mapping used by
+  content generation and the search workloads.
+* :mod:`repro.metadata.names` — simple iterative-counter name generation for
+  files and directories, as in the paper.
+"""
+
+from repro.metadata.extensions import (
+    DEFAULT_EXTENSION_MODEL,
+    ExtensionPopularityModel,
+    content_kind_for_extension,
+)
+from repro.metadata.filesizes import (
+    default_file_size_by_bytes_model,
+    default_file_size_by_count_model,
+    simple_lognormal_size_model,
+)
+from repro.metadata.names import NameGenerator
+from repro.metadata.timestamps import FileTimestamps, TimestampModel
+
+__all__ = [
+    "default_file_size_by_count_model",
+    "default_file_size_by_bytes_model",
+    "simple_lognormal_size_model",
+    "ExtensionPopularityModel",
+    "DEFAULT_EXTENSION_MODEL",
+    "content_kind_for_extension",
+    "NameGenerator",
+    "TimestampModel",
+    "FileTimestamps",
+]

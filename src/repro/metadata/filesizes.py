@@ -1,0 +1,83 @@
+"""Default file-size models (Table 2).
+
+Two views of file size matter:
+
+* **File size by count** — what fraction of *files* fall into each size bin.
+  Modelled by a lognormal body (α1=0.99994, µ=9.48, σ=2.46) with a Pareto
+  tail (k=0.91, Xm=512 MB) for the handful of very large files.
+* **File size by containing bytes** — what fraction of *bytes* live in files
+  of each size.  Modelled directly by a mixture of two lognormals
+  (α1=0.76, µ1=14.83, σ1=2.35; α2=0.24, µ2=20.93, σ2=1.48), capturing the
+  bimodal bytes curve of Figure 2(d).
+
+The paper's initial, simpler lognormal-only model is kept as
+:func:`simple_lognormal_size_model`; the ablation benchmark compares it to the
+hybrid to reproduce the discussion around Figure 2(d).
+"""
+
+from __future__ import annotations
+
+from repro.stats.distributions import (
+    HybridLognormalPareto,
+    LognormalDistribution,
+    MixtureOfLognormals,
+    ParetoDistribution,
+)
+
+__all__ = [
+    "DEFAULT_BODY_MU",
+    "DEFAULT_BODY_SIGMA",
+    "DEFAULT_BODY_FRACTION",
+    "DEFAULT_TAIL_K",
+    "DEFAULT_TAIL_XM",
+    "default_file_size_by_count_model",
+    "default_file_size_by_bytes_model",
+    "simple_lognormal_size_model",
+]
+
+#: Table 2 parameters for the file-size-by-count model.
+DEFAULT_BODY_MU = 9.48
+DEFAULT_BODY_SIGMA = 2.46
+DEFAULT_BODY_FRACTION = 0.99994
+DEFAULT_TAIL_K = 0.91
+DEFAULT_TAIL_XM = 512 * 1024 * 1024  # 512 MB
+
+#: Table 2 parameters for the file-size-by-containing-bytes model.
+DEFAULT_BYTES_WEIGHTS = (0.76, 0.24)
+DEFAULT_BYTES_MUS = (14.83, 20.93)
+DEFAULT_BYTES_SIGMAS = (2.35, 1.48)
+
+
+def default_file_size_by_count_model(
+    mu: float = DEFAULT_BODY_MU,
+    sigma: float = DEFAULT_BODY_SIGMA,
+    body_fraction: float = DEFAULT_BODY_FRACTION,
+    tail_k: float = DEFAULT_TAIL_K,
+    tail_xm: float = DEFAULT_TAIL_XM,
+) -> HybridLognormalPareto:
+    """The hybrid lognormal-body / Pareto-tail file-size model."""
+    return HybridLognormalPareto(
+        body=LognormalDistribution(mu=mu, sigma=sigma),
+        tail=ParetoDistribution(k=tail_k, xm=tail_xm),
+        body_fraction=body_fraction,
+    )
+
+
+def default_file_size_by_bytes_model() -> MixtureOfLognormals:
+    """The mixture-of-lognormals model of file size weighted by bytes."""
+    return MixtureOfLognormals.from_parameters(
+        weights=DEFAULT_BYTES_WEIGHTS,
+        mus=DEFAULT_BYTES_MUS,
+        sigmas=DEFAULT_BYTES_SIGMAS,
+    )
+
+
+def simple_lognormal_size_model(
+    mu: float = DEFAULT_BODY_MU, sigma: float = DEFAULT_BODY_SIGMA
+) -> LognormalDistribution:
+    """The paper's initial lognormal-only model (no heavy tail).
+
+    Acceptable for files-by-size but misses the bimodal bytes-by-size curve;
+    used by the size-model ablation benchmark.
+    """
+    return LognormalDistribution(mu=mu, sigma=sigma)

@@ -1,0 +1,38 @@
+"""Namespace (directory tree) generation.
+
+Phase one of image creation (Section 3.3.1): build the skeletal directory
+tree with the generative model of Agrawal et al. — each new directory picks an
+existing parent with probability proportional to ``C(d) + 2`` where ``C(d)``
+is the parent's current subdirectory count.  Phase two (Section 3.3.2) places
+files into the tree according to the depth and directory-size models, with
+optional bias toward "special" directories.
+
+* :mod:`repro.namespace.tree` — the in-memory tree model (directories, files).
+* :mod:`repro.namespace.generative_model` — the Monte-Carlo directory-tree
+  generator plus deterministic flat/deep tree builders used by Figure 1.
+* :mod:`repro.namespace.placement` — the multiplicative file-depth model and
+  parent-directory selection.
+* :mod:`repro.namespace.special_dirs` — special-directory bias (Figure 2(h)).
+"""
+
+from repro.namespace.generative_model import (
+    GenerativeTreeModel,
+    build_deep_tree,
+    build_flat_tree,
+)
+from repro.namespace.placement import FilePlacer, PlacementModel
+from repro.namespace.special_dirs import SpecialDirectorySpec, install_special_directories
+from repro.namespace.tree import DirectoryNode, FileNode, FileSystemTree
+
+__all__ = [
+    "FileSystemTree",
+    "DirectoryNode",
+    "FileNode",
+    "GenerativeTreeModel",
+    "build_flat_tree",
+    "build_deep_tree",
+    "FilePlacer",
+    "PlacementModel",
+    "SpecialDirectorySpec",
+    "install_special_directories",
+]

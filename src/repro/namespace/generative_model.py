@@ -1,0 +1,102 @@
+"""Generative directory-tree model (Agrawal et al., used in Section 3.3.1).
+
+New directories are added to the namespace one at a time; the probability of
+choosing an extant directory ``d`` as the parent is proportional to
+``C(d) + 2`` where ``C(d)`` is the number of subdirectories ``d`` currently
+has.  This single rule reproduces both the distribution of directories by
+depth and the distribution of directories by subdirectory count observed in
+the Windows dataset.
+
+The module also provides the deterministic *flat* and *deep* trees the paper
+uses in Figure 1 to show the impact of tree shape on ``find``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.namespace.tree import DirectoryNode, FileSystemTree
+from repro.stats.montecarlo import DynamicWeightedSampler
+
+__all__ = ["GenerativeTreeModel", "build_flat_tree", "build_deep_tree"]
+
+
+class GenerativeTreeModel:
+    """Monte-Carlo namespace generator.
+
+    Args:
+        attachment_offset: the additive constant in ``C(d) + offset``; the
+            paper (and the original study) use 2.
+    """
+
+    def __init__(self, attachment_offset: float = 2.0) -> None:
+        if attachment_offset <= 0:
+            raise ValueError("attachment_offset must be positive")
+        self._offset = attachment_offset
+
+    @property
+    def attachment_offset(self) -> float:
+        return self._offset
+
+    def generate(self, num_directories: int, rng: np.random.Generator) -> FileSystemTree:
+        """Create a new tree containing ``num_directories`` directories.
+
+        The count includes the root, so ``num_directories=1`` is just the
+        root; directory names are generated with a simple iterative counter,
+        matching the paper.
+        """
+        if num_directories < 1:
+            raise ValueError("num_directories must be at least 1 (the root)")
+        tree = FileSystemTree()
+        self.grow(tree, num_directories - 1, rng)
+        return tree
+
+    def grow(self, tree: FileSystemTree, additional_directories: int, rng: np.random.Generator) -> None:
+        """Add ``additional_directories`` new directories to an existing tree."""
+        if additional_directories < 0:
+            raise ValueError("additional_directories must be non-negative")
+        if additional_directories == 0:
+            return
+
+        directories: list[DirectoryNode] = tree.directories
+        sampler = DynamicWeightedSampler(
+            initial_weights=[directory.subdirectory_count + self._offset for directory in directories],
+            capacity=len(directories) + additional_directories,
+        )
+
+        for _ in range(additional_directories):
+            parent_index = sampler.sample(rng)
+            parent = directories[parent_index]
+            child = tree.create_directory(parent)
+            directories.append(child)
+            # The parent gained one subdirectory: its attachment weight grows
+            # by 1; the new child starts at C(d)=0, i.e. weight = offset.
+            sampler.increment(parent_index, 1.0)
+            sampler.add(self._offset)
+
+
+def build_flat_tree(num_directories: int) -> FileSystemTree:
+    """Tree with every non-root directory directly under the root (Figure 1).
+
+    The paper's "flat tree" puts all 100 directories at depth 1.
+    """
+    if num_directories < 1:
+        raise ValueError("num_directories must be at least 1")
+    tree = FileSystemTree()
+    for _ in range(num_directories - 1):
+        tree.create_directory(tree.root)
+    return tree
+
+
+def build_deep_tree(num_directories: int) -> FileSystemTree:
+    """Tree with directories successively nested into a chain (Figure 1).
+
+    The paper's "deep tree" nests directories to a depth of 100.
+    """
+    if num_directories < 1:
+        raise ValueError("num_directories must be at least 1")
+    tree = FileSystemTree()
+    current = tree.root
+    for _ in range(num_directories - 1):
+        current = tree.create_directory(current)
+    return tree

@@ -1,0 +1,111 @@
+"""Special directories (Section 3.3.2, Figure 2(h)).
+
+Real file systems contain a few directories holding a disproportionate number
+of files — the paper's example is a typical Windows system with a web cache at
+depth 7, ``Windows`` and ``Program Files`` at depth 2 and ``System`` files at
+depth 3.  Impressions supports giving such directories a selection bias during
+parent-directory assignment.
+
+A :class:`SpecialDirectorySpec` names the directory, the depth it should live
+at, and the fraction of all files that should be biased toward it.  The
+default set mirrors the paper's example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.namespace.tree import DirectoryNode, FileSystemTree
+
+__all__ = [
+    "SpecialDirectorySpec",
+    "DEFAULT_SPECIAL_DIRECTORIES",
+    "install_special_directories",
+]
+
+
+@dataclass(frozen=True)
+class SpecialDirectorySpec:
+    """Description of one special directory.
+
+    Attributes:
+        name: directory name to create (or find) in the namespace.
+        depth: target namespace depth of the directory itself.
+        file_bias: fraction of all files that should be routed to this
+            directory (the "conditional probability" of Table 2).
+    """
+
+    name: str
+    depth: int
+    file_bias: float
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError("special directory depth must be at least 1")
+        if not 0.0 < self.file_bias < 1.0:
+            raise ValueError("file_bias must lie in (0, 1)")
+
+
+#: The paper's illustrative Windows layout: web cache at depth 7, Windows and
+#: Program Files at depth 2, System files at depth 3.
+DEFAULT_SPECIAL_DIRECTORIES: tuple[SpecialDirectorySpec, ...] = (
+    SpecialDirectorySpec(name="Windows", depth=2, file_bias=0.06),
+    SpecialDirectorySpec(name="Program Files", depth=2, file_bias=0.08),
+    SpecialDirectorySpec(name="System", depth=3, file_bias=0.05),
+    SpecialDirectorySpec(name="Web Cache", depth=7, file_bias=0.07),
+)
+
+
+def install_special_directories(
+    tree: FileSystemTree,
+    specs: tuple[SpecialDirectorySpec, ...] | list[SpecialDirectorySpec],
+    rng: np.random.Generator,
+) -> dict[str, DirectoryNode]:
+    """Ensure every special directory exists at its requested depth.
+
+    For each spec we pick a random existing directory at ``depth - 1`` as the
+    parent (creating a chain of intermediate directories from the deepest
+    available ancestor when the tree is too shallow) and create the special
+    directory beneath it.  Returns a mapping from spec name to the created (or
+    reused) node, with ``special_label`` set on the node.
+    """
+    created: dict[str, DirectoryNode] = {}
+    for spec in specs:
+        existing = _find_named(tree, spec.name, spec.depth)
+        if existing is not None:
+            existing.special_label = spec.name
+            created[spec.name] = existing
+            continue
+        parent = _directory_at_depth(tree, spec.depth - 1, rng)
+        node = tree.create_directory(parent, name=spec.name)
+        node.special_label = spec.name
+        created[spec.name] = node
+    return created
+
+
+def _find_named(tree: FileSystemTree, name: str, depth: int) -> DirectoryNode | None:
+    for directory in tree.directories:
+        if directory.name == name and directory.depth == depth:
+            return directory
+    return None
+
+
+def _directory_at_depth(
+    tree: FileSystemTree, depth: int, rng: np.random.Generator
+) -> DirectoryNode:
+    """A random directory at exactly ``depth``, extending the tree if needed."""
+    if depth <= 0:
+        return tree.root
+    candidates = tree.directories_at_depth(depth)
+    if candidates:
+        return candidates[int(rng.integers(len(candidates)))]
+    # The tree is too shallow: extend a chain from the deepest directory that
+    # exists toward the requested depth.
+    deepest_depth = min(depth - 1, tree.max_depth())
+    parent = _directory_at_depth(tree, deepest_depth, rng)
+    current = parent
+    while current.depth < depth:
+        current = tree.create_directory(current)
+    return current

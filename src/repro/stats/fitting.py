@@ -1,0 +1,297 @@
+"""Automatic curve fitting of empirical data.
+
+The paper allows a user to supply their own dataset instead of the built-in
+defaults; Impressions then performs *automatic curve-fitting* to obtain
+parameterised models.  This module provides maximum-likelihood (and, for the
+mixture, expectation-maximisation) fitters for every model family used by the
+framework, plus a model-selection helper (:func:`fit_best_model`) that fits
+all candidate families and picks the one with the smallest K-S distance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.stats.distributions import (
+    Distribution,
+    HybridLognormalPareto,
+    InversePolynomialDistribution,
+    LognormalDistribution,
+    MixtureOfLognormals,
+    ParetoDistribution,
+    ShiftedPoissonDistribution,
+)
+from repro.stats.goodness_of_fit import ks_test_one_sample
+
+__all__ = [
+    "FitResult",
+    "fit_lognormal",
+    "fit_pareto",
+    "fit_hybrid_lognormal_pareto",
+    "fit_mixture_of_lognormals",
+    "fit_poisson",
+    "fit_inverse_polynomial",
+    "fit_best_model",
+]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """A fitted distribution together with its quality of fit."""
+
+    distribution: Distribution
+    ks_statistic: float
+    log_likelihood: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.distribution.describe()} "
+            f"(K-S D={self.ks_statistic:.4f}, logL={self.log_likelihood:.2f})"
+        )
+
+
+def fit_lognormal(values: Sequence[float]) -> LognormalDistribution:
+    """Maximum-likelihood lognormal fit (mean/std of log values)."""
+    data = _positive_array(values)
+    logs = np.log(data)
+    sigma = float(logs.std(ddof=0))
+    if sigma <= 0:
+        sigma = 1e-6
+    return LognormalDistribution(mu=float(logs.mean()), sigma=sigma)
+
+
+def fit_pareto(values: Sequence[float], xm: float | None = None) -> ParetoDistribution:
+    """Maximum-likelihood Pareto fit.
+
+    If ``xm`` is not given the smallest observation is used as the scale, which
+    is the MLE for the location of a type-I Pareto.
+    """
+    data = _positive_array(values)
+    scale = float(data.min()) if xm is None else float(xm)
+    if scale <= 0:
+        raise ValueError("Pareto scale must be positive")
+    tail = data[data >= scale]
+    if tail.size == 0:
+        raise ValueError("no observations at or above the requested xm")
+    k = tail.size / float(np.sum(np.log(tail / scale)))
+    if not math.isfinite(k) or k <= 0:
+        k = 1.0
+    return ParetoDistribution(k=float(k), xm=scale)
+
+
+def fit_hybrid_lognormal_pareto(
+    values: Sequence[float],
+    tail_threshold: float,
+) -> HybridLognormalPareto:
+    """Fit the hybrid body-plus-tail model used for file sizes by count.
+
+    Observations below ``tail_threshold`` parameterise the lognormal body;
+    observations at or above it parameterise the Pareto tail.  The body
+    fraction α1 is the empirical fraction of observations in the body.  When
+    the sample has no tail observations (common for small samples, since the
+    default threshold is 512 MB) the paper's default tail parameters are kept
+    by the caller; here we fall back to a vestigial tail with k=1.
+    """
+    data = _positive_array(values)
+    if tail_threshold <= 0:
+        raise ValueError("tail_threshold must be positive")
+    body_values = data[data < tail_threshold]
+    tail_values = data[data >= tail_threshold]
+    if body_values.size == 0:
+        raise ValueError("no observations below the tail threshold; not a hybrid sample")
+    body = fit_lognormal(body_values)
+    if tail_values.size >= 2:
+        tail = fit_pareto(tail_values, xm=tail_threshold)
+    else:
+        tail = ParetoDistribution(k=1.0, xm=tail_threshold)
+    body_fraction = body_values.size / data.size
+    # Guard the degenerate all-body case: body_fraction must stay below 1 only
+    # if a tail actually exists; HybridLognormalPareto accepts exactly 1.0 too,
+    # but we keep a sliver of tail mass when tail observations were seen.
+    if tail_values.size and body_fraction >= 1.0:
+        body_fraction = 1.0 - 1.0 / data.size
+    return HybridLognormalPareto(body=body, tail=tail, body_fraction=float(body_fraction))
+
+
+def fit_mixture_of_lognormals(
+    values: Sequence[float],
+    n_components: int = 2,
+    max_iterations: int = 200,
+    tolerance: float = 1e-6,
+    seed: int = 0,
+) -> MixtureOfLognormals:
+    """Fit a mixture of lognormals via expectation-maximisation in log space.
+
+    A lognormal mixture over ``x`` is a Gaussian mixture over ``ln(x)``, so we
+    run standard EM for a 1-D Gaussian mixture on the log-transformed data.
+    Components are initialised by splitting the sorted data into
+    ``n_components`` contiguous chunks, which is deterministic and works well
+    for the strongly bimodal bytes-by-size curve.
+    """
+    if n_components < 1:
+        raise ValueError("n_components must be at least 1")
+    data = _positive_array(values)
+    logs = np.sort(np.log(data))
+    n = logs.size
+    if n < n_components:
+        raise ValueError("need at least as many observations as components")
+
+    chunks = np.array_split(logs, n_components)
+    means = np.array([chunk.mean() for chunk in chunks])
+    stds = np.array([max(chunk.std(), 1e-3) for chunk in chunks])
+    weights = np.array([chunk.size / n for chunk in chunks])
+
+    previous_ll = -math.inf
+    for _ in range(max_iterations):
+        # E step: responsibilities.
+        densities = np.empty((n, n_components))
+        for j in range(n_components):
+            densities[:, j] = weights[j] * _normal_pdf(logs, means[j], stds[j])
+        totals = densities.sum(axis=1, keepdims=True)
+        totals[totals == 0] = 1e-300
+        responsibilities = densities / totals
+        log_likelihood = float(np.sum(np.log(totals)))
+
+        # M step.
+        effective = responsibilities.sum(axis=0)
+        effective[effective == 0] = 1e-12
+        weights = effective / n
+        means = (responsibilities * logs[:, None]).sum(axis=0) / effective
+        variances = (responsibilities * (logs[:, None] - means) ** 2).sum(axis=0) / effective
+        stds = np.sqrt(np.maximum(variances, 1e-8))
+
+        if abs(log_likelihood - previous_ll) < tolerance:
+            break
+        previous_ll = log_likelihood
+
+    order = np.argsort(means)
+    weights = np.clip(weights[order], 1e-9, None)
+    weights = weights / weights.sum()
+    return MixtureOfLognormals.from_parameters(
+        weights=weights.tolist(),
+        mus=means[order].tolist(),
+        sigmas=stds[order].tolist(),
+    )
+
+
+def fit_poisson(values: Sequence[int], offset: int = 0) -> ShiftedPoissonDistribution:
+    """Maximum-likelihood Poisson fit (the sample mean) with optional offset."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot fit an empty sample")
+    if np.any(data < offset):
+        raise ValueError("observations below the offset are impossible under the model")
+    lam = float(data.mean()) - offset
+    if lam <= 0:
+        lam = 1e-6
+    return ShiftedPoissonDistribution(lam=lam, offset=offset)
+
+
+def fit_inverse_polynomial(
+    counts_per_directory: Sequence[int],
+    degree: float = 2.0,
+    max_value: int | None = None,
+) -> InversePolynomialDistribution:
+    """Fit the offset of an inverse-polynomial directory-size model.
+
+    The degree is typically fixed at 2 (as in Table 2); the offset is found by
+    a golden-section search minimising the K-S distance between the model CDF
+    and the empirical CDF of the observed per-directory file counts.
+    """
+    data = np.asarray(counts_per_directory, dtype=int)
+    if data.size == 0:
+        raise ValueError("cannot fit an empty sample")
+    if np.any(data < 0):
+        raise ValueError("directory file counts must be non-negative")
+    if max_value is None:
+        max_value = max(int(data.max()) * 2, 16)
+
+    # Discrete data is full of ties, so compare CDFs on the distinct support
+    # values rather than per-observation (the usual K-S construction would be
+    # biased at tied points).
+    support = np.unique(data)
+    empirical_cdf = np.asarray([(data <= value).mean() for value in support])
+
+    def distance(offset: float) -> float:
+        model = InversePolynomialDistribution(degree=degree, offset=offset, max_value=max_value)
+        return float(np.max(np.abs(model.cdf(support) - empirical_cdf)))
+
+    low, high = 0.05, 50.0
+    golden = (math.sqrt(5.0) - 1.0) / 2.0
+    c = high - golden * (high - low)
+    d = low + golden * (high - low)
+    for _ in range(80):
+        if distance(c) < distance(d):
+            high = d
+        else:
+            low = c
+        c = high - golden * (high - low)
+        d = low + golden * (high - low)
+    offset = (low + high) / 2.0
+    return InversePolynomialDistribution(degree=degree, offset=float(offset), max_value=max_value)
+
+
+def fit_best_model(
+    values: Sequence[float],
+    candidates: Sequence[str] = ("lognormal", "pareto", "mixture"),
+    tail_threshold: float | None = None,
+) -> FitResult:
+    """Automatic curve fitting with model selection.
+
+    Fits every candidate family and returns the one with the smallest one
+    sample K-S statistic.  Candidate names: ``lognormal``, ``pareto``,
+    ``mixture`` and ``hybrid`` (the last requires ``tail_threshold``).
+    """
+    data = _positive_array(values)
+    results: list[FitResult] = []
+    for candidate in candidates:
+        try:
+            if candidate == "lognormal":
+                model: Distribution = fit_lognormal(data)
+            elif candidate == "pareto":
+                model = fit_pareto(data)
+            elif candidate == "mixture":
+                model = fit_mixture_of_lognormals(data)
+            elif candidate == "hybrid":
+                if tail_threshold is None:
+                    raise ValueError("hybrid candidate requires tail_threshold")
+                model = fit_hybrid_lognormal_pareto(data, tail_threshold=tail_threshold)
+            else:
+                raise ValueError(f"unknown candidate model family: {candidate}")
+        except ValueError:
+            continue
+        ks = ks_test_one_sample(data, model.cdf)
+        results.append(
+            FitResult(
+                distribution=model,
+                ks_statistic=ks.statistic,
+                log_likelihood=_log_likelihood(model, data),
+            )
+        )
+    if not results:
+        raise ValueError("no candidate model could be fitted to the data")
+    return min(results, key=lambda result: result.ks_statistic)
+
+
+def _log_likelihood(model: Distribution, data: np.ndarray) -> float:
+    densities = np.maximum(model.pdf(data), 1e-300)
+    return float(np.sum(np.log(densities)))
+
+
+def _normal_pdf(x: np.ndarray, mean: float, std: float) -> np.ndarray:
+    coefficient = 1.0 / (std * math.sqrt(2.0 * math.pi))
+    return coefficient * np.exp(-((x - mean) ** 2) / (2.0 * std**2))
+
+
+def _positive_array(values: Sequence[float]) -> np.ndarray:
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot fit an empty sample")
+    data = data[data > 0]
+    if data.size == 0:
+        raise ValueError("need at least one strictly positive observation")
+    return data

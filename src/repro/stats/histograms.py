@@ -1,0 +1,156 @@
+"""Power-of-two histograms.
+
+Nearly every figure in the paper buckets file sizes into power-of-two bins
+with a special abscissa for zero (Figure 2(c)/(d), Figure 3(b)/(c), Figures 4
+and 5).  :class:`PowerOfTwoHistogram` reproduces that binning and offers the
+fraction-of-count and fraction-of-bytes views the figures plot, plus the
+cumulative curves the MDCC metric compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["power_of_two_bins", "PowerOfTwoHistogram", "depth_histogram"]
+
+
+def power_of_two_bins(max_value: float, include_zero: bool = True) -> np.ndarray:
+    """Return bin edges ``[0, 1, 2, 4, 8, ...]`` covering ``max_value``.
+
+    The paper uses a dedicated zero bin ("a special abscissa for the zero
+    value"); ``include_zero=False`` drops it and starts at 1.
+    """
+    if max_value < 1:
+        max_value = 1
+    top = int(np.ceil(np.log2(max_value))) + 1
+    edges = [float(2**exponent) for exponent in range(0, top + 1)]
+    if include_zero:
+        return np.asarray([0.0] + edges)
+    return np.asarray(edges)
+
+
+@dataclass
+class PowerOfTwoHistogram:
+    """Histogram of values over power-of-two bins.
+
+    Attributes:
+        edges: bin edges, ``edges[i] <= x < edges[i + 1]`` for bin ``i``.
+        counts: number of values per bin.
+        byte_totals: sum of values per bin (for "by containing bytes" views).
+    """
+
+    edges: np.ndarray
+    counts: np.ndarray
+    byte_totals: np.ndarray
+
+    @classmethod
+    def from_values(
+        cls,
+        values: Sequence[float] | np.ndarray,
+        max_value: float | None = None,
+        include_zero: bool = True,
+    ) -> "PowerOfTwoHistogram":
+        """Build a histogram from raw values (e.g. file sizes in bytes)."""
+        data = np.asarray(values, dtype=float)
+        if data.size and np.any(data < 0):
+            raise ValueError("histogram values must be non-negative")
+        if max_value is None:
+            max_value = float(data.max()) if data.size else 1.0
+        edges = power_of_two_bins(max_value, include_zero=include_zero)
+        counts = np.zeros(len(edges) - 1, dtype=float)
+        byte_totals = np.zeros(len(edges) - 1, dtype=float)
+        if data.size:
+            indices = np.clip(np.searchsorted(edges, data, side="right") - 1, 0, len(edges) - 2)
+            np.add.at(counts, indices, 1.0)
+            np.add.at(byte_totals, indices, data)
+        return cls(edges=edges, counts=counts, byte_totals=byte_totals)
+
+    @property
+    def num_bins(self) -> int:
+        return len(self.counts)
+
+    @property
+    def total_count(self) -> float:
+        return float(self.counts.sum())
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.byte_totals.sum())
+
+    def count_fractions(self) -> np.ndarray:
+        """Fraction of values per bin — the '% of files' axis in Figure 2(c)."""
+        total = self.total_count
+        if total == 0:
+            return np.zeros_like(self.counts)
+        return self.counts / total
+
+    def byte_fractions(self) -> np.ndarray:
+        """Fraction of bytes per bin — the '% of bytes' axis in Figure 2(d)."""
+        total = self.total_bytes
+        if total == 0:
+            return np.zeros_like(self.byte_totals)
+        return self.byte_totals / total
+
+    def cumulative_count_fractions(self) -> np.ndarray:
+        return np.cumsum(self.count_fractions())
+
+    def cumulative_byte_fractions(self) -> np.ndarray:
+        return np.cumsum(self.byte_fractions())
+
+    def bin_labels(self) -> list[str]:
+        """Human-readable labels for each bin (``0``, ``[1,2)``, ``[2,4)``, …)."""
+        labels = []
+        for low, high in zip(self.edges[:-1], self.edges[1:]):
+            if low == 0.0 and high == 1.0:
+                labels.append("0")
+            else:
+                labels.append(f"[{_format_bytes(low)},{_format_bytes(high)})")
+        return labels
+
+    def aligned_with(self, other: "PowerOfTwoHistogram") -> tuple["PowerOfTwoHistogram", "PowerOfTwoHistogram"]:
+        """Return copies of self/other padded to a common set of bin edges."""
+        if len(self.edges) >= len(other.edges):
+            long, short = self, other
+            swapped = False
+        else:
+            long, short = other, self
+            swapped = True
+        pad = len(long.counts) - len(short.counts)
+        padded = PowerOfTwoHistogram(
+            edges=long.edges.copy(),
+            counts=np.concatenate([short.counts, np.zeros(pad)]),
+            byte_totals=np.concatenate([short.byte_totals, np.zeros(pad)]),
+        )
+        if swapped:
+            return padded, long
+        return long, padded
+
+
+def _format_bytes(value: float) -> str:
+    """Render a byte count compactly (8, 2K, 512K, 512M, 64G …)."""
+    if value < 1024:
+        return f"{int(value)}"
+    for suffix, scale in (("K", 1024.0), ("M", 1024.0**2), ("G", 1024.0**3), ("T", 1024.0**4)):
+        scaled = value / scale
+        if scaled < 1024:
+            if scaled == int(scaled):
+                return f"{int(scaled)}{suffix}"
+            return f"{scaled:.1f}{suffix}"
+    return f"{value:.3g}"
+
+
+def depth_histogram(depths: Iterable[int], max_depth: int | None = None) -> np.ndarray:
+    """Histogram of namespace depths with bin size 1 (Figure 2(a)/(f))."""
+    data = np.asarray(list(depths), dtype=int)
+    if data.size and np.any(data < 0):
+        raise ValueError("depths must be non-negative")
+    if max_depth is None:
+        max_depth = int(data.max()) if data.size else 0
+    counts = np.zeros(max_depth + 1, dtype=float)
+    if data.size:
+        clipped = np.clip(data, 0, max_depth)
+        np.add.at(counts, clipped, 1.0)
+    return counts

@@ -1,0 +1,164 @@
+"""Piecewise interpolation and extrapolation of binned distributions.
+
+Section 3.5 of the paper: Impressions can generate *new* distribution curves
+for file-system sizes that are absent from the dataset (e.g. a 75 GB curve
+interpolated from 10/50/100 GB curves, or a 125 GB curve extrapolated beyond
+them).  Each power-of-two bin of the curve is treated as an independent
+segment; the bin's fraction is interpolated (linearly, or by any scipy
+``interp1d`` kind) against the file-system size, and the per-bin results are
+re-assembled and re-normalised into the composite curve (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.stats.histograms import PowerOfTwoHistogram
+
+__all__ = ["BinnedDistribution", "PiecewiseInterpolator"]
+
+
+@dataclass(frozen=True)
+class BinnedDistribution:
+    """A distribution expressed as per-bin fractions over shared bin edges."""
+
+    edges: np.ndarray
+    fractions: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.edges) != len(self.fractions) + 1:
+            raise ValueError("edges must have exactly one more element than fractions")
+        if np.any(np.asarray(self.fractions) < -1e-12):
+            raise ValueError("fractions must be non-negative")
+
+    @classmethod
+    def from_histogram(cls, histogram: PowerOfTwoHistogram, by_bytes: bool = False) -> "BinnedDistribution":
+        fractions = histogram.byte_fractions() if by_bytes else histogram.count_fractions()
+        return cls(edges=histogram.edges.copy(), fractions=np.asarray(fractions, dtype=float))
+
+    @classmethod
+    def from_values(
+        cls,
+        values: Sequence[float],
+        max_value: float | None = None,
+        by_bytes: bool = False,
+    ) -> "BinnedDistribution":
+        histogram = PowerOfTwoHistogram.from_values(values, max_value=max_value)
+        return cls.from_histogram(histogram, by_bytes=by_bytes)
+
+    @property
+    def num_bins(self) -> int:
+        return len(self.fractions)
+
+    def normalised(self) -> "BinnedDistribution":
+        total = float(np.sum(self.fractions))
+        if total <= 0:
+            return self
+        return BinnedDistribution(edges=self.edges, fractions=self.fractions / total)
+
+    def cumulative(self) -> np.ndarray:
+        return np.cumsum(self.normalised().fractions)
+
+    def resized(self, num_bins: int) -> "BinnedDistribution":
+        """Pad (with zero bins) or truncate to ``num_bins`` bins."""
+        fractions = np.asarray(self.fractions, dtype=float)
+        if num_bins == self.num_bins:
+            return self
+        if num_bins < self.num_bins:
+            fractions = fractions[:num_bins]
+            edges = self.edges[: num_bins + 1]
+            return BinnedDistribution(edges=edges, fractions=fractions)
+        pad = num_bins - self.num_bins
+        last_edge = self.edges[-1]
+        extra_edges = [last_edge * 2 ** (i + 1) for i in range(pad)]
+        edges = np.concatenate([self.edges, np.asarray(extra_edges)])
+        fractions = np.concatenate([fractions, np.zeros(pad)])
+        return BinnedDistribution(edges=edges, fractions=fractions)
+
+
+class PiecewiseInterpolator:
+    """Interpolate/extrapolate binned distributions across file-system sizes.
+
+    Parameters:
+        curves: mapping from file-system size (any monotone scalar key, e.g.
+            gigabytes) to the :class:`BinnedDistribution` observed at that
+            size.
+        kind: interpolation kind per segment (``linear`` by default; any kind
+            accepted by :func:`scipy.interpolate.interp1d` with enough points).
+    """
+
+    def __init__(self, curves: Mapping[float, BinnedDistribution], kind: str = "linear") -> None:
+        if len(curves) < 2:
+            raise ValueError("piecewise interpolation needs at least two known curves")
+        self._sizes = np.asarray(sorted(curves.keys()), dtype=float)
+        max_bins = max(curve.num_bins for curve in curves.values())
+        self._curves = [curves[size].resized(max_bins).normalised() for size in self._sizes]
+        self._edges = self._curves[-1].edges
+        self._kind = kind
+        # matrix: one row per known FS size, one column per power-of-two bin
+        self._matrix = np.vstack([curve.fractions for curve in self._curves])
+
+    @property
+    def known_sizes(self) -> np.ndarray:
+        return self._sizes.copy()
+
+    @property
+    def num_bins(self) -> int:
+        return self._matrix.shape[1]
+
+    def segment_values(self, bin_index: int) -> np.ndarray:
+        """The data points of an individual segment (one bin across all sizes)."""
+        if not 0 <= bin_index < self.num_bins:
+            raise IndexError(f"bin index {bin_index} out of range")
+        return self._matrix[:, bin_index].copy()
+
+    def interpolate(self, target_size: float) -> BinnedDistribution:
+        """Generate the curve for ``target_size``.
+
+        Sizes inside the known range are interpolated; sizes outside it are
+        linearly extrapolated from the two nearest known curves, exactly as in
+        the paper's 125 GB extrapolation example.
+        """
+        if target_size <= 0:
+            raise ValueError("target file-system size must be positive")
+        fractions = np.empty(self.num_bins, dtype=float)
+        for bin_index in range(self.num_bins):
+            fractions[bin_index] = self._interpolate_segment(bin_index, target_size)
+        fractions = np.clip(fractions, 0.0, None)
+        total = fractions.sum()
+        if total <= 0:
+            raise ValueError("interpolated curve collapsed to zero mass")
+        return BinnedDistribution(edges=self._edges.copy(), fractions=fractions / total)
+
+    def _interpolate_segment(self, bin_index: int, target_size: float) -> float:
+        from scipy.interpolate import interp1d
+
+        values = self._matrix[:, bin_index]
+        if target_size < self._sizes[0]:
+            return _linear_extrapolate(self._sizes[0], values[0], self._sizes[1], values[1], target_size)
+        if target_size > self._sizes[-1]:
+            return _linear_extrapolate(
+                self._sizes[-2], values[-2], self._sizes[-1], values[-1], target_size
+            )
+        if self._kind != "linear" and self._sizes.size < 4:
+            kind = "linear"
+        else:
+            kind = self._kind
+        interpolator = interp1d(self._sizes, values, kind=kind)
+        return float(interpolator(target_size))
+
+    def mdcc_against(self, target_size: float, reference: BinnedDistribution) -> float:
+        """Convenience: MDCC of the generated curve against a reference curve."""
+        generated = self.interpolate(target_size)
+        reference = reference.resized(generated.num_bins).normalised()
+        return float(np.max(np.abs(generated.cumulative() - reference.cumulative())))
+
+
+def _linear_extrapolate(x0: float, y0: float, x1: float, y1: float, x: float) -> float:
+    if x1 == x0:
+        return y0
+    slope = (y1 - y0) / (x1 - x0)
+    return y0 + slope * (x - x0)

@@ -1,0 +1,176 @@
+"""Monte Carlo sampling helpers.
+
+The paper falls back to Monte Carlo methods "for cases where standard
+probability distributions are infeasible": the generative directory model, the
+multiplicative file-depth model and word generation all draw repeatedly from
+discrete weight vectors that change as generation proceeds.  This module
+provides the small, well-tested primitives those loops rely on:
+
+* :func:`sample_discrete` — one draw from an (unnormalised) weight vector;
+* :func:`sample_discrete_many` — vectorised draws from a fixed weight vector;
+* :class:`DynamicWeightedSampler` — draws from a weight vector that supports
+  incremental weight updates in O(log n) via a Fenwick (binary-indexed) tree,
+  which keeps namespace generation close to linear in the number of
+  directories.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["sample_discrete", "sample_discrete_many", "DynamicWeightedSampler"]
+
+
+def sample_discrete(rng: np.random.Generator, weights: Sequence[float]) -> int:
+    """Sample a single index with probability proportional to ``weights``."""
+    w = np.asarray(weights, dtype=float)
+    if w.size == 0:
+        raise ValueError("weights must be non-empty")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return int(rng.choice(w.size, p=w / total))
+
+
+def sample_discrete_many(
+    rng: np.random.Generator, weights: Sequence[float], size: int
+) -> np.ndarray:
+    """Sample ``size`` independent indices from a fixed weight vector."""
+    w = np.asarray(weights, dtype=float)
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    if w.size == 0:
+        raise ValueError("weights must be non-empty")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return rng.choice(w.size, size=size, p=w / total)
+
+
+class DynamicWeightedSampler:
+    """Weighted sampling with O(log n) updates backed by a Fenwick tree.
+
+    Items are integer indices ``0 .. capacity-1``; each carries a non-negative
+    weight.  ``sample`` draws an index with probability proportional to its
+    weight, ``update``/``add`` adjust weights incrementally.  The namespace
+    generator uses this to re-weight a parent directory (C(d)+2 grows by one)
+    after every insertion without rebuilding the whole probability vector.
+    """
+
+    def __init__(self, initial_weights: Sequence[float] | None = None, capacity: int = 0) -> None:
+        if initial_weights is not None:
+            weights = np.asarray(initial_weights, dtype=float)
+            if np.any(weights < 0):
+                raise ValueError("weights must be non-negative")
+            capacity = max(capacity, weights.size)
+        else:
+            weights = np.empty(0, dtype=float)
+        self._capacity = max(capacity, 1)
+        self._size = weights.size
+        self._weights = np.zeros(self._capacity, dtype=float)
+        self._tree = np.zeros(self._capacity + 1, dtype=float)
+        for index, weight in enumerate(weights):
+            if weight:
+                self._tree_update(index, float(weight))
+            self._weights[index] = float(weight)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def total_weight(self) -> float:
+        return self._prefix_sum(self._size)
+
+    def weight(self, index: int) -> float:
+        self._check_index(index)
+        return float(self._weights[index])
+
+    def add(self, weight: float) -> int:
+        """Append a new item and return its index."""
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        if self._size == self._capacity:
+            self._grow()
+        index = self._size
+        self._size += 1
+        self._weights[index] = 0.0
+        if weight:
+            self.update(index, weight)
+        return index
+
+    def update(self, index: int, weight: float) -> None:
+        """Set item ``index`` to ``weight``."""
+        self._check_index(index)
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        delta = weight - self._weights[index]
+        if delta:
+            self._tree_update(index, delta)
+            self._weights[index] = weight
+
+    def increment(self, index: int, delta: float) -> None:
+        """Add ``delta`` to item ``index`` (the common C(d)+2 += 1 case)."""
+        self.update(index, self._weights[index] + delta)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one index with probability proportional to its weight."""
+        total = self.total_weight
+        if total <= 0:
+            raise ValueError("cannot sample: total weight is zero")
+        target = rng.random() * total
+        return self._find_prefix(target)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range (size {self._size})")
+
+    def _grow(self) -> None:
+        new_capacity = max(self._capacity * 2, 16)
+        weights = self._weights[: self._size].copy()
+        self._capacity = new_capacity
+        self._weights = np.zeros(new_capacity, dtype=float)
+        self._tree = np.zeros(new_capacity + 1, dtype=float)
+        self._weights[: weights.size] = weights
+        for index, weight in enumerate(weights):
+            if weight:
+                self._tree_update(index, float(weight))
+
+    # Fenwick tree internals (1-based under the hood).
+    def _tree_update(self, index: int, delta: float) -> None:
+        i = index + 1
+        while i <= self._capacity:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def _prefix_sum(self, count: int) -> float:
+        total = 0.0
+        i = count
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+    def _find_prefix(self, target: float) -> int:
+        """Smallest index whose cumulative weight exceeds ``target``."""
+        position = 0
+        remaining = target
+        bit = 1
+        while bit * 2 <= self._capacity:
+            bit *= 2
+        while bit:
+            next_position = position + bit
+            if next_position <= self._capacity and self._tree[next_position] <= remaining:
+                remaining -= self._tree[next_position]
+                position = next_position
+            bit //= 2
+        index = min(position, self._size - 1)
+        # Skip zero-weight items that can be landed on due to float round-off.
+        while index < self._size - 1 and self._weights[index] == 0.0:
+            index += 1
+        return index

@@ -1,0 +1,27 @@
+"""Workload simulators used by the paper's motivation and case study.
+
+* :mod:`repro.workloads.cache` — a simple buffer-cache model (warm/cold), the
+  "Cached" bar of Figure 1.
+* :mod:`repro.workloads.find` — simulated ``find`` traversal over an image and
+  its simulated disk (Figure 1).
+* :mod:`repro.workloads.grep` — simulated content scan (``grep -r``); depends
+  on both metadata and file content size.
+* :mod:`repro.workloads.search` — the desktop-search case study: Beagle-like
+  and Google-Desktop-for-Linux-like indexers with the policies listed in the
+  paper (Figures 6, 7 and 8).
+"""
+
+from repro.workloads.cache import BufferCache
+from repro.workloads.cas import CasResult, CasSimulator
+from repro.workloads.find import FindSimulator, FindResult
+from repro.workloads.grep import GrepSimulator, GrepResult
+
+__all__ = [
+    "BufferCache",
+    "FindSimulator",
+    "FindResult",
+    "GrepSimulator",
+    "GrepResult",
+    "CasSimulator",
+    "CasResult",
+]

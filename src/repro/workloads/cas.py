@@ -1,0 +1,142 @@
+"""Content-addressable storage (CAS) / deduplication workload.
+
+Section 3.6 of the paper uses CAS as the motivating example for realistic
+content: "When evaluating a CAS-based system, the disk-block traffic and the
+corresponding performance will depend only on the unique content — in this
+case belonging to the largest file in the file system" (when every file holds
+identical bytes, as Postmark generates them).
+
+:class:`CasSimulator` chunks every file of an image (fixed-size or
+content-defined chunking), hashes the chunks, and reports the deduplication
+ratio and the unique-versus-total byte traffic a CAS system would see.  Run it
+against images generated with the single-word content model, the default word
+models, or the similarity-controlled generator to quantify exactly how much
+the content model changes the conclusions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.core.image import FileSystemImage
+
+__all__ = ["CasResult", "CasSimulator"]
+
+
+@dataclass
+class CasResult:
+    """Outcome of ingesting one image into a simulated CAS store."""
+
+    total_bytes: int
+    unique_bytes: int
+    total_chunks: int
+    unique_chunks: int
+    files_ingested: int
+
+    @property
+    def dedup_ratio(self) -> float:
+        """total / unique bytes (1.0 = nothing deduplicated)."""
+        if self.unique_bytes == 0:
+            return 1.0
+        return self.total_bytes / self.unique_bytes
+
+    @property
+    def duplicate_byte_fraction(self) -> float:
+        """Fraction of ingested bytes that were already stored."""
+        if self.total_bytes == 0:
+            return 0.0
+        return 1.0 - self.unique_bytes / self.total_bytes
+
+
+class CasSimulator:
+    """Chunk, hash and deduplicate the contents of a generated image.
+
+    Args:
+        chunk_size: fixed chunk size in bytes (used directly for fixed-size
+            chunking, and as the average target for content-defined chunking).
+        content_defined: use a rolling-hash boundary (content-defined
+            chunking) instead of fixed-size chunks; insertions then shift
+            boundaries instead of re-writing every subsequent chunk.
+        max_file_bytes: files larger than this are truncated for hashing to
+            bound memory (contents are generated lazily per file).
+    """
+
+    def __init__(
+        self,
+        chunk_size: int = 4096,
+        content_defined: bool = False,
+        max_file_bytes: int = 8 * 1024 * 1024,
+    ) -> None:
+        if chunk_size < 64:
+            raise ValueError("chunk_size must be at least 64 bytes")
+        if max_file_bytes < chunk_size:
+            raise ValueError("max_file_bytes must be at least one chunk")
+        self._chunk_size = chunk_size
+        self._content_defined = content_defined
+        self._max_file_bytes = max_file_bytes
+
+    def ingest(self, image: FileSystemImage) -> CasResult:
+        """Ingest every file of the image and measure deduplication."""
+        if image.content_generator is None:
+            raise ValueError("CAS ingestion needs an image generated with content")
+        seen: set[bytes] = set()
+        total_bytes = 0
+        unique_bytes = 0
+        total_chunks = 0
+        files = 0
+        for file_node in image.tree.files:
+            if file_node.size == 0:
+                files += 1
+                continue
+            content = image.file_content(file_node)[: self._max_file_bytes]
+            files += 1
+            for chunk in self._chunks(content):
+                digest = hashlib.sha1(chunk).digest()
+                total_bytes += len(chunk)
+                total_chunks += 1
+                if digest not in seen:
+                    seen.add(digest)
+                    unique_bytes += len(chunk)
+        return CasResult(
+            total_bytes=total_bytes,
+            unique_bytes=unique_bytes,
+            total_chunks=total_chunks,
+            unique_chunks=len(seen),
+            files_ingested=files,
+        )
+
+    def _chunks(self, content: bytes):
+        if not self._content_defined:
+            for offset in range(0, len(content), self._chunk_size):
+                yield content[offset : offset + self._chunk_size]
+            return
+        yield from self._content_defined_chunks(content)
+
+    def _content_defined_chunks(self, content: bytes):
+        """Simple rolling-sum chunker with an average target of ``chunk_size``.
+
+        A boundary is declared whenever the rolling sum of the last 16 bytes
+        hits a mask derived from the target average chunk size; minimum and
+        maximum chunk sizes bound the result (¼× and 4× the target).
+        """
+        target = self._chunk_size
+        mask = max(target - 1, 1)
+        minimum = max(target // 4, 64)
+        maximum = target * 4
+        start = 0
+        window_sum = 0
+        window = bytearray()
+        for index, byte in enumerate(content):
+            window.append(byte)
+            window_sum += byte
+            if len(window) > 16:
+                window_sum -= window.pop(0)
+            length = index - start + 1
+            if length >= minimum and (window_sum * 2654435761) % mask == 0 or length >= maximum:
+                yield content[start : index + 1]
+                start = index + 1
+                window_sum = 0
+                window.clear()
+        if start < len(content):
+            yield content[start:]

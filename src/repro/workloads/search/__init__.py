@@ -1,0 +1,36 @@
+"""Desktop-search case study (Section 4).
+
+The paper evaluates two desktop search applications against generated images:
+open-source **Beagle** and **Google Desktop for Linux (GDL)**.  Neither binary
+is available offline, so this package implements indexers that apply the
+*policies* the paper documents for each engine (depth cutoffs, per-type size
+cutoffs, filter sets, indexing options), plus a cost/size model for the
+resulting index.  The case-study figures only depend on those policies and on
+the generated image, so the reproduction exercises the same questions: which
+files are skipped (Figure 6), how index size depends on content type
+(Figure 7), and how Beagle's indexing options trade time against index size
+(Figure 8).
+
+* :mod:`repro.workloads.search.engine` — the shared indexer machinery.
+* :mod:`repro.workloads.search.beagle` — the Beagle-like engine and its
+  Original / TextCache / DisDir / DisFilter options.
+* :mod:`repro.workloads.search.gdl` — the GDL-like engine.
+* :mod:`repro.workloads.search.assumptions` — measuring how much of an image
+  each documented cutoff misses (Figure 6).
+"""
+
+from repro.workloads.search.assumptions import AssumptionReport, evaluate_assumptions
+from repro.workloads.search.beagle import BeagleIndexOptions, BeagleSearchEngine
+from repro.workloads.search.engine import DesktopSearchEngine, IndexingPolicy, IndexingResult
+from repro.workloads.search.gdl import GoogleDesktopSearchEngine
+
+__all__ = [
+    "DesktopSearchEngine",
+    "IndexingPolicy",
+    "IndexingResult",
+    "BeagleSearchEngine",
+    "BeagleIndexOptions",
+    "GoogleDesktopSearchEngine",
+    "AssumptionReport",
+    "evaluate_assumptions",
+]

@@ -1,0 +1,138 @@
+"""Debunking application assumptions (Figure 6).
+
+For each documented cutoff the paper measures how much of a representative
+image falls on the wrong side: e.g. "GDL: file content < 10 deep — 10% of
+files and 5% of bytes > 10 deep".  :func:`evaluate_assumptions` performs the
+same measurement on any generated image and returns one
+:class:`AssumptionReport` per assumption, so the Figure 6 table regenerates
+directly from an Impressions image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.image import FileSystemImage
+from repro.namespace.tree import FileNode
+from repro.workloads.search.beagle import (
+    BEAGLE_ARCHIVE_CUTOFF,
+    BEAGLE_SCRIPT_CUTOFF,
+    BEAGLE_TEXT_CUTOFF,
+)
+from repro.workloads.search.gdl import GDL_DEPTH_CUTOFF, GDL_TEXT_CUTOFF
+
+__all__ = ["AssumptionReport", "evaluate_assumptions", "DEFAULT_ASSUMPTIONS"]
+
+_TEXT_KINDS = ("text", "html", "document")
+
+
+@dataclass(frozen=True)
+class AssumptionSpec:
+    """One application assumption: which files it applies to and its cutoff."""
+
+    application: str
+    parameter: str
+    applies_to: Callable[[FileNode], bool]
+    missed_by_assumption: Callable[[FileNode], bool]
+
+
+@dataclass
+class AssumptionReport:
+    """How much of an image an assumption misses (one Figure 6 row)."""
+
+    application: str
+    parameter: str
+    affected_files: int
+    missed_files: int
+    affected_bytes: int
+    missed_bytes: int
+
+    @property
+    def missed_file_fraction(self) -> float:
+        return self.missed_files / self.affected_files if self.affected_files else 0.0
+
+    @property
+    def missed_byte_fraction(self) -> float:
+        return self.missed_bytes / self.affected_bytes if self.affected_bytes else 0.0
+
+    def render(self) -> str:
+        return (
+            f"{self.application}: {self.parameter} — "
+            f"{self.missed_file_fraction:.1%} of files and "
+            f"{self.missed_byte_fraction:.1%} of bytes beyond the cutoff"
+        )
+
+
+def _is_text(file_node: FileNode) -> bool:
+    return file_node.content_kind in _TEXT_KINDS
+
+
+def _is_archive(file_node: FileNode) -> bool:
+    return file_node.content_kind == "archive"
+
+
+def _is_script(file_node: FileNode) -> bool:
+    return file_node.content_kind == "script"
+
+
+#: The five assumptions listed in Figure 6.
+DEFAULT_ASSUMPTIONS: tuple[AssumptionSpec, ...] = (
+    AssumptionSpec(
+        application="GDL",
+        parameter=f"File content < {GDL_DEPTH_CUTOFF} deep",
+        applies_to=lambda file_node: True,
+        missed_by_assumption=lambda file_node: file_node.depth > GDL_DEPTH_CUTOFF,
+    ),
+    AssumptionSpec(
+        application="GDL",
+        parameter=f"Text file sizes < {GDL_TEXT_CUTOFF // 1024} KB",
+        applies_to=_is_text,
+        missed_by_assumption=lambda file_node: _is_text(file_node)
+        and file_node.size >= GDL_TEXT_CUTOFF,
+    ),
+    AssumptionSpec(
+        application="Beagle",
+        parameter=f"Text file cutoff < {BEAGLE_TEXT_CUTOFF // (1024 * 1024)} MB",
+        applies_to=_is_text,
+        missed_by_assumption=lambda file_node: _is_text(file_node)
+        and file_node.size >= BEAGLE_TEXT_CUTOFF,
+    ),
+    AssumptionSpec(
+        application="Beagle",
+        parameter=f"Archive files < {BEAGLE_ARCHIVE_CUTOFF // (1024 * 1024)} MB",
+        applies_to=_is_archive,
+        missed_by_assumption=lambda file_node: _is_archive(file_node)
+        and file_node.size >= BEAGLE_ARCHIVE_CUTOFF,
+    ),
+    AssumptionSpec(
+        application="Beagle",
+        parameter=f"Shell scripts < {BEAGLE_SCRIPT_CUTOFF // 1024} KB",
+        applies_to=_is_script,
+        missed_by_assumption=lambda file_node: _is_script(file_node)
+        and file_node.size >= BEAGLE_SCRIPT_CUTOFF,
+    ),
+)
+
+
+def evaluate_assumptions(
+    image: FileSystemImage,
+    assumptions: Sequence[AssumptionSpec] = DEFAULT_ASSUMPTIONS,
+) -> list[AssumptionReport]:
+    """Measure each assumption against a generated image (Figure 6)."""
+    reports: list[AssumptionReport] = []
+    files = image.tree.files
+    for spec in assumptions:
+        affected = [file_node for file_node in files if spec.applies_to(file_node)]
+        missed = [file_node for file_node in affected if spec.missed_by_assumption(file_node)]
+        reports.append(
+            AssumptionReport(
+                application=spec.application,
+                parameter=spec.parameter,
+                affected_files=len(affected),
+                missed_files=len(missed),
+                affected_bytes=sum(file_node.size for file_node in affected),
+                missed_bytes=sum(file_node.size for file_node in missed),
+            )
+        )
+    return reports

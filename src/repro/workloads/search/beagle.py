@@ -1,0 +1,113 @@
+"""Beagle-like desktop search engine (Section 4).
+
+Beagle "supports a large number of file types using 52 search-filters" and
+exposes indexing options that trade index quality against time and space.  The
+paper documents these assumptions (Figure 6):
+
+* text files are only content-indexed below 5 MB,
+* archive files below 10 MB,
+* shell scripts below 20 KB,
+
+and these indexing options (Figure 8):
+
+* **Original** — the default index,
+* **TextCache** — additionally store a text cache of documents used for
+  search-hit snippets,
+* **DisDir** — do not add directories to the index,
+* **DisFilter** — disable all content filtering and index only attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.search.engine import DesktopSearchEngine, IndexingPolicy
+
+__all__ = ["BeagleIndexOptions", "BeagleSearchEngine", "BEAGLE_BASE_POLICY"]
+
+KIB = 1024
+MIB = 1024 * 1024
+
+#: Cutoffs straight from the paper's Figure 6 rows for Beagle.
+BEAGLE_TEXT_CUTOFF = 5 * MIB
+BEAGLE_ARCHIVE_CUTOFF = 10 * MIB
+BEAGLE_SCRIPT_CUTOFF = 20 * KIB
+
+BEAGLE_BASE_POLICY = IndexingPolicy(
+    name="beagle",
+    max_content_depth=None,
+    size_cutoffs={
+        "text": BEAGLE_TEXT_CUTOFF,
+        "html": BEAGLE_TEXT_CUTOFF,
+        "document": BEAGLE_TEXT_CUTOFF,
+        "archive": BEAGLE_ARCHIVE_CUTOFF,
+        "script": BEAGLE_SCRIPT_CUTOFF,
+    },
+    content_kinds=("text", "html", "script", "document"),
+    index_directories=True,
+    content_filtering=True,
+    text_cache=False,
+    # Beagle builds a feature-rich Lucene-style index: more bytes per posting
+    # than GDL and richer per-file records, but it extracts nothing from
+    # binaries.
+    bytes_per_posting=18.0,
+    attribute_record_bytes=320.0,
+    directory_record_bytes=260.0,
+    text_terms_per_kb=22.0,
+    binary_terms_per_kb=0.0,
+    parse_ms_per_mb=38.0,
+)
+
+
+@dataclass(frozen=True)
+class BeagleIndexOptions:
+    """The four indexing configurations compared in Figure 8."""
+
+    text_cache: bool = False
+    disable_directory_indexing: bool = False
+    disable_filtering: bool = False
+
+    @classmethod
+    def original(cls) -> "BeagleIndexOptions":
+        return cls()
+
+    @classmethod
+    def textcache(cls) -> "BeagleIndexOptions":
+        return cls(text_cache=True)
+
+    @classmethod
+    def disdir(cls) -> "BeagleIndexOptions":
+        return cls(disable_directory_indexing=True)
+
+    @classmethod
+    def disfilter(cls) -> "BeagleIndexOptions":
+        return cls(disable_filtering=True)
+
+    @property
+    def label(self) -> str:
+        if self.text_cache:
+            return "TextCache"
+        if self.disable_directory_indexing:
+            return "DisDir"
+        if self.disable_filtering:
+            return "DisFilter"
+        return "Original"
+
+
+class BeagleSearchEngine(DesktopSearchEngine):
+    """Beagle with one of its indexing option sets applied."""
+
+    def __init__(self, options: BeagleIndexOptions | None = None) -> None:
+        options = options or BeagleIndexOptions.original()
+        policy = BEAGLE_BASE_POLICY.with_options(
+            name=f"beagle-{options.label.lower()}",
+            text_cache=options.text_cache,
+            index_directories=not options.disable_directory_indexing,
+            content_filtering=not options.disable_filtering,
+        )
+        super().__init__(policy)
+        self._options = options
+
+    @property
+    def options(self) -> BeagleIndexOptions:
+        return self._options

@@ -1,0 +1,214 @@
+"""Shared desktop-search indexer machinery.
+
+A desktop search engine crawls the namespace, decides per file whether (and
+how much of) its content to index, extracts terms, and stores postings.  An
+:class:`IndexingPolicy` captures the decisions the paper attributes to Beagle
+and GDL — depth cutoffs, per-kind size cutoffs, which kinds get full content
+indexing versus attribute-only indexing — and :class:`DesktopSearchEngine`
+turns a policy plus a generated image into:
+
+* the set of files whose *content* was indexed (versus attribute-only or
+  skipped entirely),
+* an estimated index size, built from a simple postings model (terms ×
+  per-posting overhead, plus per-file metadata records, plus an optional text
+  cache), and
+* an estimated indexing time (crawl + read + parse costs).
+
+The absolute numbers are a model, but the *relative* behaviour across content
+types and indexing options — which is all Figures 7 and 8 compare — follows
+directly from the policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.core.image import FileSystemImage
+from repro.namespace.tree import FileNode
+
+__all__ = ["IndexingPolicy", "IndexingResult", "DesktopSearchEngine"]
+
+MIB = 1024.0 * 1024.0
+
+
+@dataclass(frozen=True)
+class IndexingPolicy:
+    """What a desktop search engine indexes and how.
+
+    Attributes:
+        name: engine name for reports.
+        max_content_depth: do not index *content* of files deeper than this
+            namespace depth (None = no limit).  GDL uses 10.
+        size_cutoffs: per content-kind size cutoffs in bytes; files of that
+            kind at or above the cutoff get attribute-only treatment.
+        content_kinds: kinds whose content is indexed at all (others are
+            attribute-only even below the cutoffs).
+        index_directories: whether directories get index entries (Beagle's
+            DisDir option turns this off).
+        content_filtering: whether file content is parsed at all; when False
+            only attributes are indexed (Beagle's DisFilter option).
+        text_cache: store a snippet cache of every indexed document (Beagle's
+            TextCache option) — increases index size substantially.
+        bytes_per_posting: index bytes per distinct term occurrence.
+        attribute_record_bytes: index bytes per file for metadata/attributes.
+        directory_record_bytes: index bytes per directory entry.
+        text_terms_per_kb: distinct terms per KiB of text content.
+        binary_terms_per_kb: distinct terms per KiB of binary content the
+            engine manages to extract (GDL extracts strings from binaries, so
+            its value is non-zero and larger than Beagle's).
+        text_cache_fraction: fraction of text bytes copied into the text
+            cache when ``text_cache`` is enabled.
+        crawl_ms_per_directory: crawl CPU cost per directory.
+        read_ms_per_mb: cost of reading one MiB of file data.
+        parse_ms_per_mb: cost of parsing one MiB of indexed content.
+    """
+
+    name: str
+    max_content_depth: int | None = None
+    size_cutoffs: Mapping[str, int] = field(default_factory=dict)
+    content_kinds: tuple[str, ...] = ("text", "html", "script", "document")
+    index_directories: bool = True
+    content_filtering: bool = True
+    text_cache: bool = False
+    bytes_per_posting: float = 14.0
+    attribute_record_bytes: float = 220.0
+    directory_record_bytes: float = 180.0
+    text_terms_per_kb: float = 18.0
+    binary_terms_per_kb: float = 0.0
+    text_cache_fraction: float = 0.25
+    crawl_ms_per_directory: float = 0.4
+    read_ms_per_mb: float = 11.0
+    parse_ms_per_mb: float = 30.0
+
+    def with_options(self, **overrides) -> "IndexingPolicy":
+        """A copy of this policy with fields replaced (used for Beagle options)."""
+        return replace(self, **overrides)
+
+
+@dataclass
+class IndexingResult:
+    """Outcome of indexing one image with one policy."""
+
+    policy_name: str
+    files_seen: int
+    files_content_indexed: int
+    files_attribute_only: int
+    files_skipped: int
+    directories_indexed: int
+    index_size_bytes: float
+    indexing_time_ms: float
+    fs_size_bytes: int
+
+    @property
+    def index_to_fs_ratio(self) -> float:
+        """Index size / file-system size — the y-axis of Figure 7."""
+        if self.fs_size_bytes == 0:
+            return 0.0
+        return self.index_size_bytes / self.fs_size_bytes
+
+    @property
+    def content_coverage(self) -> float:
+        """Fraction of files whose content made it into the index."""
+        if self.files_seen == 0:
+            return 0.0
+        return self.files_content_indexed / self.files_seen
+
+
+class DesktopSearchEngine:
+    """A policy-driven desktop search indexer."""
+
+    def __init__(self, policy: IndexingPolicy) -> None:
+        self._policy = policy
+
+    @property
+    def policy(self) -> IndexingPolicy:
+        return self._policy
+
+    # Per-file decisions -----------------------------------------------------
+
+    def indexes_content_of(self, file_node: FileNode) -> bool:
+        """Whether this engine indexes the *content* of the given file."""
+        policy = self._policy
+        if not policy.content_filtering:
+            return False
+        if policy.max_content_depth is not None and file_node.depth > policy.max_content_depth:
+            return False
+        kind = file_node.content_kind
+        if kind not in policy.content_kinds and policy.binary_terms_per_kb <= 0:
+            return False
+        cutoff = policy.size_cutoffs.get(kind)
+        if cutoff is not None and file_node.size >= cutoff:
+            return False
+        return True
+
+    def index(self, image: FileSystemImage) -> IndexingResult:
+        """Index a generated image and model the resulting index."""
+        policy = self._policy
+        tree = image.tree
+
+        index_size = 0.0
+        time_ms = 0.0
+        content_indexed = 0
+        attribute_only = 0
+        skipped = 0
+
+        directories = tree.directory_count
+        time_ms += directories * policy.crawl_ms_per_directory
+        directories_indexed = 0
+        if policy.index_directories:
+            directories_indexed = directories
+            index_size += directories * policy.directory_record_bytes
+
+        for file_node in tree.files:
+            # Every file the crawler sees costs an attribute record.
+            index_size += policy.attribute_record_bytes
+            if self.indexes_content_of(file_node):
+                content_indexed += 1
+                index_size += self._content_index_bytes(file_node, image)
+                megabytes = file_node.size / MIB
+                time_ms += megabytes * (policy.read_ms_per_mb + policy.parse_ms_per_mb)
+            elif self._is_visible(file_node):
+                attribute_only += 1
+                time_ms += 0.05
+            else:
+                skipped += 1
+
+        return IndexingResult(
+            policy_name=policy.name,
+            files_seen=tree.file_count,
+            files_content_indexed=content_indexed,
+            files_attribute_only=attribute_only,
+            files_skipped=skipped,
+            directories_indexed=directories_indexed,
+            index_size_bytes=index_size,
+            indexing_time_ms=time_ms,
+            fs_size_bytes=tree.total_bytes,
+        )
+
+    # Internal helpers ---------------------------------------------------------
+
+    def _is_visible(self, file_node: FileNode) -> bool:
+        policy = self._policy
+        if policy.max_content_depth is not None and file_node.depth > policy.max_content_depth:
+            return False
+        return True
+
+    def _content_index_bytes(self, file_node: FileNode, image: FileSystemImage) -> float:
+        policy = self._policy
+        kind = file_node.content_kind
+        kib = file_node.size / 1024.0
+        if kind in policy.content_kinds:
+            terms = kib * policy.text_terms_per_kb
+            # Degenerate content (single repeated word) collapses the postings
+            # list: ask the content generator for its unique-word estimate.
+            if image.content_generator is not None:
+                unique = image.content_generator.unique_word_estimate(file_node.size)
+                terms = min(terms, unique)
+            size = terms * policy.bytes_per_posting
+            if policy.text_cache:
+                size += file_node.size * policy.text_cache_fraction
+            return size
+        # Non-text content: only engines with a binary term rate extract here.
+        terms = kib * policy.binary_terms_per_kb
+        return terms * policy.bytes_per_posting

@@ -1,0 +1,57 @@
+"""Google Desktop for Linux (GDL)-like search engine (Section 4).
+
+GDL exposes far fewer knobs than Beagle; the paper documents two hard-coded
+policies (Figure 6):
+
+* file *content* is only indexed for files fewer than 10 directories deep
+  ("GDL limits its index to only those files less than ten directories deep;
+  our analysis of typical file systems indicates that this restriction causes
+  10% of all files to be missed"), and
+* text files are only content-indexed below 200 KB.
+
+GDL's index is more compact per posting than Beagle's for plain text, but it
+extracts searchable strings from binary files, which is why the relative
+ordering of index sizes between the two engines flips between text and binary
+images (Figure 7).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.search.engine import DesktopSearchEngine, IndexingPolicy
+
+__all__ = ["GoogleDesktopSearchEngine", "GDL_BASE_POLICY"]
+
+KIB = 1024
+
+#: Cutoffs straight from the paper's Figure 6 rows for GDL.
+GDL_DEPTH_CUTOFF = 10
+GDL_TEXT_CUTOFF = 200 * KIB
+
+GDL_BASE_POLICY = IndexingPolicy(
+    name="gdl",
+    max_content_depth=GDL_DEPTH_CUTOFF,
+    size_cutoffs={
+        "text": GDL_TEXT_CUTOFF,
+        "html": GDL_TEXT_CUTOFF,
+        "document": GDL_TEXT_CUTOFF,
+        "script": GDL_TEXT_CUTOFF,
+    },
+    content_kinds=("text", "html", "script", "document"),
+    index_directories=True,
+    content_filtering=True,
+    text_cache=False,
+    # Compact index for text, but it does extract strings from binaries.
+    bytes_per_posting=10.0,
+    attribute_record_bytes=180.0,
+    directory_record_bytes=140.0,
+    text_terms_per_kb=16.0,
+    binary_terms_per_kb=2.5,
+    parse_ms_per_mb=26.0,
+)
+
+
+class GoogleDesktopSearchEngine(DesktopSearchEngine):
+    """GDL with the documented depth and size cutoffs."""
+
+    def __init__(self, policy: IndexingPolicy | None = None) -> None:
+        super().__init__(policy or GDL_BASE_POLICY)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.content.generators import ContentPolicy
+from repro.core.config import ImpressionsConfig
+from repro.core.impressions import Impressions
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for test sampling."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_config() -> ImpressionsConfig:
+    """A small but non-trivial image configuration used across tests."""
+    return ImpressionsConfig(
+        fs_size_bytes=64 * 1024 * 1024,
+        num_files=600,
+        num_directories=120,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_image(small_config):
+    """One generated small image, shared (read-only) across the session."""
+    return Impressions(small_config).generate()
+
+
+@pytest.fixture(scope="session")
+def content_image():
+    """A small image generated with content enabled (hybrid word model)."""
+    config = ImpressionsConfig(
+        fs_size_bytes=8 * 1024 * 1024,
+        num_files=150,
+        num_directories=30,
+        seed=11,
+        generate_content=True,
+        content=ContentPolicy(text_model="hybrid"),
+    )
+    return Impressions(config).generate()

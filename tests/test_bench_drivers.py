@@ -1,0 +1,219 @@
+"""Smoke and shape tests for the experiment drivers in repro.bench.
+
+The full-scale runs live under benchmarks/; here each driver is exercised at a
+small scale to check that it runs, returns the documented structure, and that
+the headline qualitative results (who wins, what direction) hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    ablations,
+    fig1_find,
+    fig2_accuracy,
+    fig3_constraints,
+    fig4_interpolation,
+    fig5_interpolation,
+    fig6_assumptions,
+    fig7_index_size,
+    fig8_beagle_options,
+    table1_prior_work,
+    table3_mdcc,
+    table4_constraints,
+    table6_performance,
+)
+from repro.bench.common import format_rows, scaled_default_config
+
+
+class TestCommon:
+    def test_scaled_config_bounds(self):
+        config = scaled_default_config(scale=0.01)
+        assert config.num_files >= 50
+        assert config.num_directories >= 10
+        with pytest.raises(ValueError):
+            scaled_default_config(scale=0.0)
+
+    def test_scaled_config_full_scale_matches_paper(self):
+        config = scaled_default_config(scale=1.0)
+        assert config.num_files == 20_000
+        assert config.num_directories == 4_000
+
+    def test_format_rows_alignment(self):
+        table = format_rows(["a", "bbbb"], [[1, 2.5], ["xx", "y"]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 6
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig1_find.run(num_files=400, seed=5)
+
+    def test_all_conditions_present(self, result):
+        assert set(result["relative_overhead"]) == set(fig1_find.CONDITIONS)
+
+    def test_qualitative_shape(self, result):
+        relative = result["relative_overhead"]
+        assert relative["Original"] == pytest.approx(1.0)
+        assert relative["Cached"] < 0.1
+        assert relative["Flat Tree"] < 1.0
+        assert relative["Deep Tree"] > 1.2
+        assert relative["Fragmented"] > 1.05
+        # Roughly a 3x spread between flat and deep (the paper's headline).
+        assert relative["Deep Tree"] / relative["Flat Tree"] > 2.0
+
+    def test_fragmented_layout_score_near_target(self, result):
+        assert result["layout_scores"]["Fragmented"] == pytest.approx(0.95, abs=0.03)
+
+    def test_format_table(self, result):
+        table = fig1_find.format_table(result)
+        assert "Deep Tree" in table and "relative overhead" in table
+
+
+class TestFig2AndTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2_accuracy.run(scale=0.05, seed=8)
+
+    def test_mdcc_keys(self, result):
+        assert set(result["mdcc"]) >= {
+            "directory_count_with_depth",
+            "file_size_by_count",
+            "file_size_by_bytes",
+            "extension_popularity",
+            "file_count_with_depth",
+        }
+
+    def test_accuracy_is_reasonable_at_small_scale(self, result):
+        # The paper reports a few percent at 20k files; at 1k files sampling
+        # noise dominates but the distributions still clearly match.
+        assert result["mdcc"]["file_size_by_count"] < 0.1
+        assert result["mdcc"]["extension_popularity"] < 0.1
+        assert result["mdcc"]["directory_count_with_depth"] < 0.35
+        assert result["mdcc"]["file_count_with_depth"] < 0.35
+
+    def test_curve_lengths_aligned(self, result):
+        assert len(result["desired"]["files_by_size"]) == len(result["generated"]["files_by_size"])
+
+    def test_format_table(self, result):
+        assert "MDCC" in fig2_accuracy.format_table(result)
+
+    def test_table3_averages(self):
+        result = table3_mdcc.run(trials=2, scale=0.03, seed=3)
+        assert result["trials"] == 2
+        assert set(result["average_mdcc"]) == set(result["std_mdcc"])
+        assert "Table 3" in table3_mdcc.format_table(result)
+
+
+class TestFig3AndTable4:
+    def test_fig3_convergence(self):
+        result = fig3_constraints.run(num_files=300, target_sum=300 * 60.0, trials=2, seed=4)
+        assert len(result["traces"]) == 2
+        assert result["converged_fraction"] > 0
+        assert len(result["original_files_by_size"]) == len(result["constrained_files_by_size"])
+        assert "Figure 3" in fig3_constraints.format_table(result)
+
+    def test_table4_rows(self):
+        result = table4_constraints.run(
+            target_sums=(150 * 60.0,), num_files=150, trials=2, seed=4
+        )
+        row = result["rows"][150 * 60.0]
+        assert row["trials"] == 2
+        assert row["avg_final_beta"] <= row["avg_initial_beta"] + 1e-9
+        assert "Table 4" in table4_constraints.format_table(result)
+
+
+class TestInterpolationBenches:
+    def test_fig4_segments(self):
+        result = fig4_interpolation.run(target_size_gib=75.0, max_files_per_snapshot=400)
+        assert result["num_bins"] == len(result["composite_fractions"])
+        assert sum(result["composite_fractions"]) == pytest.approx(1.0)
+        assert "Figure 4" in fig4_interpolation.format_table(result)
+
+    def test_fig5_accuracy_and_table5(self):
+        result = fig5_interpolation.run(max_files_per_snapshot=800, seed=77)
+        views = result["results"]
+        assert set(views) == {"files_by_count", "files_by_bytes"}
+        for per_target in views.values():
+            assert set(per_target) == {75.0, 125.0}
+            for stats in per_target.values():
+                assert 0.0 <= stats["ks_statistic"] <= 1.0
+        # The by-count curves interpolate well (paper: D ~= 0.05-0.08).
+        assert views["files_by_count"][75.0]["mdcc"] < 0.2
+        assert "Table 5" in fig5_interpolation.format_table(result)
+
+
+class TestCaseStudyBenches:
+    def test_table6_breakdown(self):
+        result = table6_performance.run(scale=0.01, include_content_row=False)
+        for image_key in ("image1", "image2"):
+            timings = result[image_key]["timings_s"]
+            assert timings["total"] > 0
+            assert timings["total"] >= timings["on_disk_creation"]
+        assert result["image2"]["summary"]["files"] >= result["image1"]["summary"]["files"]
+        assert "Table 6" in table6_performance.format_table(result)
+
+    def test_fig6_assumptions(self):
+        result = fig6_assumptions.run(scale=0.05, seed=6)
+        assert len(result["assumptions"]) == 5
+        for entry in result["assumptions"]:
+            assert 0.0 <= entry["missed_file_fraction"] <= 1.0
+        gdl_depth = result["assumptions"][0]
+        assert gdl_depth["application"] == "GDL"
+        assert "Figure 6" in fig6_assumptions.format_table(result)
+
+    def test_fig7_ordering_flips_with_content(self):
+        result = fig7_index_size.run(scale=0.02, seed=6)
+        scenarios = result["scenarios"]
+        assert set(scenarios) == set(fig7_index_size.CONTENT_SCENARIOS)
+        model_text = scenarios["Text (Model)"]
+        binary = scenarios["Binary"]
+        assert model_text["beagle"]["index_to_fs_ratio"] > model_text["gdl"]["index_to_fs_ratio"]
+        assert binary["gdl"]["index_to_fs_ratio"] > binary["beagle"]["index_to_fs_ratio"]
+        assert "Figure 7" in fig7_index_size.format_table(result)
+
+    def test_fig8_option_shape(self):
+        result = fig8_beagle_options.run(scale=0.02, seed=6)
+        relative_size = result["relative_size"]
+        assert relative_size["Original"]["Default"] == pytest.approx(1.0)
+        # TextCache grows the text-image index; DisFilter shrinks every index.
+        assert relative_size["TextCache"]["Text"] > relative_size["Original"]["Text"]
+        assert relative_size["DisFilter"]["Default"] < relative_size["Original"]["Default"]
+        assert relative_size["DisDir"]["Default"] < relative_size["Original"]["Default"]
+        assert "Figure 8" in fig8_beagle_options.format_table(result)
+
+
+class TestTable1AndAblations:
+    def test_table1_static_data(self):
+        result = table1_prior_work.run()
+        assert result["num_entries"] == 13
+        assert result["with_description"] == 12
+        table = table1_prior_work.format_table(result)
+        assert "Postmark" not in table  # motivation table lists systems, not benchmarks
+        assert "PAST" in table
+
+    def test_size_model_ablation(self):
+        result = ablations.run_size_model_ablation(num_files=800, seed=5)
+        assert set(result) == {"hybrid", "simple-lognormal"}
+        assert "Ablation" in ablations.format_size_model_table(result)
+
+    def test_depth_model_ablation(self):
+        result = ablations.run_depth_model_ablation(num_files=500, seed=5)
+        assert set(result) == {"multiplicative", "poisson-only"}
+        assert "depth" in ablations.format_depth_model_table(result)
+
+    def test_subset_sum_ablation(self):
+        result = ablations.run_subset_sum_ablation(pool_size=300, subset_size=250, trials=3)
+        assert (
+            result["with-improvement"]["mean_relative_error"]
+            <= result["without-improvement"]["mean_relative_error"] + 1e-12
+        )
+
+    def test_content_model_ablation(self):
+        result = ablations.run_content_model_ablation(bytes_per_model=50_000)
+        assert result["single-word"]["unique_words"] <= 2
+        assert result["word-length"]["unique_words"] > result["word-popularity"]["unique_words"]
+        assert "content model" in ablations.format_content_model_table(result)

@@ -1,0 +1,143 @@
+"""Unit tests for the multi-constraint resolver (Section 3.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints.resolver import (
+    ConstraintResolutionError,
+    ConstraintResolver,
+    ConstraintSpec,
+    summarize_trials,
+)
+from repro.stats.distributions import LognormalDistribution
+
+#: Rescaled Figure 3 example: E[sum of num_values samples] ≈ 60 per value.
+EXAMPLE_DISTRIBUTION = LognormalDistribution(mu=1.07, sigma=2.46)
+
+
+def _spec(**overrides) -> ConstraintSpec:
+    defaults = dict(
+        num_values=200,
+        target_sum=200 * 60.0,
+        distribution=EXAMPLE_DISTRIBUTION,
+        beta=0.05,
+        max_oversampling_factor=1.0,
+        max_restarts=3,
+    )
+    defaults.update(overrides)
+    return ConstraintSpec(**defaults)
+
+
+class TestConstraintSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _spec(num_values=0)
+        with pytest.raises(ValueError):
+            _spec(target_sum=0.0)
+        with pytest.raises(ValueError):
+            _spec(beta=1.5)
+        with pytest.raises(ValueError):
+            _spec(max_oversampling_factor=0.0)
+        with pytest.raises(ValueError):
+            _spec(max_restarts=0)
+
+
+class TestResolution:
+    def test_resolves_reachable_target(self, rng):
+        result = ConstraintResolver(_spec(), rng).resolve()
+        assert result.converged
+        assert result.final_beta <= 0.05
+        assert result.values.size == 200
+        assert abs(result.values.sum() - 200 * 60.0) <= 0.05 * 200 * 60.0
+
+    def test_constrained_sample_still_follows_distribution(self):
+        # The realistic use case: the requested FS size is plausible for the
+        # requested file count (here: 5% above what this seed's own sample
+        # sums to), so the resolver only needs mild adjustments and must not
+        # distort the distribution while making them.
+        seed = 12345
+        typical_sum = float(EXAMPLE_DISTRIBUTION.sample(np.random.default_rng(seed), 400).sum())
+        result = ConstraintResolver(
+            _spec(num_values=400, target_sum=typical_sum * 1.05),
+            np.random.default_rng(seed),
+        ).resolve()
+        assert result.converged
+        assert result.ks_passed
+        assert result.ks_statistic_vs_initial < 0.15
+
+    def test_initial_beta_recorded(self, rng):
+        result = ConstraintResolver(_spec(), rng).resolve()
+        assert result.initial_beta >= 0.0
+
+    def test_oversampling_factor_bounded_by_lambda(self, rng):
+        spec = _spec(max_oversampling_factor=0.2)
+        result = ConstraintResolver(spec, rng).resolve()
+        assert result.oversampling_factor <= 0.2 + 1e-9
+
+    def test_trace_records_convergence(self, rng):
+        result = ConstraintResolver(_spec(), rng).resolve()
+        assert len(result.trace.sums) >= 1
+        assert result.trace.sums[0] > 0
+        # The initial beta corresponds to the first recorded sum.
+        target = 200 * 60.0
+        assert abs(result.trace.sums[0] - target) / target == pytest.approx(
+            result.initial_beta, abs=1e-9
+        )
+
+    def test_easy_target_converges_without_oversampling(self, rng):
+        # Target equal to whatever the raw sample sums to converges instantly.
+        sample = EXAMPLE_DISTRIBUTION.sample(np.random.default_rng(1), 100)
+        spec = _spec(num_values=100, target_sum=float(sample.sum()), beta=0.5)
+        result = ConstraintResolver(spec, np.random.default_rng(1)).resolve()
+        assert result.converged
+        assert result.oversampling_factor == 0.0
+
+    def test_unreachable_target_reports_failure(self):
+        # A target 100x above the expected sum cannot be met within lambda=0.05.
+        spec = _spec(
+            num_values=50,
+            target_sum=50 * 60.0 * 100,
+            max_oversampling_factor=0.05,
+            max_restarts=2,
+        )
+        result = ConstraintResolver(spec, np.random.default_rng(3)).resolve()
+        assert not result.converged
+        assert result.final_beta > 0.05
+
+    def test_unreachable_target_raises_when_asked(self):
+        spec = _spec(
+            num_values=50,
+            target_sum=50 * 60.0 * 100,
+            max_oversampling_factor=0.05,
+            max_restarts=2,
+        )
+        with pytest.raises(ConstraintResolutionError):
+            ConstraintResolver(spec, np.random.default_rng(3)).resolve(raise_on_failure=True)
+
+    def test_values_are_positive(self, rng):
+        result = ConstraintResolver(_spec(), rng).resolve()
+        assert np.all(result.values > 0)
+
+    def test_reproducible_given_seed(self):
+        a = ConstraintResolver(_spec(), np.random.default_rng(42)).resolve()
+        b = ConstraintResolver(_spec(), np.random.default_rng(42)).resolve()
+        assert np.array_equal(a.values, b.values)
+        assert a.final_beta == b.final_beta
+
+
+class TestSummarizeTrials:
+    def test_aggregates_over_trials(self):
+        results = [
+            ConstraintResolver(_spec(num_values=100, target_sum=100 * 60.0), np.random.default_rng(seed)).resolve()
+            for seed in range(4)
+        ]
+        summary = summarize_trials(results)
+        assert summary["trials"] == 4
+        assert 0.0 <= summary["success_rate"] <= 1.0
+        assert summary["avg_final_beta"] <= summary["avg_initial_beta"] + 1e-9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_trials([])

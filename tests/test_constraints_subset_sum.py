@@ -1,0 +1,86 @@
+"""Unit tests for the fixed-cardinality subset-sum approximation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints.subset_sum import solve_fixed_size_subset_sum
+
+
+class TestSolveFixedSizeSubsetSum:
+    def test_exact_subset_found_for_easy_instance(self, rng):
+        values = np.asarray([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        solution = solve_fixed_size_subset_sum(values, subset_size=3, target_sum=9.0, rng=rng)
+        assert solution.size == 3
+        assert solution.achieved_sum == pytest.approx(9.0, abs=1.0)
+
+    def test_cardinality_always_respected(self, rng):
+        values = rng.lognormal(5.0, 2.0, size=300)
+        solution = solve_fixed_size_subset_sum(values, subset_size=120, target_sum=float(values.sum() / 3), rng=rng)
+        assert solution.size == 120
+        assert len(set(solution.indices.tolist())) == 120
+
+    def test_indices_point_into_pool(self, rng):
+        values = rng.lognormal(3.0, 1.0, size=50)
+        solution = solve_fixed_size_subset_sum(values, subset_size=10, target_sum=100.0, rng=rng)
+        assert solution.indices.min() >= 0
+        assert solution.indices.max() < 50
+        assert solution.achieved_sum == pytest.approx(values[solution.indices].sum())
+
+    def test_relative_error_definition(self, rng):
+        values = np.asarray([10.0, 20.0, 30.0])
+        solution = solve_fixed_size_subset_sum(values, subset_size=2, target_sum=40.0, rng=rng)
+        assert solution.relative_error == pytest.approx(
+            abs(solution.achieved_sum - 40.0) / 40.0
+        )
+
+    def test_improvement_reduces_error(self, rng):
+        """With improvement passes the error is no worse than without."""
+        values = np.random.default_rng(3).lognormal(6.0, 2.0, size=400)
+        target = float(np.sort(values)[:150].sum() * 1.2)
+        without = solve_fixed_size_subset_sum(
+            values, 150, target, np.random.default_rng(7), max_improvement_passes=0
+        )
+        with_improvement = solve_fixed_size_subset_sum(
+            values, 150, target, np.random.default_rng(7), max_improvement_passes=3
+        )
+        assert with_improvement.relative_error <= without.relative_error + 1e-12
+
+    def test_close_target_reached_with_heavy_tailed_pool(self):
+        rng = np.random.default_rng(11)
+        values = rng.lognormal(4.0, 2.46, size=1_000)
+        target = float(np.median(values) * 500)
+        solution = solve_fixed_size_subset_sum(values, 500, target, rng)
+        assert solution.relative_error < 0.05
+
+    def test_subset_size_larger_than_pool_rejected(self, rng):
+        with pytest.raises(ValueError):
+            solve_fixed_size_subset_sum(np.asarray([1.0, 2.0]), 3, 3.0, rng)
+
+    def test_non_positive_subset_size_rejected(self, rng):
+        with pytest.raises(ValueError):
+            solve_fixed_size_subset_sum(np.asarray([1.0]), 0, 1.0, rng)
+
+    def test_non_positive_target_rejected(self, rng):
+        with pytest.raises(ValueError):
+            solve_fixed_size_subset_sum(np.asarray([1.0]), 1, 0.0, rng)
+
+    def test_whole_pool_selection(self, rng):
+        values = np.asarray([5.0, 5.0, 5.0])
+        solution = solve_fixed_size_subset_sum(values, 3, 15.0, rng)
+        assert solution.relative_error == pytest.approx(0.0)
+
+    def test_swaps_counted(self):
+        rng = np.random.default_rng(2)
+        values = rng.lognormal(5.0, 2.0, size=200)
+        target = float(np.sort(values)[:80].sum() * 1.3)
+        solution = solve_fixed_size_subset_sum(values, 80, target, rng)
+        assert solution.swaps >= 0
+
+    def test_deterministic_given_rng_state(self):
+        values = np.random.default_rng(0).lognormal(5.0, 1.5, size=120)
+        a = solve_fixed_size_subset_sum(values, 40, 2_000.0, np.random.default_rng(5))
+        b = solve_fixed_size_subset_sum(values, 40, 2_000.0, np.random.default_rng(5))
+        assert np.array_equal(a.indices, b.indices)
+        assert a.achieved_sum == b.achieved_sum

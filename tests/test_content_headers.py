@@ -1,0 +1,66 @@
+"""Unit tests for synthetic typed-file headers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.content.headers import (
+    SUPPORTED_TYPED_EXTENSIONS,
+    minimum_typed_size,
+    typed_header_footer,
+)
+
+
+class TestHeaderCatalogue:
+    def test_paper_mentioned_types_supported(self):
+        # The formats the paper generates via third-party tools (§3.6).
+        for extension in ("mp3", "gif", "jpg", "pdf", "htm"):
+            assert extension in SUPPORTED_TYPED_EXTENSIONS
+
+    def test_unknown_extension_has_no_header(self):
+        header, footer = typed_header_footer("xyz")
+        assert header == b"" and footer == b""
+
+    def test_extension_normalisation(self):
+        assert typed_header_footer(".JPG") == typed_header_footer("jpg")
+
+    def test_minimum_size_matches_header_plus_footer(self):
+        for extension in SUPPORTED_TYPED_EXTENSIONS:
+            header, footer = typed_header_footer(extension)
+            assert minimum_typed_size(extension) == len(header) + len(footer)
+            assert minimum_typed_size(extension) > 0
+
+
+class TestMagicNumbers:
+    @pytest.mark.parametrize(
+        "extension,magic",
+        [
+            ("mp3", b"ID3"),
+            ("gif", b"GIF89a"),
+            ("jpg", b"\xff\xd8"),
+            ("png", b"\x89PNG"),
+            ("pdf", b"%PDF"),
+            ("htm", b"<!DOCTYPE html>"),
+            ("zip", b"PK\x03\x04"),
+            ("exe", b"MZ"),
+            ("dll", b"MZ"),
+            ("doc", b"\xd0\xcf\x11\xe0"),
+            ("wav", b"RIFF"),
+            ("avi", b"RIFF"),
+        ],
+    )
+    def test_header_starts_with_magic(self, extension, magic):
+        header, _ = typed_header_footer(extension)
+        assert header.startswith(magic)
+
+    @pytest.mark.parametrize(
+        "extension,trailer",
+        [("gif", b"\x3b"), ("jpg", b"\xff\xd9"), ("pdf", b"%%EOF\n"), ("png", b"IEND")],
+    )
+    def test_footer_carries_trailer(self, extension, trailer):
+        _, footer = typed_header_footer(extension)
+        assert trailer in footer
+
+    def test_mp4_ftyp_box(self):
+        header, _ = typed_header_footer("mp4")
+        assert b"ftyp" in header

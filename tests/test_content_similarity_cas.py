@@ -1,0 +1,132 @@
+"""Tests for controlled content similarity and the CAS/dedup workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.content.generators import ContentGenerator, ContentPolicy
+from repro.content.similarity import SimilarityContentGenerator, SimilarityProfile
+from repro.core.config import ImpressionsConfig
+from repro.core.impressions import Impressions
+from repro.workloads.cas import CasSimulator
+
+
+class TestSimilarityProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimilarityProfile(duplicate_fraction=1.5)
+        with pytest.raises(ValueError):
+            SimilarityProfile(chunk_size=1)
+        with pytest.raises(ValueError):
+            SimilarityProfile(pool_chunks=0)
+
+
+class TestSimilarityContentGenerator:
+    def test_exact_size(self, rng):
+        generator = SimilarityContentGenerator(SimilarityProfile(duplicate_fraction=0.5))
+        for size in (0, 1, 4095, 4096, 4097, 100_000):
+            assert len(generator.generate(size, rng)) == size
+
+    def test_zero_duplicate_fraction_gives_unique_chunks(self, rng):
+        generator = SimilarityContentGenerator(SimilarityProfile(duplicate_fraction=0.0))
+        a = generator.generate(64 * 1024, rng)
+        b = generator.generate(64 * 1024, rng)
+        chunks_a = {a[i : i + 4096] for i in range(0, len(a), 4096)}
+        chunks_b = {b[i : i + 4096] for i in range(0, len(b), 4096)}
+        assert not (chunks_a & chunks_b)
+
+    def test_full_duplication_uses_pool_only(self, rng):
+        profile = SimilarityProfile(duplicate_fraction=1.0, pool_chunks=4)
+        generator = SimilarityContentGenerator(profile)
+        content = generator.generate(40 * 4096, rng)
+        distinct = {content[i : i + 4096] for i in range(0, len(content), 4096)}
+        assert len(distinct) <= 4
+
+    def test_same_pool_seed_shares_bytes_across_generators(self, rng):
+        profile = SimilarityProfile(duplicate_fraction=1.0, pool_chunks=1)
+        a = SimilarityContentGenerator(profile, pool_seed=3)
+        b = SimilarityContentGenerator(profile, pool_seed=3)
+        assert a.generate(4096, np.random.default_rng(0)) == b.generate(
+            4096, np.random.default_rng(1)
+        )
+
+    def test_negative_size_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SimilarityContentGenerator().generate(-1, rng)
+
+
+class TestCasSimulator:
+    def _image(self, policy: ContentPolicy, num_files: int = 80, seed: int = 31):
+        config = ImpressionsConfig(
+            fs_size_bytes=None,
+            num_files=num_files,
+            num_directories=16,
+            seed=seed,
+            generate_content=True,
+            content=policy,
+        )
+        return Impressions(config).generate()
+
+    def test_requires_content(self, small_image):
+        with pytest.raises(ValueError):
+            CasSimulator().ingest(small_image)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CasSimulator(chunk_size=16)
+        with pytest.raises(ValueError):
+            CasSimulator(chunk_size=4096, max_file_bytes=1024)
+
+    def test_random_binary_content_barely_dedups(self):
+        image = self._image(ContentPolicy(force_kind="binary", typed_headers=False))
+        result = CasSimulator().ingest(image)
+        assert result.files_ingested == image.file_count
+        assert result.dedup_ratio == pytest.approx(1.0, abs=0.05)
+
+    def test_single_word_text_dedups_heavily(self):
+        """The paper's Postmark observation: identical content collapses in a CAS."""
+        image = self._image(ContentPolicy(text_model="single-word", force_kind="text"))
+        result = CasSimulator().ingest(image)
+        assert result.duplicate_byte_fraction > 0.9
+
+    def test_word_model_text_dedups_less_than_single_word(self):
+        single = CasSimulator().ingest(
+            self._image(ContentPolicy(text_model="single-word", force_kind="text"))
+        )
+        modelled = CasSimulator().ingest(
+            self._image(ContentPolicy(text_model="hybrid", force_kind="text"))
+        )
+        assert modelled.duplicate_byte_fraction < single.duplicate_byte_fraction
+
+    def test_similarity_profile_controls_dedup_ratio(self):
+        low = self._image(
+            ContentPolicy(
+                force_kind="binary",
+                typed_headers=False,
+                similarity=SimilarityProfile(duplicate_fraction=0.1),
+            )
+        )
+        high = self._image(
+            ContentPolicy(
+                force_kind="binary",
+                typed_headers=False,
+                similarity=SimilarityProfile(duplicate_fraction=0.8),
+            )
+        )
+        low_result = CasSimulator().ingest(low)
+        high_result = CasSimulator().ingest(high)
+        assert high_result.duplicate_byte_fraction > low_result.duplicate_byte_fraction
+        assert high_result.duplicate_byte_fraction > 0.5
+
+    def test_content_defined_chunking_runs(self):
+        image = self._image(ContentPolicy(force_kind="binary", typed_headers=False), num_files=30)
+        result = CasSimulator(chunk_size=2048, content_defined=True).ingest(image)
+        assert result.total_chunks >= result.unique_chunks > 0
+        assert result.total_bytes >= result.unique_bytes
+
+    def test_result_accounting(self):
+        image = self._image(ContentPolicy(force_kind="binary", typed_headers=False), num_files=20)
+        result = CasSimulator().ingest(image)
+        assert 0.0 <= result.duplicate_byte_fraction <= 1.0
+        assert result.dedup_ratio >= 1.0

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.cli import build_parser, config_from_args, main
+
+
+class TestArgumentParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        config = config_from_args(args)
+        # Automated mode with no input falls back to the paper default size.
+        assert config.fs_size_bytes is not None
+        assert config.seed == 42
+        assert config.generate_content is False
+
+    def test_size_gb_conversion(self):
+        args = build_parser().parse_args(["--size-gb", "2.0", "--files", "100"])
+        config = config_from_args(args)
+        assert config.fs_size_bytes == 2 * 1024**3
+        assert config.num_files == 100
+
+    def test_size_bytes_wins_over_gb(self):
+        args = build_parser().parse_args(["--size-bytes", "1000", "--size-gb", "5"])
+        assert config_from_args(args).fs_size_bytes == 1000
+
+    def test_content_option(self):
+        args = build_parser().parse_args(["--files", "10", "--content", "single-word"])
+        config = config_from_args(args)
+        assert config.generate_content is True
+        assert config.content.text_model == "single-word"
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["--files", "10", "--enforce-size", "--simple-size-model", "--no-special-dirs",
+             "--layout-score", "0.9", "--seed", "7"]
+        )
+        config = config_from_args(args)
+        assert config.enforce_fs_size is True
+        assert config.use_simple_size_model is True
+        assert config.special_directories == ()
+        assert config.layout_score == 0.9
+        assert config.seed == 7
+
+    def test_invalid_layout_score_reports_error(self):
+        args = build_parser().parse_args(["--files", "10", "--layout-score", "2.0"])
+        with pytest.raises(SystemExit):
+            config_from_args_or_exit(args)
+
+
+def config_from_args_or_exit(args):
+    """Mirror main()'s error path: ValueError becomes a parser error (SystemExit)."""
+    try:
+        return config_from_args(args)
+    except ValueError as error:
+        build_parser().error(str(error))
+
+
+class TestMain:
+    def test_main_generates_and_prints_summary(self, capsys):
+        exit_code = main(["--files", "80", "--dirs", "20", "--seed", "3", "--quiet"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "generated image" in output
+        assert "80 files" in output
+
+    def test_main_full_report_output(self, capsys):
+        main(["--files", "50", "--dirs", "10", "--seed", "3"])
+        output = capsys.readouterr().out
+        assert "Impressions reproducibility report" in output
+        assert "File size by count" in output
+
+    def test_main_writes_report_file(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        main(["--files", "50", "--dirs", "10", "--quiet", "--report", str(report_path)])
+        data = json.loads(report_path.read_text())
+        assert data["derived"]["file_count"] == 50
+        assert "reproducibility report written" in capsys.readouterr().out
+
+    def test_main_materializes_image(self, tmp_path, capsys):
+        target = tmp_path / "image"
+        main(["--files", "30", "--dirs", "8", "--quiet", "--materialize", str(target)])
+        assert target.is_dir()
+        assert "materialized 30 files" in capsys.readouterr().out
+
+    def test_main_with_content(self, capsys):
+        exit_code = main(["--files", "25", "--dirs", "6", "--quiet", "--content", "hybrid"])
+        assert exit_code == 0
+
+    def test_help_lists_key_options(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        help_text = capsys.readouterr().out
+        for option in ("--size-gb", "--files", "--layout-score", "--content", "--seed"):
+            assert option in help_text

@@ -1,0 +1,113 @@
+"""Unit tests for ImpressionsConfig (Table 2 defaults and derived values)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GIB, ImpressionsConfig
+from repro.stats.distributions import HybridLognormalPareto, LognormalDistribution, MixtureOfLognormals
+
+
+class TestDefaults:
+    def test_paper_default_shape(self):
+        config = ImpressionsConfig()
+        assert config.fs_size_bytes == int(4.55 * GIB)
+        assert config.num_files == 20_000
+        assert config.num_directories == 4_000
+        assert config.layout_score == 1.0
+
+    def test_default_models_match_table2(self):
+        config = ImpressionsConfig()
+        size_model = config.resolved_size_model()
+        assert isinstance(size_model, HybridLognormalPareto)
+        assert size_model.params()["mu"] == pytest.approx(9.48)
+        bytes_model = config.resolved_bytes_model()
+        assert isinstance(bytes_model, MixtureOfLognormals)
+        assert config.depth_distribution.lam == pytest.approx(6.49)
+        assert config.directory_file_count_model.offset == pytest.approx(2.36)
+
+    def test_default_special_directories_enabled(self):
+        config = ImpressionsConfig()
+        assert len(config.special_directories) == 4
+
+    def test_parameter_table_mentions_key_models(self):
+        table = ImpressionsConfig().parameter_table()
+        assert "File size by count" in table
+        assert "Generative model" in table["Directory count w/ depth"]
+        assert "poisson" in table["File count w/ depth"]
+        assert table["Seed"] == "42"
+
+
+class TestValidation:
+    def test_needs_size_or_file_count(self):
+        with pytest.raises(ValueError):
+            ImpressionsConfig(fs_size_bytes=None, num_files=None)
+
+    def test_positive_values_enforced(self):
+        with pytest.raises(ValueError):
+            ImpressionsConfig(fs_size_bytes=0)
+        with pytest.raises(ValueError):
+            ImpressionsConfig(num_files=0)
+        with pytest.raises(ValueError):
+            ImpressionsConfig(num_directories=0)
+        with pytest.raises(ValueError):
+            ImpressionsConfig(layout_score=0.0)
+        with pytest.raises(ValueError):
+            ImpressionsConfig(beta=0.0)
+        with pytest.raises(ValueError):
+            ImpressionsConfig(files_per_directory=0.0)
+        with pytest.raises(ValueError):
+            ImpressionsConfig(block_size=0)
+
+
+class TestDerivedValues:
+    def test_num_files_derived_from_size(self):
+        config = ImpressionsConfig(fs_size_bytes=GIB, num_files=None, num_directories=None)
+        derived = config.resolved_num_files()
+        assert derived > 100
+        # Derivation is deterministic for a given seed.
+        assert derived == config.resolved_num_files()
+
+    def test_num_directories_derived_from_files(self):
+        config = ImpressionsConfig(num_files=1_000, num_directories=None, files_per_directory=10.0)
+        assert config.resolved_num_directories() == 100
+
+    def test_explicit_values_win(self):
+        config = ImpressionsConfig(num_files=123, num_directories=45)
+        assert config.resolved_num_files() == 123
+        assert config.resolved_num_directories() == 45
+
+    def test_simple_size_model_toggle(self):
+        config = ImpressionsConfig(use_simple_size_model=True)
+        assert isinstance(config.resolved_size_model(), LognormalDistribution)
+
+    def test_custom_size_model_overrides(self):
+        custom = LognormalDistribution(mu=5.0, sigma=1.0)
+        config = ImpressionsConfig(file_size_model=custom)
+        assert config.resolved_size_model() is custom
+
+    def test_disk_capacity_has_headroom(self):
+        config = ImpressionsConfig(fs_size_bytes=100 * 1024 * 1024)
+        assert config.resolved_disk_capacity() > 100 * 1024 * 1024
+
+    def test_disk_capacity_explicit(self):
+        config = ImpressionsConfig(disk_capacity_bytes=123456789)
+        assert config.resolved_disk_capacity() == 123456789
+
+    def test_disk_capacity_without_fs_size(self):
+        config = ImpressionsConfig(fs_size_bytes=None, num_files=500)
+        assert config.resolved_disk_capacity() > 0
+
+    def test_placement_model_propagates_settings(self):
+        config = ImpressionsConfig(use_multiplicative_depth_model=False, special_directories=())
+        model = config.placement_model()
+        assert model.use_multiplicative_model is False
+        assert model.special_directories == ()
+
+    def test_with_overrides_copies(self):
+        base = ImpressionsConfig()
+        derived = base.with_overrides(seed=99, layout_score=0.9)
+        assert derived.seed == 99
+        assert derived.layout_score == 0.9
+        assert base.seed == 42
+        assert derived.num_files == base.num_files

@@ -1,0 +1,53 @@
+"""Unit tests for the reproducibility report."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.report import ReproducibilityReport
+
+
+class TestReport:
+    def _report(self) -> ReproducibilityReport:
+        report = ReproducibilityReport(
+            seed=42,
+            parameters={"File size by count": "hybrid(mu=9.48)"},
+            distributions={"file_size_by_count": {"mu": 9.48, "sigma": 2.46}},
+        )
+        report.record_derived("file_count", 1000)
+        report.record_timing("total", 1.25)
+        return report
+
+    def test_to_dict_roundtrip(self):
+        data = self._report().to_dict()
+        assert data["seed"] == 42
+        assert data["derived"]["file_count"] == 1000
+        assert data["phase_timings"]["total"] == 1.25
+        assert data["distributions"]["file_size_by_count"]["mu"] == 9.48
+
+    def test_to_json_is_valid(self):
+        parsed = json.loads(self._report().to_json())
+        assert parsed["seed"] == 42
+        assert parsed["parameters"]["File size by count"].startswith("hybrid")
+
+    def test_render_text_contains_sections(self):
+        text = self._report().render_text()
+        assert "seed: 42" in text
+        assert "Parameters:" in text
+        assert "Distributions:" in text
+        assert "Derived values:" in text
+        assert "Phase timings" in text
+
+    def test_render_text_minimal_report(self):
+        text = ReproducibilityReport(seed=1).render_text()
+        assert "seed: 1" in text
+        assert "Distributions:" not in text
+
+    def test_generated_image_report_regenerates_image(self, small_image, small_config):
+        """The whole point: the report's seed + parameters pin the image."""
+        from repro.core.impressions import Impressions
+
+        report = small_image.report
+        assert report is not None
+        clone = Impressions(small_config.with_overrides(seed=report.seed)).generate()
+        assert clone.tree.file_sizes() == small_image.tree.file_sizes()

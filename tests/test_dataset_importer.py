@@ -1,0 +1,107 @@
+"""Tests for importing a real directory tree and fitting models from it."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.dataset.importer import fit_models_from_snapshot, import_directory_tree
+from repro.dataset.study import analyze_snapshot
+from repro.stats.distributions import LognormalDistribution, ShiftedPoissonDistribution
+
+
+@pytest.fixture
+def sample_tree(tmp_path):
+    """A small on-disk tree with known composition."""
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "deep").mkdir()
+    (tmp_path / "src").mkdir()
+    files = {
+        "readme.txt": 1200,
+        "docs/guide.pdf": 40_000,
+        "docs/deep/notes.txt": 300,
+        "src/main.c": 5_000,
+        "src/util.c": 2_500,
+        "src/archive.zip": 100_000,
+    }
+    for relative, size in files.items():
+        path = tmp_path / relative
+        path.write_bytes(b"x" * size)
+    return tmp_path, files
+
+
+class TestImport:
+    def test_counts_and_sizes(self, sample_tree):
+        root, files = sample_tree
+        snapshot = import_directory_tree(str(root))
+        assert snapshot.file_count == len(files)
+        assert snapshot.used_bytes == sum(files.values())
+        assert snapshot.directory_count == 4  # root, docs, docs/deep, src
+
+    def test_depths_relative_to_root(self, sample_tree):
+        root, _ = sample_tree
+        snapshot = import_directory_tree(str(root))
+        depths = {record.depth for record in snapshot.directories}
+        assert depths == {0, 1, 2}
+        assert max(snapshot.file_depths()) == 3  # docs/deep/notes.txt
+
+    def test_extensions_lowercased(self, sample_tree):
+        root, _ = sample_tree
+        snapshot = import_directory_tree(str(root))
+        counts = snapshot.extension_counts()
+        assert counts["txt"] == 2
+        assert counts["c"] == 2
+        assert counts["zip"] == 1
+
+    def test_max_files_cap(self, sample_tree):
+        root, _ = sample_tree
+        snapshot = import_directory_tree(str(root), max_files=3)
+        assert snapshot.file_count == 3
+
+    def test_symlinks_skipped(self, sample_tree):
+        root, _ = sample_tree
+        os.symlink(str(root / "readme.txt"), str(root / "link.txt"))
+        snapshot = import_directory_tree(str(root))
+        assert snapshot.file_count == 6
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            import_directory_tree(str(tmp_path / "nope"))
+
+    def test_analysis_pipeline_accepts_imported_snapshot(self, sample_tree):
+        root, _ = sample_tree
+        snapshot = import_directory_tree(str(root))
+        distributions = analyze_snapshot(snapshot)
+        assert distributions.total_files == snapshot.file_count
+
+
+class TestFitFromSnapshot:
+    def test_fits_lognormal_for_small_trees(self, sample_tree):
+        root, _ = sample_tree
+        snapshot = import_directory_tree(str(root))
+        models = fit_models_from_snapshot(snapshot)
+        assert isinstance(models["file_size_by_count"], LognormalDistribution)
+        assert isinstance(models["file_depth"], ShiftedPoissonDistribution)
+
+    def test_fitted_model_plugs_into_config(self, sample_tree):
+        from repro.core.config import ImpressionsConfig
+        from repro.core.impressions import Impressions
+
+        root, _ = sample_tree
+        models = fit_models_from_snapshot(import_directory_tree(str(root)))
+        config = ImpressionsConfig(
+            fs_size_bytes=None,
+            num_files=50,
+            num_directories=10,
+            seed=3,
+            file_size_model=models["file_size_by_count"],
+        )
+        image = Impressions(config).generate()
+        assert image.file_count == 50
+
+    def test_empty_snapshot_rejected(self):
+        from repro.dataset.snapshot import FileSystemSnapshot
+
+        with pytest.raises(ValueError):
+            fit_models_from_snapshot(FileSystemSnapshot(hostname="x", capacity_bytes=0))

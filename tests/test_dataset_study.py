@@ -1,0 +1,105 @@
+"""Unit tests for the snapshot/image distribution analysis (Figure 2 inputs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.study import (
+    MAX_TRACKED_DEPTH,
+    analyze_image,
+    analyze_snapshot,
+    compare_distribution_sets,
+)
+from repro.dataset.synthetic import DatasetScale, SyntheticDatasetBuilder
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    builder = SyntheticDatasetBuilder(scale=DatasetScale(mu_shift_per_doubling=0.0), seed=31)
+    return builder.build_snapshot(capacity_gib=0.15, max_files=700)
+
+
+@pytest.fixture(scope="module")
+def distribution_set(snapshot):
+    return analyze_snapshot(snapshot)
+
+
+class TestAnalyzeSnapshot:
+    def test_totals(self, snapshot, distribution_set):
+        assert distribution_set.total_files == snapshot.file_count
+        assert distribution_set.total_directories == snapshot.directory_count
+        assert distribution_set.total_bytes == snapshot.used_bytes
+
+    def test_depth_histograms_have_fixed_width(self, distribution_set):
+        assert len(distribution_set.directories_by_depth) == MAX_TRACKED_DEPTH + 1
+        assert len(distribution_set.files_by_depth) == MAX_TRACKED_DEPTH + 1
+
+    def test_fractions_sum_to_one(self, distribution_set):
+        assert distribution_set.directories_by_depth_fractions().sum() == pytest.approx(1.0)
+        assert distribution_set.files_by_depth_fractions().sum() == pytest.approx(1.0)
+
+    def test_subdirectory_cdf_monotone(self, distribution_set):
+        cdf = distribution_set.subdirectory_count_cdf()
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] <= 1.0
+
+    def test_extension_shares_sum_to_one(self, distribution_set):
+        assert sum(distribution_set.extension_shares.values()) == pytest.approx(1.0)
+
+    def test_mean_bytes_by_depth_positive(self, distribution_set):
+        assert distribution_set.mean_bytes_by_depth
+        assert all(value > 0 for value in distribution_set.mean_bytes_by_depth.values())
+
+    def test_directory_file_count_cdf(self, distribution_set):
+        cdf = distribution_set.directory_file_count_cdf(max_count=16)
+        assert len(cdf) == 17
+        assert cdf[-1] <= 1.0
+
+
+class TestAnalyzeImage:
+    def test_image_analysis_matches_tree(self, small_image):
+        distributions = analyze_image(small_image)
+        assert distributions.total_files == small_image.file_count
+        assert distributions.total_bytes == small_image.total_bytes
+        assert distributions.file_size_histogram.total_count == small_image.file_count
+
+    def test_label_propagates(self, small_image):
+        assert analyze_image(small_image, label="candidate").label == "candidate"
+
+
+class TestCompare:
+    def test_identical_sets_have_zero_mdcc(self, distribution_set):
+        results = compare_distribution_sets(distribution_set, distribution_set)
+        for key, value in results.items():
+            if key == "bytes_with_depth_mb":
+                assert value == pytest.approx(0.0, abs=1e-9)
+            else:
+                assert value == pytest.approx(0.0, abs=1e-12)
+
+    def test_all_expected_parameters_present(self, distribution_set):
+        results = compare_distribution_sets(distribution_set, distribution_set)
+        expected = {
+            "directory_count_with_depth",
+            "directory_size_subdirectories",
+            "file_size_by_count",
+            "file_size_by_bytes",
+            "extension_popularity",
+            "file_count_with_depth",
+            "bytes_with_depth_mb",
+            "directory_size_files",
+        }
+        assert expected.issubset(results.keys())
+
+    def test_different_sets_have_positive_mdcc(self, distribution_set, small_image):
+        generated = analyze_image(small_image)
+        results = compare_distribution_sets(distribution_set, generated)
+        assert all(value >= 0 for value in results.values())
+        assert any(value > 0 for value in results.values())
+
+    def test_mdcc_values_bounded_by_one(self, distribution_set, small_image):
+        generated = analyze_image(small_image)
+        results = compare_distribution_sets(distribution_set, generated)
+        for key, value in results.items():
+            if key != "bytes_with_depth_mb":
+                assert 0.0 <= value <= 1.0

@@ -1,0 +1,91 @@
+"""Unit tests for the synthetic empirical-corpus builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.synthetic import DatasetScale, SyntheticDatasetBuilder
+from repro.metadata.filesizes import DEFAULT_BODY_MU
+
+
+class TestScaling:
+    def test_size_model_shifts_with_capacity(self):
+        builder = SyntheticDatasetBuilder()
+        small = builder.size_model_for_capacity(10.0)
+        large = builder.size_model_for_capacity(100.0)
+        assert small.body.mu == pytest.approx(DEFAULT_BODY_MU)
+        assert large.body.mu > small.body.mu
+
+    def test_zero_shift_scale_keeps_defaults(self):
+        builder = SyntheticDatasetBuilder(scale=DatasetScale(mu_shift_per_doubling=0.0))
+        assert builder.size_model_for_capacity(100.0).body.mu == pytest.approx(DEFAULT_BODY_MU)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticDatasetBuilder().size_model_for_capacity(0.0)
+
+    def test_expected_file_count_scales_linearly(self):
+        builder = SyntheticDatasetBuilder()
+        assert builder.expected_file_count(20.0) == pytest.approx(
+            2 * builder.expected_file_count(10.0), rel=0.01
+        )
+
+
+class TestSnapshotSynthesis:
+    def test_snapshot_population(self):
+        builder = SyntheticDatasetBuilder(seed=1)
+        snapshot = builder.build_snapshot(capacity_gib=0.2, max_files=500)
+        assert snapshot.file_count == 500
+        assert snapshot.directory_count >= 2
+        assert snapshot.capacity_bytes == int(0.2 * 1024**3)
+
+    def test_max_files_caps_population(self):
+        builder = SyntheticDatasetBuilder(seed=1)
+        snapshot = builder.build_snapshot(capacity_gib=10.0, max_files=200)
+        assert snapshot.file_count == 200
+
+    def test_directory_file_counts_consistent(self):
+        builder = SyntheticDatasetBuilder(seed=2)
+        snapshot = builder.build_snapshot(capacity_gib=0.1, max_files=400)
+        assert sum(snapshot.directory_file_counts()) == snapshot.file_count
+        for record in snapshot.files:
+            assert 0 <= record.directory_id < snapshot.directory_count
+
+    def test_file_depths_are_directory_depth_plus_one(self):
+        builder = SyntheticDatasetBuilder(seed=3)
+        snapshot = builder.build_snapshot(capacity_gib=0.1, max_files=300)
+        directory_depths = {record.directory_id: record.depth for record in snapshot.directories}
+        for record in snapshot.files:
+            assert record.depth == directory_depths[record.directory_id] + 1
+
+    def test_reproducible_from_seed(self):
+        a = SyntheticDatasetBuilder(seed=5).build_snapshot(capacity_gib=0.1, max_files=200)
+        b = SyntheticDatasetBuilder(seed=5).build_snapshot(capacity_gib=0.1, max_files=200)
+        assert a.file_sizes() == b.file_sizes()
+        assert a.extension_counts() == b.extension_counts()
+
+    def test_different_seeds_differ(self):
+        a = SyntheticDatasetBuilder(seed=5).build_snapshot(capacity_gib=0.1, max_files=200)
+        b = SyntheticDatasetBuilder(seed=6).build_snapshot(capacity_gib=0.1, max_files=200)
+        assert a.file_sizes() != b.file_sizes()
+
+    def test_larger_capacity_has_larger_typical_files(self):
+        builder = SyntheticDatasetBuilder(seed=7)
+        small = builder.build_snapshot(capacity_gib=10.0, max_files=800, seed=1)
+        large = builder.build_snapshot(capacity_gib=100.0, max_files=800, seed=1)
+        assert np.median(large.file_sizes()) > np.median(small.file_sizes())
+
+
+class TestCorpus:
+    def test_corpus_keyed_by_capacity(self):
+        builder = SyntheticDatasetBuilder(seed=9)
+        corpus = builder.build_corpus([1.0, 2.0], max_files_per_snapshot=100)
+        assert set(corpus) == {1.0, 2.0}
+        assert all(snapshot.file_count == 100 for snapshot in corpus.values())
+
+    def test_corpus_snapshots_use_distinct_seeds(self):
+        builder = SyntheticDatasetBuilder(seed=9)
+        corpus = builder.build_corpus([1.0, 1.0 + 1e-9], max_files_per_snapshot=100)
+        sizes = [snapshot.file_sizes() for snapshot in corpus.values()]
+        assert sizes[0] != sizes[1]

@@ -1,0 +1,99 @@
+"""Unit tests for the workload-driven aging mode (Section 3.7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layout.aging import AgingWorkload, WorkloadOperation
+from repro.layout.disk import SimulatedDisk
+
+
+class TestWorkloadOperation:
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadOperation(kind="truncate", name="x")
+
+    def test_negative_create_size_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadOperation(kind="create", name="x", size_bytes=-1)
+
+
+class TestRandomWorkload:
+    def test_requested_length(self, rng):
+        workload = AgingWorkload.random(num_operations=500, rng=rng)
+        assert len(workload) == 500
+
+    def test_delete_fraction_roughly_respected(self, rng):
+        workload = AgingWorkload.random(num_operations=4_000, rng=rng, delete_fraction=0.4)
+        deletes = sum(1 for op in workload.operations if op.kind == "delete")
+        assert deletes / len(workload) == pytest.approx(0.4, abs=0.05)
+
+    def test_deletes_only_refer_to_live_files(self, rng):
+        workload = AgingWorkload.random(num_operations=1_000, rng=rng, delete_fraction=0.5)
+        live: set[str] = set()
+        for op in workload.operations:
+            if op.kind == "create":
+                live.add(op.name)
+            else:
+                assert op.name in live
+                live.remove(op.name)
+
+    def test_invalid_parameters_rejected(self, rng):
+        with pytest.raises(ValueError):
+            AgingWorkload.random(num_operations=0, rng=rng)
+        with pytest.raises(ValueError):
+            AgingWorkload.random(num_operations=10, rng=rng, delete_fraction=1.0)
+
+
+class TestReplay:
+    def test_replay_without_deletes_keeps_perfect_layout(self, rng):
+        workload = AgingWorkload.random(num_operations=300, rng=rng, delete_fraction=0.0)
+        disk = SimulatedDisk(num_blocks=500_000)
+        assert workload.replay(disk) == 1.0
+
+    def test_replay_with_deletes_fragments(self):
+        rng = np.random.default_rng(8)
+        workload = AgingWorkload.random(
+            num_operations=2_000, rng=rng, delete_fraction=0.45, mean_file_size=64 * 1024
+        )
+        disk = SimulatedDisk(num_blocks=1_000_000)
+        score = workload.replay(disk)
+        assert score < 1.0
+
+    def test_more_deletes_fragment_more(self):
+        heavy = AgingWorkload.random(
+            num_operations=2_000, rng=np.random.default_rng(8), delete_fraction=0.45
+        )
+        light = AgingWorkload.random(
+            num_operations=2_000, rng=np.random.default_rng(8), delete_fraction=0.05
+        )
+        heavy_score = heavy.replay(SimulatedDisk(num_blocks=1_000_000))
+        light_score = light.replay(SimulatedDisk(num_blocks=1_000_000))
+        assert heavy_score < light_score
+
+    def test_oversized_creates_are_skipped(self, rng):
+        operations = [
+            WorkloadOperation(kind="create", name="huge", size_bytes=10**12),
+            WorkloadOperation(kind="create", name="small", size_bytes=4096),
+        ]
+        disk = SimulatedDisk(num_blocks=100)
+        score = AgingWorkload(operations).replay(disk)
+        assert score == 1.0
+        assert disk.has_file("small")
+        assert not disk.has_file("huge")
+
+    def test_delete_of_missing_file_ignored(self):
+        operations = [WorkloadOperation(kind="delete", name="ghost")]
+        disk = SimulatedDisk(num_blocks=10)
+        assert AgingWorkload(operations).replay(disk) == 1.0
+
+    def test_empty_workload_scores_one(self):
+        disk = SimulatedDisk(num_blocks=10)
+        assert AgingWorkload([]).replay(disk) == 1.0
+
+    def test_extended_with(self):
+        base = AgingWorkload([WorkloadOperation(kind="create", name="a", size_bytes=1)])
+        extended = base.extended_with([WorkloadOperation(kind="delete", name="a")])
+        assert len(base) == 1
+        assert len(extended) == 2

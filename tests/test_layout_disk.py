@@ -1,0 +1,180 @@
+"""Unit tests for the simulated disk / block allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.layout.disk import AllocationError, DiskGeometry, SimulatedDisk
+
+
+class TestGeometry:
+    def test_transfer_time_scales_with_blocks(self):
+        geometry = DiskGeometry()
+        assert geometry.transfer_time_ms(200) == pytest.approx(2 * geometry.transfer_time_ms(100))
+
+    def test_access_time_includes_positioning_per_run(self):
+        geometry = DiskGeometry()
+        one_run = geometry.access_time_ms(1, 100)
+        two_runs = geometry.access_time_ms(2, 100)
+        assert two_runs - one_run == pytest.approx(geometry.seek_time_ms + geometry.rotational_delay_ms)
+
+
+class TestAllocation:
+    def test_sequential_allocations_are_contiguous(self):
+        disk = SimulatedDisk(num_blocks=1_000)
+        a = disk.allocate("a", 10 * 4096)
+        b = disk.allocate("b", 5 * 4096)
+        assert a == list(range(0, 10))
+        assert b == list(range(10, 15))
+        assert disk.used_blocks == 15
+
+    def test_blocks_needed_rounds_up(self):
+        disk = SimulatedDisk(num_blocks=100)
+        assert disk.blocks_needed(1) == 1
+        assert disk.blocks_needed(4096) == 1
+        assert disk.blocks_needed(4097) == 2
+        assert disk.blocks_needed(0) == 0
+
+    def test_zero_byte_file_tracked_without_blocks(self):
+        disk = SimulatedDisk(num_blocks=10)
+        assert disk.allocate("empty", 0) == []
+        assert disk.has_file("empty")
+        disk.delete("empty")
+        assert not disk.has_file("empty")
+
+    def test_duplicate_name_rejected(self):
+        disk = SimulatedDisk(num_blocks=10)
+        disk.allocate("x", 4096)
+        with pytest.raises(ValueError):
+            disk.allocate("x", 4096)
+
+    def test_insufficient_space_raises(self):
+        disk = SimulatedDisk(num_blocks=4)
+        with pytest.raises(AllocationError):
+            disk.allocate("big", 10 * 4096)
+
+    def test_delete_frees_space(self):
+        disk = SimulatedDisk(num_blocks=20)
+        disk.allocate("a", 20 * 4096)
+        with pytest.raises(AllocationError):
+            disk.allocate("b", 4096)
+        disk.delete("a")
+        assert disk.free_blocks == 20
+        disk.allocate("b", 20 * 4096)
+
+    def test_delete_unknown_file_raises(self):
+        disk = SimulatedDisk(num_blocks=10)
+        with pytest.raises(KeyError):
+            disk.delete("missing")
+
+    def test_holes_are_filled_in_address_order(self):
+        disk = SimulatedDisk(num_blocks=100)
+        disk.allocate("a", 4 * 4096)
+        disk.allocate("hole", 2 * 4096)
+        disk.allocate("b", 4 * 4096)
+        disk.delete("hole")
+        c = disk.allocate("c", 4 * 4096)
+        # c fills the 2-block hole first, then spills past b: fragmented.
+        assert c[:2] == [4, 5]
+        assert c[2:] == [10, 11]
+        assert disk.contiguous_runs("c") == 2
+
+    def test_adjacent_free_extents_coalesce(self):
+        disk = SimulatedDisk(num_blocks=50)
+        disk.allocate("a", 10 * 4096)
+        disk.allocate("b", 10 * 4096)
+        disk.allocate("c", 10 * 4096)
+        disk.delete("a")
+        disk.delete("b")
+        # a and b coalesce into one 20-block extent at the front.
+        d = disk.allocate("d", 20 * 4096)
+        assert d == list(range(0, 20))
+        assert disk.contiguous_runs("d") == 1
+
+    def test_coalesce_with_following_extent(self):
+        disk = SimulatedDisk(num_blocks=50)
+        disk.allocate("a", 5 * 4096)
+        disk.allocate("b", 5 * 4096)
+        disk.delete("b")
+        disk.delete("a")
+        assert disk.summary()["free_extents"] == 1
+
+    def test_file_names_listing(self):
+        disk = SimulatedDisk(num_blocks=10)
+        disk.allocate("x", 4096)
+        disk.allocate("y", 4096)
+        assert set(disk.file_names()) == {"x", "y"}
+
+    def test_invalid_disk_size_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedDisk(num_blocks=0)
+
+
+class TestExtend:
+    def test_extend_appends_blocks(self):
+        disk = SimulatedDisk(num_blocks=100)
+        disk.allocate("f", 3 * 4096)
+        new_blocks = disk.extend("f", 2 * 4096)
+        assert new_blocks == [3, 4]
+        assert disk.blocks_of("f") == [0, 1, 2, 3, 4]
+
+    def test_extend_after_other_allocation_fragments(self):
+        disk = SimulatedDisk(num_blocks=100)
+        disk.allocate("f", 3 * 4096)
+        disk.allocate("blocker", 4096)
+        disk.extend("f", 2 * 4096)
+        assert disk.contiguous_runs("f") == 2
+
+    def test_extend_unknown_file_rejected(self):
+        disk = SimulatedDisk(num_blocks=10)
+        with pytest.raises(KeyError):
+            disk.extend("nope", 4096)
+
+    def test_extend_beyond_capacity_rejected(self):
+        disk = SimulatedDisk(num_blocks=4)
+        disk.allocate("f", 3 * 4096)
+        with pytest.raises(AllocationError):
+            disk.extend("f", 10 * 4096)
+        # Original allocation is untouched by the failed extension.
+        assert disk.blocks_of("f") == [0, 1, 2]
+
+    def test_extend_by_zero_is_noop(self):
+        disk = SimulatedDisk(num_blocks=10)
+        disk.allocate("f", 4096)
+        assert disk.extend("f", 0) == []
+        assert disk.blocks_of("f") == [0]
+
+
+class TestCostModel:
+    def test_contiguous_file_read_is_single_positioning(self):
+        disk = SimulatedDisk(num_blocks=100)
+        disk.allocate("f", 10 * 4096)
+        expected = disk.geometry.access_time_ms(1, 10)
+        assert disk.read_time_ms("f") == pytest.approx(expected)
+
+    def test_fragmented_file_costs_more(self):
+        disk = SimulatedDisk(num_blocks=100)
+        disk.allocate("a", 4 * 4096)
+        disk.allocate("gap", 4096)
+        disk.allocate("b", 4 * 4096)
+        disk.delete("gap")
+        disk.allocate("frag", 8 * 4096)
+        contiguous_cost = disk.geometry.access_time_ms(1, 8)
+        assert disk.read_time_ms("frag") > contiguous_cost
+
+    def test_empty_file_costs_nothing(self):
+        disk = SimulatedDisk(num_blocks=10)
+        disk.allocate("empty", 0)
+        assert disk.read_time_ms("empty") == 0.0
+
+    def test_metadata_read_time_positive(self):
+        disk = SimulatedDisk(num_blocks=10)
+        assert disk.metadata_read_time_ms() > 0
+
+    def test_summary_fields(self):
+        disk = SimulatedDisk(num_blocks=64)
+        disk.allocate("a", 4096)
+        summary = disk.summary()
+        assert summary["num_blocks"] == 64
+        assert summary["used_blocks"] == 1
+        assert summary["files"] == 1

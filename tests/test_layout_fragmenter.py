@@ -1,0 +1,101 @@
+"""Unit tests for the target-score fragmenter (Section 3.7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layout.disk import SimulatedDisk
+from repro.layout.fragmenter import Fragmenter
+from repro.layout.layout_score import layout_score
+
+
+def _populate(fragmenter: Fragmenter, rng: np.random.Generator, count: int = 400) -> list[str]:
+    names = []
+    for index in range(count):
+        size = int(max(4096, rng.lognormal(9.5, 1.6)))
+        name = f"file{index}"
+        fragmenter.allocate_regular_file(name, size)
+        names.append(name)
+    return names
+
+
+class TestValidation:
+    def test_invalid_target_rejected(self, rng):
+        disk = SimulatedDisk(num_blocks=1_000)
+        with pytest.raises(ValueError):
+            Fragmenter(disk, target_score=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            Fragmenter(disk, target_score=1.5, rng=rng)
+
+    def test_invalid_temp_blocks_rejected(self, rng):
+        disk = SimulatedDisk(num_blocks=1_000)
+        with pytest.raises(ValueError):
+            Fragmenter(disk, target_score=0.9, rng=rng, temp_file_blocks=0)
+        with pytest.raises(ValueError):
+            Fragmenter(disk, target_score=0.9, rng=rng, max_splits_per_file=0)
+
+
+class TestPerfectLayout:
+    def test_target_one_produces_perfect_layout(self, rng):
+        disk = SimulatedDisk(num_blocks=300_000)
+        fragmenter = Fragmenter(disk, target_score=1.0, rng=rng)
+        names = _populate(fragmenter, rng, count=200)
+        report = fragmenter.finish()
+        assert report.achieved_score == 1.0
+        assert report.temporary_operations == 0
+        assert layout_score(disk, names) == 1.0
+
+
+class TestTargetScores:
+    @pytest.mark.parametrize("target", [0.98, 0.95, 0.9, 0.7])
+    def test_achieves_requested_score(self, target):
+        rng = np.random.default_rng(17)
+        disk = SimulatedDisk(num_blocks=500_000)
+        fragmenter = Fragmenter(disk, target_score=target, rng=rng)
+        names = _populate(fragmenter, rng, count=400)
+        report = fragmenter.finish()
+        assert report.achieved_score == pytest.approx(target, abs=0.02)
+        # The incremental score matches a full recomputation over the disk.
+        assert layout_score(disk, names) == pytest.approx(report.achieved_score, abs=1e-9)
+
+    def test_report_error_field(self):
+        rng = np.random.default_rng(3)
+        disk = SimulatedDisk(num_blocks=200_000)
+        fragmenter = Fragmenter(disk, target_score=0.9, rng=rng)
+        _populate(fragmenter, rng, count=150)
+        report = fragmenter.finish()
+        assert report.error == pytest.approx(abs(report.achieved_score - 0.9))
+
+    def test_temporary_files_are_cleaned_up(self):
+        rng = np.random.default_rng(5)
+        disk = SimulatedDisk(num_blocks=200_000)
+        fragmenter = Fragmenter(disk, target_score=0.9, rng=rng)
+        names = _populate(fragmenter, rng, count=100)
+        fragmenter.finish()
+        assert set(disk.file_names()) == set(names)
+        assert fragmenter.temporary_operations > 0
+
+    def test_no_files_scores_one(self, rng):
+        disk = SimulatedDisk(num_blocks=1_000)
+        fragmenter = Fragmenter(disk, target_score=0.8, rng=rng)
+        report = fragmenter.finish()
+        assert report.achieved_score == 1.0
+        assert report.regular_files == 0
+
+    def test_single_block_files_cannot_fragment(self, rng):
+        disk = SimulatedDisk(num_blocks=10_000)
+        fragmenter = Fragmenter(disk, target_score=0.5, rng=rng)
+        for index in range(100):
+            fragmenter.allocate_regular_file(f"tiny{index}", 100)
+        report = fragmenter.finish()
+        # All files are single-block: the layout score is 1.0 by definition.
+        assert report.achieved_score == 1.0
+
+    def test_blocks_returned_in_logical_order(self, rng):
+        disk = SimulatedDisk(num_blocks=100_000)
+        fragmenter = Fragmenter(disk, target_score=0.6, rng=rng)
+        blocks = fragmenter.allocate_regular_file("f", 50 * 4096)
+        assert len(blocks) == 50
+        assert len(set(blocks)) == 50
+        assert blocks == disk.blocks_of("f")

@@ -1,0 +1,83 @@
+"""Unit tests for the default file-size models (Table 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metadata.filesizes import (
+    DEFAULT_BODY_FRACTION,
+    DEFAULT_BODY_MU,
+    DEFAULT_BODY_SIGMA,
+    DEFAULT_TAIL_K,
+    DEFAULT_TAIL_XM,
+    default_file_size_by_bytes_model,
+    default_file_size_by_count_model,
+    simple_lognormal_size_model,
+)
+
+
+class TestDefaultsMatchTable2:
+    def test_count_model_parameters(self):
+        model = default_file_size_by_count_model()
+        params = model.params()
+        assert params["mu"] == pytest.approx(9.48)
+        assert params["sigma"] == pytest.approx(2.46)
+        assert params["body_fraction"] == pytest.approx(0.99994)
+        assert params["k"] == pytest.approx(0.91)
+        assert params["xm"] == 512 * 1024 * 1024
+
+    def test_bytes_model_parameters(self):
+        model = default_file_size_by_bytes_model()
+        params = model.params()
+        assert params["alpha1"] == pytest.approx(0.76)
+        assert params["mu1"] == pytest.approx(14.83)
+        assert params["sigma1"] == pytest.approx(2.35)
+        assert params["alpha2"] == pytest.approx(0.24)
+        assert params["mu2"] == pytest.approx(20.93)
+        assert params["sigma2"] == pytest.approx(1.48)
+
+    def test_simple_model_is_lognormal_body(self):
+        model = simple_lognormal_size_model()
+        assert model.mu == DEFAULT_BODY_MU
+        assert model.sigma == DEFAULT_BODY_SIGMA
+
+    def test_module_constants_consistent(self):
+        assert DEFAULT_BODY_FRACTION > 0.999
+        assert DEFAULT_TAIL_K < 1.0  # heavy tail with infinite mean
+        assert DEFAULT_TAIL_XM == 512 * 1024 * 1024
+
+
+class TestModelBehaviour:
+    def test_typical_file_sizes_are_kilobytes(self, rng):
+        model = default_file_size_by_count_model()
+        sample = model.sample(rng, 20_000)
+        median = np.median(sample)
+        # Median of the body is e^9.48 ≈ 13 KB.
+        assert 4_000 < median < 40_000
+
+    def test_custom_parameters_flow_through(self):
+        model = default_file_size_by_count_model(mu=5.0, sigma=1.0, body_fraction=0.9)
+        assert model.body.mu == 5.0
+        assert model.body_fraction == 0.9
+
+    def test_hybrid_has_heavier_tail_than_simple(self, rng):
+        """The paper's motivation for the hybrid model: the simple lognormal
+        misses the very large files that dominate bytes."""
+        hybrid = default_file_size_by_count_model(body_fraction=0.999)
+        simple = simple_lognormal_size_model()
+        hybrid_sample = hybrid.sample(np.random.default_rng(0), 100_000)
+        simple_sample = simple.sample(np.random.default_rng(0), 100_000)
+        threshold = 512 * 1024 * 1024
+        assert (hybrid_sample >= threshold).sum() > (simple_sample >= threshold).sum()
+
+    def test_bytes_model_is_bimodal_in_log_space(self, rng):
+        model = default_file_size_by_bytes_model()
+        logs = np.log(model.sample(rng, 40_000))
+        histogram, _ = np.histogram(logs, bins=40, range=(8, 26))
+        # Two local maxima separated by a dip (the "pronounced double mode").
+        peak_region_low = histogram[5:15].max()
+        peak_region_high = histogram[25:35].max()
+        valley = histogram[17:23].min()
+        assert valley < peak_region_low
+        assert valley < peak_region_high

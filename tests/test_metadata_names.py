@@ -1,0 +1,51 @@
+"""Unit tests for counter-based name generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metadata.names import NameGenerator
+
+
+class TestNameGenerator:
+    def test_file_names_are_sequential_and_unique(self):
+        generator = NameGenerator()
+        names = [generator.next_file_name("txt") for _ in range(100)]
+        assert len(set(names)) == 100
+        assert names[0] == "file000000.txt"
+        assert names[99] == "file000099.txt"
+
+    def test_directory_names_are_sequential(self):
+        generator = NameGenerator()
+        assert generator.next_directory_name() == "dir00000"
+        assert generator.next_directory_name() == "dir00001"
+
+    def test_extension_handling(self):
+        generator = NameGenerator()
+        assert generator.next_file_name("") == "file000000"
+        assert generator.next_file_name(".jpg").endswith(".jpg")
+        assert ".." not in generator.next_file_name(".png")
+
+    def test_counters_independent(self):
+        generator = NameGenerator()
+        generator.next_file_name("a")
+        generator.next_file_name("b")
+        generator.next_directory_name()
+        assert generator.files_issued == 2
+        assert generator.directories_issued == 1
+
+    def test_reset(self):
+        generator = NameGenerator()
+        generator.next_file_name("x")
+        generator.reset()
+        assert generator.files_issued == 0
+        assert generator.next_file_name("x") == "file000000.x"
+
+    def test_custom_prefixes(self):
+        generator = NameGenerator(file_prefix="doc", directory_prefix="folder")
+        assert generator.next_file_name("pdf").startswith("doc")
+        assert generator.next_directory_name().startswith("folder")
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            NameGenerator(file_prefix="")

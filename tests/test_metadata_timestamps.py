@@ -1,0 +1,99 @@
+"""Unit tests for the file age / timestamp model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ImpressionsConfig
+from repro.core.impressions import Impressions
+from repro.metadata.timestamps import SECONDS_PER_DAY, FileTimestamps, TimestampModel
+
+NOW = 1_750_000_000.0  # an arbitrary fixed "now" (POSIX seconds)
+
+
+class TestFileTimestamps:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            FileTimestamps(created=100.0, modified=50.0, accessed=200.0)
+        with pytest.raises(ValueError):
+            FileTimestamps(created=100.0, modified=150.0, accessed=120.0)
+
+    def test_age_days(self):
+        stamps = FileTimestamps(created=NOW - 10 * SECONDS_PER_DAY, modified=NOW, accessed=NOW)
+        assert stamps.age_days(NOW) == pytest.approx(10.0)
+
+
+class TestTimestampModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimestampModel(modification_fraction=1.5)
+        with pytest.raises(ValueError):
+            TimestampModel(modification_position_alpha=0.0)
+
+    def test_sampled_invariants(self, rng):
+        model = TimestampModel()
+        for stamps in model.sample_many(rng, NOW, 300):
+            assert stamps.created <= stamps.modified <= stamps.accessed <= NOW
+
+    def test_modification_fraction_respected(self, rng):
+        model = TimestampModel(modification_fraction=0.0)
+        stamps = model.sample_many(rng, NOW, 200)
+        assert all(s.created == s.modified for s in stamps)
+        always = TimestampModel(modification_fraction=1.0)
+        modified = always.sample_many(rng, NOW, 200)
+        assert sum(1 for s in modified if s.modified > s.created) > 150
+
+    def test_age_distribution_heavy_tailed(self, rng):
+        model = TimestampModel()
+        ages = model.age_distribution_days(rng, 10_000)
+        assert np.median(ages) < np.mean(ages)  # skewed right
+        assert np.median(ages) == pytest.approx(np.exp(4.4), rel=0.2)
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            TimestampModel().sample_many(rng, NOW, -1)
+
+    def test_reproducible_from_seed(self):
+        model = TimestampModel()
+        a = model.sample_many(np.random.default_rng(1), NOW, 20)
+        b = model.sample_many(np.random.default_rng(1), NOW, 20)
+        assert a == b
+
+
+class TestPipelineIntegration:
+    def test_generated_image_carries_timestamps(self):
+        config = ImpressionsConfig(
+            fs_size_bytes=None,
+            num_files=60,
+            num_directories=12,
+            seed=5,
+            timestamp_model=TimestampModel(),
+            timestamp_now=NOW,
+        )
+        image = Impressions(config).generate()
+        for file_node in image.tree.files:
+            assert file_node.timestamps is not None
+            assert file_node.timestamps.accessed <= NOW
+        assert image.report.derived["timestamp_now"] == NOW
+
+    def test_timestamps_optional_by_default(self, small_image):
+        assert all(f.timestamps is None for f in small_image.tree.files)
+
+    def test_materialisation_applies_mtimes(self, tmp_path):
+        import os
+
+        config = ImpressionsConfig(
+            fs_size_bytes=None,
+            num_files=20,
+            num_directories=5,
+            seed=6,
+            timestamp_model=TimestampModel(),
+            timestamp_now=NOW,
+        )
+        image = Impressions(config).generate()
+        target = tmp_path / "aged"
+        image.materialize(str(target))
+        probe = image.tree.files[0]
+        mtime = os.path.getmtime(os.path.join(str(target), probe.path().lstrip("/")))
+        assert mtime == pytest.approx(probe.timestamps.modified, abs=1.0)

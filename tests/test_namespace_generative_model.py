@@ -1,0 +1,100 @@
+"""Unit tests for the generative directory-tree model (Agrawal et al.)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.namespace.generative_model import (
+    GenerativeTreeModel,
+    build_deep_tree,
+    build_flat_tree,
+)
+
+
+class TestGenerativeModel:
+    def test_directory_count_exact(self, rng):
+        tree = GenerativeTreeModel().generate(500, rng)
+        assert tree.directory_count == 500
+
+    def test_single_directory_is_just_root(self, rng):
+        tree = GenerativeTreeModel().generate(1, rng)
+        assert tree.directory_count == 1
+        assert tree.max_depth() == 0
+
+    def test_invalid_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            GenerativeTreeModel().generate(0, rng)
+
+    def test_invalid_offset_rejected(self):
+        with pytest.raises(ValueError):
+            GenerativeTreeModel(attachment_offset=0.0)
+
+    def test_grow_existing_tree(self, rng):
+        model = GenerativeTreeModel()
+        tree = model.generate(50, rng)
+        model.grow(tree, 25, rng)
+        assert tree.directory_count == 75
+
+    def test_grow_zero_is_noop(self, rng):
+        model = GenerativeTreeModel()
+        tree = model.generate(10, rng)
+        model.grow(tree, 0, rng)
+        assert tree.directory_count == 10
+
+    def test_reproducible_from_seed(self):
+        a = GenerativeTreeModel().generate(200, np.random.default_rng(1))
+        b = GenerativeTreeModel().generate(200, np.random.default_rng(1))
+        assert a.directories_by_depth() == b.directories_by_depth()
+        assert sorted(a.directory_subdir_counts()) == sorted(b.directory_subdir_counts())
+
+    def test_depth_distribution_is_moderate(self, rng):
+        """The generative model produces bushy trees, not chains."""
+        tree = GenerativeTreeModel().generate(1_000, rng)
+        assert 3 <= tree.max_depth() <= 40
+        depths = tree.directories_by_depth()
+        # Most mass is at shallow-to-middle depths.
+        shallow = sum(count for depth, count in depths.items() if depth <= 6)
+        assert shallow / tree.directory_count > 0.5
+
+    def test_subdirectory_counts_are_heavy_tailed(self, rng):
+        tree = GenerativeTreeModel().generate(2_000, rng)
+        counts = np.asarray(tree.directory_subdir_counts())
+        # Most directories have no subdirectories, a few have many.
+        assert (counts == 0).mean() > 0.4
+        assert counts.max() >= 10
+
+    def test_higher_offset_flattens_tree(self):
+        """A larger attachment offset weakens preferential attachment, so the
+        root (and other low-C(d) directories) win more children."""
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        skewed = GenerativeTreeModel(attachment_offset=0.5).generate(800, rng_a)
+        flat = GenerativeTreeModel(attachment_offset=50.0).generate(800, rng_b)
+        max_subdirs_skewed = max(skewed.directory_subdir_counts())
+        max_subdirs_flat = max(flat.directory_subdir_counts())
+        assert max_subdirs_skewed > max_subdirs_flat
+
+
+class TestDeterministicTrees:
+    def test_flat_tree_shape(self):
+        tree = build_flat_tree(100)
+        assert tree.directory_count == 100
+        assert tree.max_depth() == 1
+        assert tree.root.subdirectory_count == 99
+
+    def test_deep_tree_shape(self):
+        tree = build_deep_tree(100)
+        assert tree.directory_count == 100
+        assert tree.max_depth() == 99
+        assert all(d.subdirectory_count <= 1 for d in tree.directories)
+
+    def test_single_directory_trees(self):
+        assert build_flat_tree(1).directory_count == 1
+        assert build_deep_tree(1).max_depth() == 0
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            build_flat_tree(0)
+        with pytest.raises(ValueError):
+            build_deep_tree(0)

@@ -1,0 +1,147 @@
+"""Unit tests for file placement (depth model + parent selection)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.namespace.generative_model import GenerativeTreeModel, build_deep_tree
+from repro.namespace.placement import DEFAULT_MEAN_BYTES_BY_DEPTH, FilePlacer, PlacementModel
+from repro.namespace.special_dirs import SpecialDirectorySpec, install_special_directories
+from repro.stats.distributions import ShiftedPoissonDistribution
+
+
+@pytest.fixture
+def tree(rng):
+    return GenerativeTreeModel().generate(300, rng)
+
+
+class TestPlacementModel:
+    def test_defaults_match_table2(self):
+        model = PlacementModel()
+        assert model.depth_distribution.lam == pytest.approx(6.49)
+        assert model.directory_file_count.degree == 2.0
+        assert model.directory_file_count.offset == pytest.approx(2.36)
+
+    def test_mean_bytes_fallback(self):
+        model = PlacementModel(mean_bytes_by_depth={1: 1000.0})
+        assert model.mean_bytes_at(1) == 1000.0
+        assert model.mean_bytes_at(99) == 1000.0  # falls back to the mapping mean
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementModel(affinity_sigma=0.0)
+
+    def test_excessive_special_bias_rejected(self):
+        specials = (
+            SpecialDirectorySpec(name="A", depth=1, file_bias=0.6),
+            SpecialDirectorySpec(name="B", depth=1, file_bias=0.6),
+        )
+        with pytest.raises(ValueError):
+            PlacementModel(special_directories=specials)
+
+
+class TestDepthSelection:
+    def test_depths_within_tree_bounds(self, tree, rng):
+        placer = FilePlacer(tree, PlacementModel(), rng)
+        for size in (100, 10_000, 50_000_000):
+            depth = placer.choose_depth(size)
+            assert 1 <= depth <= tree.max_depth() + 1
+
+    def test_depth_distribution_tracks_poisson(self, tree, rng):
+        model = PlacementModel(use_multiplicative_model=False)
+        placer = FilePlacer(tree, model, rng)
+        depths = np.asarray([placer.choose_depth(10_000) for _ in range(2_000)])
+        # With the pure Poisson model (λ=6.49) clipped to the tree, the mean
+        # depth lands near min(λ, max usable depth).
+        expected = min(6.49, tree.max_depth() + 1)
+        assert depths.mean() == pytest.approx(expected, abs=1.5)
+
+    def test_multiplicative_model_pulls_large_files_to_big_mean_depths(self, tree, rng):
+        model = PlacementModel(affinity_sigma=0.8)
+        placer = FilePlacer(tree, model, rng)
+        big_depth_target = max(
+            DEFAULT_MEAN_BYTES_BY_DEPTH, key=lambda d: DEFAULT_MEAN_BYTES_BY_DEPTH[d]
+        )
+        small = np.asarray([placer.choose_depth(2_000) for _ in range(600)])
+        large = np.asarray([placer.choose_depth(2 * 1024 * 1024) for _ in range(600)])
+        usable_max = tree.max_depth() + 1
+        if big_depth_target <= usable_max:
+            # Large files should sit, on average, nearer the large-mean depth.
+            assert abs(large.mean() - big_depth_target) <= abs(small.mean() - big_depth_target) + 0.5
+
+    def test_poisson_only_when_multiplicative_disabled(self, tree):
+        model_on = PlacementModel(use_multiplicative_model=True, affinity_sigma=0.5)
+        model_off = PlacementModel(use_multiplicative_model=False)
+        placer_on = FilePlacer(tree, model_on, np.random.default_rng(1))
+        placer_off = FilePlacer(tree, model_off, np.random.default_rng(1))
+        # With the affinity disabled file size has no effect on depth choice.
+        off_small = [placer_off.choose_depth(100) for _ in range(400)]
+        off_large = [placer_off.choose_depth(10**8) for _ in range(400)]
+        assert np.mean(off_small) == pytest.approx(np.mean(off_large), abs=1.0)
+        # Sanity: the enabled model still produces valid depths.
+        assert 1 <= placer_on.choose_depth(10**8) <= tree.max_depth() + 1
+
+
+class TestParentSelection:
+    def test_parent_depth_matches_request(self, tree, rng):
+        placer = FilePlacer(tree, PlacementModel(), rng)
+        parent = placer.choose_parent(3)
+        assert parent.depth == 2
+
+    def test_missing_depth_falls_back_shallower(self, rng):
+        deep_tree = build_deep_tree(3)  # depths 0..2 exist
+        placer = FilePlacer(deep_tree, PlacementModel(), rng)
+        parent = placer.choose_parent(50)
+        assert parent.depth <= deep_tree.max_depth()
+
+    def test_root_used_when_no_candidates(self, rng):
+        from repro.namespace.tree import FileSystemTree
+
+        lone = FileSystemTree()
+        placer = FilePlacer(lone, PlacementModel(), rng)
+        assert placer.choose_parent(1) is lone.root
+
+    def test_place_returns_directory_of_tree(self, tree, rng):
+        placer = FilePlacer(tree, PlacementModel(), rng)
+        parent = placer.place(10_000)
+        assert parent in tree.directories
+
+    def test_directory_file_counts_skewed(self, tree, rng):
+        """Parent selection concentrates files: many dirs few files, few dirs many."""
+        placer = FilePlacer(tree, PlacementModel(), rng)
+        for _ in range(1_500):
+            parent = placer.place(8_192)
+            tree.create_file(parent, size=8_192, extension="txt")
+        counts = np.asarray(tree.directory_file_counts())
+        assert np.median(counts) <= counts.mean()
+
+
+class TestSpecialDirectoryBias:
+    def test_special_directories_receive_biased_share(self, rng):
+        tree = GenerativeTreeModel().generate(200, rng)
+        specs = (
+            SpecialDirectorySpec(name="Web Cache", depth=4, file_bias=0.25),
+            SpecialDirectorySpec(name="Windows", depth=2, file_bias=0.10),
+        )
+        nodes = install_special_directories(tree, specs, rng)
+        model = PlacementModel(special_directories=specs)
+        placer = FilePlacer(tree, model, rng, special_nodes=nodes)
+        hits = {"Web Cache": 0, "Windows": 0}
+        total = 3_000
+        for _ in range(total):
+            parent = placer.place(4_096)
+            if parent.special_label in hits:
+                hits[parent.special_label] += 1
+        assert hits["Web Cache"] / total == pytest.approx(0.25, abs=0.03)
+        assert hits["Windows"] / total == pytest.approx(0.10, abs=0.03)
+
+    def test_no_bias_without_special_nodes(self, tree, rng):
+        model = PlacementModel(
+            special_directories=(SpecialDirectorySpec(name="X", depth=2, file_bias=0.5),)
+        )
+        # Special spec configured but the node was never installed/passed in:
+        # placement silently ignores the bias.
+        placer = FilePlacer(tree, model, rng, special_nodes={})
+        parent = placer.place(1_000)
+        assert parent.special_label is None

@@ -1,0 +1,63 @@
+"""Unit tests for special-directory installation (Figure 2(h))."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.namespace.generative_model import GenerativeTreeModel, build_flat_tree
+from repro.namespace.special_dirs import (
+    DEFAULT_SPECIAL_DIRECTORIES,
+    SpecialDirectorySpec,
+    install_special_directories,
+)
+
+
+class TestSpecs:
+    def test_default_specs_match_paper_example(self):
+        by_name = {spec.name: spec for spec in DEFAULT_SPECIAL_DIRECTORIES}
+        assert by_name["Web Cache"].depth == 7
+        assert by_name["Windows"].depth == 2
+        assert by_name["Program Files"].depth == 2
+        assert by_name["System"].depth == 3
+
+    def test_bias_must_be_fraction(self):
+        with pytest.raises(ValueError):
+            SpecialDirectorySpec(name="X", depth=1, file_bias=0.0)
+        with pytest.raises(ValueError):
+            SpecialDirectorySpec(name="X", depth=1, file_bias=1.0)
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SpecialDirectorySpec(name="X", depth=0, file_bias=0.1)
+
+
+class TestInstallation:
+    def test_installs_at_requested_depth(self, rng):
+        tree = GenerativeTreeModel().generate(400, rng)
+        nodes = install_special_directories(tree, DEFAULT_SPECIAL_DIRECTORIES, rng)
+        assert set(nodes) == {spec.name for spec in DEFAULT_SPECIAL_DIRECTORIES}
+        for spec in DEFAULT_SPECIAL_DIRECTORIES:
+            assert nodes[spec.name].depth == spec.depth
+            assert nodes[spec.name].special_label == spec.name
+
+    def test_shallow_tree_is_extended(self, rng):
+        tree = build_flat_tree(3)  # max depth 1
+        spec = SpecialDirectorySpec(name="Web Cache", depth=7, file_bias=0.05)
+        nodes = install_special_directories(tree, (spec,), rng)
+        assert nodes["Web Cache"].depth == 7
+        assert tree.max_depth() >= 7
+
+    def test_existing_directory_is_reused(self, rng):
+        tree = GenerativeTreeModel().generate(100, rng)
+        spec = SpecialDirectorySpec(name="Windows", depth=2, file_bias=0.05)
+        first = install_special_directories(tree, (spec,), rng)
+        count_after_first = tree.directory_count
+        second = install_special_directories(tree, (spec,), rng)
+        assert first["Windows"] is second["Windows"]
+        assert tree.directory_count == count_after_first
+
+    def test_installation_registers_directories_with_tree(self, rng):
+        tree = GenerativeTreeModel().generate(50, rng)
+        nodes = install_special_directories(tree, DEFAULT_SPECIAL_DIRECTORIES, rng)
+        for node in nodes.values():
+            assert node in tree.directories

@@ -1,0 +1,95 @@
+"""Tests for the Figure 6 assumption measurements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.image import FileSystemImage
+from repro.namespace.tree import FileSystemTree
+from repro.workloads.search.assumptions import (
+    DEFAULT_ASSUMPTIONS,
+    AssumptionReport,
+    evaluate_assumptions,
+)
+
+
+def _image_with(files: list[tuple[int, int, str]]) -> FileSystemImage:
+    """Build a tiny image with (size, depth, kind) files at controlled depths."""
+    tree = FileSystemTree()
+    parents = {0: tree.root}
+    for size, depth, kind in files:
+        if depth - 1 not in parents:
+            current = tree.root
+            for level in range(1, depth):
+                if level not in parents:
+                    parents[level] = tree.create_directory(current)
+                current = parents[level]
+        parent = parents[depth - 1]
+        node = tree.create_file(parent, size=size, extension="x", content_kind=kind)
+        node.depth = depth
+    return FileSystemImage(tree=tree)
+
+
+class TestDefaultAssumptions:
+    def test_five_assumptions_defined(self):
+        assert len(DEFAULT_ASSUMPTIONS) == 5
+        applications = {spec.application for spec in DEFAULT_ASSUMPTIONS}
+        assert applications == {"GDL", "Beagle"}
+
+
+class TestEvaluation:
+    def test_gdl_depth_assumption_counts_deep_files(self):
+        image = _image_with(
+            [(1024, 2, "text"), (1024, 12, "text"), (1024, 15, "binary"), (1024, 3, "binary")]
+        )
+        reports = evaluate_assumptions(image)
+        depth_report = next(r for r in reports if "deep" in r.parameter)
+        assert depth_report.affected_files == 4
+        assert depth_report.missed_files == 2
+        assert depth_report.missed_file_fraction == pytest.approx(0.5)
+
+    def test_text_size_assumption_only_counts_text(self):
+        image = _image_with(
+            [
+                (500 * 1024, 2, "text"),     # above the 200 KB GDL cutoff
+                (10 * 1024, 2, "text"),      # below
+                (900 * 1024 * 1024, 2, "binary"),  # not text: ignored
+            ]
+        )
+        reports = evaluate_assumptions(image)
+        gdl_text = next(r for r in reports if r.application == "GDL" and "Text" in r.parameter)
+        assert gdl_text.affected_files == 2
+        assert gdl_text.missed_files == 1
+        assert gdl_text.missed_byte_fraction > 0.9
+
+    def test_empty_categories_report_zero(self):
+        image = _image_with([(1024, 2, "text")])
+        reports = evaluate_assumptions(image)
+        archive = next(r for r in reports if "Archive" in r.parameter)
+        assert archive.affected_files == 0
+        assert archive.missed_file_fraction == 0.0
+
+    def test_render_mentions_fractions(self):
+        report = AssumptionReport(
+            application="GDL",
+            parameter="File content < 10 deep",
+            affected_files=100,
+            missed_files=10,
+            affected_bytes=1000,
+            missed_bytes=50,
+        )
+        rendered = report.render()
+        assert "10.0%" in rendered
+        assert "5.0%" in rendered
+
+    def test_representative_image_misses_meaningful_fractions(self, small_image):
+        """On a default image the cutoffs miss a non-trivial share of bytes,
+        which is the paper's point in Figure 6."""
+        reports = evaluate_assumptions(small_image)
+        beagle_text = next(
+            r for r in reports if r.application == "Beagle" and "Text" in r.parameter
+        )
+        # Very few *files* are above 5 MB, but they carry a large share of bytes.
+        assert beagle_text.missed_file_fraction < 0.2
+        if beagle_text.missed_files:
+            assert beagle_text.missed_byte_fraction > beagle_text.missed_file_fraction

@@ -1,0 +1,118 @@
+"""Tests for the Beagle-like and GDL-like engines and their documented policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.content.generators import ContentPolicy
+from repro.core.config import ImpressionsConfig
+from repro.core.impressions import Impressions
+from repro.namespace.tree import FileNode
+from repro.workloads.search.beagle import (
+    BEAGLE_ARCHIVE_CUTOFF,
+    BEAGLE_SCRIPT_CUTOFF,
+    BEAGLE_TEXT_CUTOFF,
+    BeagleIndexOptions,
+    BeagleSearchEngine,
+)
+from repro.workloads.search.gdl import GDL_DEPTH_CUTOFF, GDL_TEXT_CUTOFF, GoogleDesktopSearchEngine
+
+
+def _file(size: int, depth: int, kind: str) -> FileNode:
+    return FileNode(name="f", size=size, extension="x", depth=depth, content_kind=kind)
+
+
+class TestDocumentedCutoffs:
+    def test_paper_constants(self):
+        assert GDL_DEPTH_CUTOFF == 10
+        assert GDL_TEXT_CUTOFF == 200 * 1024
+        assert BEAGLE_TEXT_CUTOFF == 5 * 1024 * 1024
+        assert BEAGLE_ARCHIVE_CUTOFF == 10 * 1024 * 1024
+        assert BEAGLE_SCRIPT_CUTOFF == 20 * 1024
+
+    def test_gdl_depth_cutoff(self):
+        gdl = GoogleDesktopSearchEngine()
+        assert gdl.indexes_content_of(_file(1024, 10, "text"))
+        assert not gdl.indexes_content_of(_file(1024, 11, "text"))
+
+    def test_gdl_text_size_cutoff(self):
+        gdl = GoogleDesktopSearchEngine()
+        assert gdl.indexes_content_of(_file(199 * 1024, 2, "text"))
+        assert not gdl.indexes_content_of(_file(200 * 1024, 2, "text"))
+
+    def test_beagle_text_cutoff(self):
+        beagle = BeagleSearchEngine()
+        assert beagle.indexes_content_of(_file(4 * 1024 * 1024, 2, "text"))
+        assert not beagle.indexes_content_of(_file(5 * 1024 * 1024, 2, "text"))
+
+    def test_beagle_script_cutoff(self):
+        beagle = BeagleSearchEngine()
+        assert beagle.indexes_content_of(_file(10 * 1024, 2, "script"))
+        assert not beagle.indexes_content_of(_file(21 * 1024, 2, "script"))
+
+    def test_beagle_has_no_depth_cutoff(self):
+        beagle = BeagleSearchEngine()
+        assert beagle.indexes_content_of(_file(1024, 50, "text"))
+
+
+class TestBeagleOptions:
+    def test_option_labels(self):
+        assert BeagleIndexOptions.original().label == "Original"
+        assert BeagleIndexOptions.textcache().label == "TextCache"
+        assert BeagleIndexOptions.disdir().label == "DisDir"
+        assert BeagleIndexOptions.disfilter().label == "DisFilter"
+
+    def test_options_map_to_policy(self):
+        assert BeagleSearchEngine(BeagleIndexOptions.textcache()).policy.text_cache is True
+        assert BeagleSearchEngine(BeagleIndexOptions.disdir()).policy.index_directories is False
+        assert (
+            BeagleSearchEngine(BeagleIndexOptions.disfilter()).policy.content_filtering is False
+        )
+
+    def test_options_attribute_exposed(self):
+        engine = BeagleSearchEngine(BeagleIndexOptions.textcache())
+        assert engine.options.text_cache is True
+
+
+class TestFigure7Ordering:
+    """File content flips which engine has the larger index (Figure 7)."""
+
+    @pytest.fixture(scope="class")
+    def images(self):
+        def build(text_model: str, kind: str):
+            config = ImpressionsConfig(
+                fs_size_bytes=None,
+                num_files=250,
+                num_directories=50,
+                seed=23,
+                generate_content=True,
+                content=ContentPolicy(text_model=text_model, force_kind=kind),
+            )
+            return Impressions(config).generate()
+
+        return {
+            "text_model": build("hybrid", "text"),
+            "text_single": build("single-word", "text"),
+            "binary": build("hybrid", "binary"),
+        }
+
+    def test_beagle_larger_for_model_text(self, images):
+        beagle = BeagleSearchEngine().index(images["text_model"])
+        gdl = GoogleDesktopSearchEngine().index(images["text_model"])
+        assert beagle.index_to_fs_ratio > gdl.index_to_fs_ratio
+
+    def test_gdl_larger_for_binary(self, images):
+        beagle = BeagleSearchEngine().index(images["binary"])
+        gdl = GoogleDesktopSearchEngine().index(images["binary"])
+        assert gdl.index_to_fs_ratio > beagle.index_to_fs_ratio
+
+    def test_single_word_text_shrinks_index(self, images):
+        model_text = BeagleSearchEngine().index(images["text_model"])
+        single_word = BeagleSearchEngine().index(images["text_single"])
+        assert single_word.index_size_bytes < model_text.index_size_bytes
+
+    def test_index_ratios_in_plausible_range(self, images):
+        for image in images.values():
+            for engine in (BeagleSearchEngine(), GoogleDesktopSearchEngine()):
+                ratio = engine.index(image).index_to_fs_ratio
+                assert 0.0005 < ratio < 0.5

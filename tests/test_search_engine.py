@@ -1,0 +1,100 @@
+"""Unit tests for the desktop-search indexer machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.namespace.tree import FileNode
+from repro.workloads.search.engine import DesktopSearchEngine, IndexingPolicy
+
+
+def _file(size: int, depth: int, kind: str) -> FileNode:
+    return FileNode(name="f", size=size, extension="x", depth=depth, content_kind=kind)
+
+
+@pytest.fixture
+def policy() -> IndexingPolicy:
+    return IndexingPolicy(
+        name="test-engine",
+        max_content_depth=10,
+        size_cutoffs={"text": 200 * 1024},
+        content_kinds=("text", "html"),
+    )
+
+
+class TestIndexingDecisions:
+    def test_text_below_cutoff_indexed(self, policy):
+        engine = DesktopSearchEngine(policy)
+        assert engine.indexes_content_of(_file(50 * 1024, 3, "text"))
+
+    def test_text_at_cutoff_skipped(self, policy):
+        engine = DesktopSearchEngine(policy)
+        assert not engine.indexes_content_of(_file(200 * 1024, 3, "text"))
+
+    def test_deep_file_skipped(self, policy):
+        engine = DesktopSearchEngine(policy)
+        assert not engine.indexes_content_of(_file(1024, 11, "text"))
+
+    def test_binary_not_indexed_without_binary_terms(self, policy):
+        engine = DesktopSearchEngine(policy)
+        assert not engine.indexes_content_of(_file(1024, 2, "binary"))
+
+    def test_binary_indexed_when_engine_extracts_strings(self, policy):
+        engine = DesktopSearchEngine(policy.with_options(binary_terms_per_kb=2.0))
+        assert engine.indexes_content_of(_file(1024, 2, "binary"))
+
+    def test_filtering_disabled_indexes_nothing(self, policy):
+        engine = DesktopSearchEngine(policy.with_options(content_filtering=False))
+        assert not engine.indexes_content_of(_file(1024, 2, "text"))
+
+    def test_no_depth_limit(self, policy):
+        engine = DesktopSearchEngine(policy.with_options(max_content_depth=None))
+        assert engine.indexes_content_of(_file(1024, 99, "text"))
+
+
+class TestIndexingAnImage:
+    def test_result_accounts_for_every_file(self, content_image, policy):
+        result = DesktopSearchEngine(policy).index(content_image)
+        assert result.files_seen == content_image.file_count
+        assert (
+            result.files_content_indexed + result.files_attribute_only + result.files_skipped
+            == result.files_seen
+        )
+        assert result.index_size_bytes > 0
+        assert result.indexing_time_ms > 0
+        assert result.fs_size_bytes == content_image.total_bytes
+
+    def test_index_to_fs_ratio(self, content_image, policy):
+        result = DesktopSearchEngine(policy).index(content_image)
+        assert result.index_to_fs_ratio == pytest.approx(
+            result.index_size_bytes / content_image.total_bytes
+        )
+        assert 0.0 <= result.content_coverage <= 1.0
+
+    def test_directory_indexing_toggle(self, content_image, policy):
+        with_dirs = DesktopSearchEngine(policy).index(content_image)
+        without_dirs = DesktopSearchEngine(
+            policy.with_options(index_directories=False)
+        ).index(content_image)
+        assert without_dirs.directories_indexed == 0
+        assert without_dirs.index_size_bytes < with_dirs.index_size_bytes
+
+    def test_text_cache_increases_index_size(self, content_image, policy):
+        base = DesktopSearchEngine(policy).index(content_image)
+        cached = DesktopSearchEngine(policy.with_options(text_cache=True)).index(content_image)
+        assert cached.index_size_bytes > base.index_size_bytes
+
+    def test_disable_filtering_shrinks_index_and_time(self, content_image, policy):
+        base = DesktopSearchEngine(policy).index(content_image)
+        attributes_only = DesktopSearchEngine(
+            policy.with_options(content_filtering=False)
+        ).index(content_image)
+        assert attributes_only.index_size_bytes < base.index_size_bytes
+        assert attributes_only.indexing_time_ms < base.indexing_time_ms
+        assert attributes_only.files_content_indexed == 0
+
+    def test_with_options_returns_new_policy(self, policy):
+        modified = policy.with_options(text_cache=True)
+        assert modified is not policy
+        assert modified.text_cache is True
+        assert policy.text_cache is False

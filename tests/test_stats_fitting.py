@@ -1,0 +1,155 @@
+"""Unit tests for repro.stats.fitting (automatic curve fitting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.distributions import LognormalDistribution, MixtureOfLognormals, ParetoDistribution
+from repro.stats.fitting import (
+    fit_best_model,
+    fit_hybrid_lognormal_pareto,
+    fit_inverse_polynomial,
+    fit_lognormal,
+    fit_mixture_of_lognormals,
+    fit_pareto,
+    fit_poisson,
+)
+
+
+class TestFitLognormal:
+    def test_recovers_parameters(self, rng):
+        truth = LognormalDistribution(mu=9.48, sigma=2.46)
+        sample = truth.sample(rng, 20_000)
+        fitted = fit_lognormal(sample)
+        assert fitted.mu == pytest.approx(9.48, abs=0.05)
+        assert fitted.sigma == pytest.approx(2.46, abs=0.05)
+
+    def test_ignores_non_positive_values(self):
+        fitted = fit_lognormal([0.0, -5.0, np.e, np.e])
+        assert fitted.mu == pytest.approx(1.0)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            fit_lognormal([])
+
+    def test_all_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            fit_lognormal([0.0, -1.0])
+
+
+class TestFitPareto:
+    def test_recovers_shape(self, rng):
+        truth = ParetoDistribution(k=1.8, xm=100.0)
+        sample = truth.sample(rng, 20_000)
+        fitted = fit_pareto(sample, xm=100.0)
+        assert fitted.k == pytest.approx(1.8, abs=0.1)
+        assert fitted.xm == 100.0
+
+    def test_xm_defaults_to_minimum(self, rng):
+        truth = ParetoDistribution(k=2.0, xm=50.0)
+        sample = truth.sample(rng, 5_000)
+        fitted = fit_pareto(sample)
+        assert fitted.xm == pytest.approx(sample.min())
+
+    def test_rejects_xm_above_all_data(self):
+        with pytest.raises(ValueError):
+            fit_pareto([1.0, 2.0, 3.0], xm=10.0)
+
+
+class TestFitHybrid:
+    def test_splits_body_and_tail(self, rng):
+        body = LognormalDistribution(mu=8.0, sigma=1.0).sample(rng, 9_000)
+        tail = ParetoDistribution(k=1.2, xm=1e6).sample(rng, 1_000)
+        sample = np.concatenate([body, tail])
+        fitted = fit_hybrid_lognormal_pareto(sample, tail_threshold=1e6)
+        assert fitted.body_fraction == pytest.approx(0.9, abs=0.02)
+        assert fitted.body.mu == pytest.approx(8.0, abs=0.1)
+        assert fitted.tail.k == pytest.approx(1.2, abs=0.15)
+
+    def test_no_tail_observations_gets_default_tail(self, rng):
+        sample = LognormalDistribution(mu=5.0, sigma=0.5).sample(rng, 2_000)
+        fitted = fit_hybrid_lognormal_pareto(sample, tail_threshold=1e9)
+        assert fitted.tail.xm == 1e9
+
+    def test_all_tail_rejected(self):
+        with pytest.raises(ValueError):
+            fit_hybrid_lognormal_pareto([10.0, 20.0], tail_threshold=1.0)
+
+
+class TestFitMixture:
+    def test_recovers_bimodal_components(self, rng):
+        truth = MixtureOfLognormals.from_parameters(
+            weights=(0.7, 0.3), mus=(5.0, 12.0), sigmas=(0.8, 0.6)
+        )
+        sample = truth.sample(rng, 15_000)
+        fitted = fit_mixture_of_lognormals(sample, n_components=2)
+        mus = sorted(component.mu for component in fitted.components)
+        assert mus[0] == pytest.approx(5.0, abs=0.3)
+        assert mus[1] == pytest.approx(12.0, abs=0.3)
+        assert sorted(fitted.weights)[1] == pytest.approx(0.7, abs=0.05)
+
+    def test_single_component_reduces_to_lognormal(self, rng):
+        sample = LognormalDistribution(mu=3.0, sigma=0.5).sample(rng, 5_000)
+        fitted = fit_mixture_of_lognormals(sample, n_components=1)
+        assert fitted.components[0].mu == pytest.approx(3.0, abs=0.1)
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(ValueError):
+            fit_mixture_of_lognormals([1.0], n_components=2)
+
+
+class TestFitPoissonAndInversePolynomial:
+    def test_poisson_mle_is_sample_mean(self, rng):
+        sample = rng.poisson(6.49, size=30_000)
+        fitted = fit_poisson(sample)
+        assert fitted.lam == pytest.approx(6.49, abs=0.05)
+
+    def test_poisson_offset_respected(self):
+        fitted = fit_poisson([3, 4, 5], offset=3)
+        assert fitted.offset == 3
+        assert fitted.lam == pytest.approx(1.0)
+
+    def test_poisson_offset_violation_rejected(self):
+        with pytest.raises(ValueError):
+            fit_poisson([0, 1, 2], offset=3)
+
+    def test_inverse_polynomial_offset_recovery(self, rng):
+        from repro.stats.distributions import InversePolynomialDistribution
+
+        truth = InversePolynomialDistribution(degree=2.0, offset=2.36, max_value=256)
+        sample = truth.sample(rng, 8_000)
+        fitted = fit_inverse_polynomial(sample, degree=2.0, max_value=256)
+        assert fitted.offset == pytest.approx(2.36, abs=0.6)
+
+    def test_inverse_polynomial_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_inverse_polynomial([])
+
+
+class TestModelSelection:
+    def test_selects_lognormal_for_lognormal_data(self, rng):
+        sample = LognormalDistribution(mu=4.0, sigma=0.8).sample(rng, 4_000)
+        best = fit_best_model(sample, candidates=("lognormal", "pareto"))
+        assert best.distribution.name == "lognormal"
+        assert best.ks_statistic < 0.05
+
+    def test_selects_pareto_for_pareto_data(self, rng):
+        sample = ParetoDistribution(k=1.1, xm=10.0).sample(rng, 4_000)
+        best = fit_best_model(sample, candidates=("lognormal", "pareto"))
+        assert best.distribution.name == "pareto"
+
+    def test_unknown_candidate_rejected(self, rng):
+        sample = LognormalDistribution(mu=1.0, sigma=1.0).sample(rng, 100)
+        with pytest.raises(ValueError):
+            fit_best_model(sample, candidates=("nonsense",))
+
+    def test_hybrid_requires_threshold(self, rng):
+        sample = LognormalDistribution(mu=1.0, sigma=1.0).sample(rng, 200)
+        with pytest.raises(ValueError):
+            fit_best_model(sample, candidates=("hybrid",))
+
+    def test_describe_mentions_statistic(self, rng):
+        sample = LognormalDistribution(mu=2.0, sigma=0.5).sample(rng, 500)
+        best = fit_best_model(sample, candidates=("lognormal",))
+        assert "K-S" in best.describe()

@@ -1,0 +1,112 @@
+"""Unit tests for repro.stats.histograms (power-of-two binning)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.histograms import PowerOfTwoHistogram, depth_histogram, power_of_two_bins
+
+
+class TestBinEdges:
+    def test_includes_zero_bin_by_default(self):
+        edges = power_of_two_bins(100)
+        assert edges[0] == 0.0
+        assert edges[1] == 1.0
+        assert edges[-1] >= 100
+
+    def test_without_zero_bin(self):
+        edges = power_of_two_bins(100, include_zero=False)
+        assert edges[0] == 1.0
+
+    def test_edges_are_powers_of_two(self):
+        edges = power_of_two_bins(1_000_000)[2:]
+        assert np.allclose(np.log2(edges), np.round(np.log2(edges)))
+
+    def test_small_max_value_still_valid(self):
+        edges = power_of_two_bins(0.5)
+        assert len(edges) >= 3
+
+
+class TestHistogram:
+    def test_counts_and_bytes(self):
+        values = [0, 1, 1, 3, 1024]
+        hist = PowerOfTwoHistogram.from_values(values)
+        assert hist.total_count == 5
+        assert hist.total_bytes == sum(values)
+        # zero bin holds exactly the zero value
+        assert hist.counts[0] == 1
+
+    def test_count_fractions_sum_to_one(self):
+        hist = PowerOfTwoHistogram.from_values([1, 2, 4, 8, 16, 10_000])
+        assert hist.count_fractions().sum() == pytest.approx(1.0)
+
+    def test_byte_fractions_weighted_by_size(self):
+        hist = PowerOfTwoHistogram.from_values([1, 1, 1, 1021])
+        byte_fracs = hist.byte_fractions()
+        assert byte_fracs.max() == pytest.approx(1021 / 1024)
+
+    def test_empty_histogram(self):
+        hist = PowerOfTwoHistogram.from_values([])
+        assert hist.total_count == 0
+        assert np.all(hist.count_fractions() == 0)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            PowerOfTwoHistogram.from_values([-1.0])
+
+    def test_cumulative_reaches_one(self):
+        hist = PowerOfTwoHistogram.from_values([3, 9, 200, 5000])
+        assert hist.cumulative_count_fractions()[-1] == pytest.approx(1.0)
+        assert hist.cumulative_byte_fractions()[-1] == pytest.approx(1.0)
+
+    def test_bin_boundaries_left_inclusive(self):
+        hist = PowerOfTwoHistogram.from_values([4.0])
+        # 4 falls in [4, 8), which is the bin after [2, 4).
+        edges = hist.edges
+        index = int(np.flatnonzero(hist.counts)[0])
+        assert edges[index] == 4.0
+
+    def test_bin_labels(self):
+        hist = PowerOfTwoHistogram.from_values([0, 3, 3000])
+        labels = hist.bin_labels()
+        assert labels[0] == "0"
+        assert any("K" in label for label in labels)
+
+    def test_aligned_with_pads_shorter(self):
+        small = PowerOfTwoHistogram.from_values([1, 2, 3])
+        large = PowerOfTwoHistogram.from_values([1, 2, 3, 10_000_000])
+        a, b = small.aligned_with(large)
+        assert a.num_bins == b.num_bins
+        assert a.total_count == small.total_count
+
+    def test_aligned_with_is_symmetric(self):
+        small = PowerOfTwoHistogram.from_values([5])
+        large = PowerOfTwoHistogram.from_values([5, 1e9])
+        a1, b1 = small.aligned_with(large)
+        b2, a2 = large.aligned_with(small)
+        assert a1.num_bins == a2.num_bins == b1.num_bins == b2.num_bins
+        assert a1.total_count == a2.total_count
+
+    def test_explicit_max_value(self):
+        hist = PowerOfTwoHistogram.from_values([1, 2], max_value=1 << 20)
+        assert hist.edges[-1] >= 1 << 20
+
+
+class TestDepthHistogram:
+    def test_counts_per_depth(self):
+        counts = depth_histogram([0, 1, 1, 3])
+        assert counts.tolist() == [1, 2, 0, 1]
+
+    def test_max_depth_clips(self):
+        counts = depth_histogram([0, 5, 50], max_depth=10)
+        assert counts[10] == 1.0
+        assert counts.sum() == 3
+
+    def test_empty_input(self):
+        counts = depth_histogram([], max_depth=4)
+        assert counts.tolist() == [0, 0, 0, 0, 0]
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            depth_histogram([-1])

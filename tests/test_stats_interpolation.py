@@ -1,0 +1,130 @@
+"""Unit tests for repro.stats.interpolation (piecewise interpolation, §3.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.histograms import PowerOfTwoHistogram
+from repro.stats.interpolation import BinnedDistribution, PiecewiseInterpolator
+
+
+def _curve(fractions: list[float]) -> BinnedDistribution:
+    edges = np.asarray([0.0] + [float(2**i) for i in range(len(fractions))])
+    return BinnedDistribution(edges=edges, fractions=np.asarray(fractions, dtype=float))
+
+
+class TestBinnedDistribution:
+    def test_edges_fraction_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BinnedDistribution(edges=np.asarray([0.0, 1.0]), fractions=np.asarray([0.5, 0.5]))
+
+    def test_from_histogram_count_view(self):
+        hist = PowerOfTwoHistogram.from_values([1, 2, 4, 8])
+        curve = BinnedDistribution.from_histogram(hist)
+        assert curve.fractions.sum() == pytest.approx(1.0)
+
+    def test_from_values_byte_view(self):
+        curve = BinnedDistribution.from_values([1, 1, 1000], by_bytes=True)
+        assert curve.fractions.max() > 0.9
+
+    def test_normalised(self):
+        curve = _curve([2.0, 2.0, 4.0])
+        normalised = curve.normalised()
+        assert normalised.fractions.sum() == pytest.approx(1.0)
+        assert normalised.fractions[-1] == pytest.approx(0.5)
+
+    def test_cumulative_monotone(self):
+        curve = _curve([0.2, 0.3, 0.5])
+        cumulative = curve.cumulative()
+        assert np.all(np.diff(cumulative) >= 0)
+        assert cumulative[-1] == pytest.approx(1.0)
+
+    def test_resized_pad_and_truncate(self):
+        curve = _curve([0.5, 0.5])
+        padded = curve.resized(4)
+        assert padded.num_bins == 4
+        assert padded.fractions[2:].sum() == 0.0
+        truncated = padded.resized(2)
+        assert truncated.num_bins == 2
+
+    def test_resized_same_size_returns_self(self):
+        curve = _curve([1.0])
+        assert curve.resized(1) is curve
+
+
+class TestPiecewiseInterpolator:
+    def test_needs_two_curves(self):
+        with pytest.raises(ValueError):
+            PiecewiseInterpolator({10.0: _curve([1.0])})
+
+    def test_interpolation_is_exact_at_known_points(self):
+        curves = {10.0: _curve([0.8, 0.2]), 100.0: _curve([0.2, 0.8])}
+        interpolator = PiecewiseInterpolator(curves)
+        at_10 = interpolator.interpolate(10.0)
+        assert at_10.fractions == pytest.approx([0.8, 0.2], abs=1e-9)
+
+    def test_linear_midpoint(self):
+        curves = {0.5: _curve([1.0, 0.0]), 1.5: _curve([0.0, 1.0])}
+        interpolator = PiecewiseInterpolator(curves)
+        mid = interpolator.interpolate(1.0)
+        assert mid.fractions == pytest.approx([0.5, 0.5])
+
+    def test_extrapolation_beyond_range(self):
+        curves = {10.0: _curve([0.6, 0.4]), 20.0: _curve([0.5, 0.5])}
+        interpolator = PiecewiseInterpolator(curves)
+        extrapolated = interpolator.interpolate(30.0)
+        # Linear trend continues: 0.4 per decade decline in bin 0, renormalised.
+        assert extrapolated.fractions[0] == pytest.approx(0.4, abs=1e-9)
+
+    def test_extrapolation_clips_negative_mass(self):
+        curves = {10.0: _curve([0.9, 0.1]), 20.0: _curve([0.1, 0.9])}
+        interpolator = PiecewiseInterpolator(curves)
+        far = interpolator.interpolate(100.0)
+        assert np.all(far.fractions >= 0)
+        assert far.fractions.sum() == pytest.approx(1.0)
+
+    def test_result_is_normalised(self):
+        curves = {1.0: _curve([0.3, 0.7]), 2.0: _curve([0.6, 0.4]), 4.0: _curve([0.1, 0.9])}
+        interpolator = PiecewiseInterpolator(curves)
+        result = interpolator.interpolate(3.0)
+        assert result.fractions.sum() == pytest.approx(1.0)
+
+    def test_mismatched_bin_counts_are_padded(self):
+        curves = {1.0: _curve([1.0]), 2.0: _curve([0.5, 0.5])}
+        interpolator = PiecewiseInterpolator(curves)
+        assert interpolator.num_bins == 2
+        result = interpolator.interpolate(1.5)
+        assert result.num_bins == 2
+
+    def test_invalid_target_rejected(self):
+        curves = {1.0: _curve([1.0, 0.0]), 2.0: _curve([0.0, 1.0])}
+        interpolator = PiecewiseInterpolator(curves)
+        with pytest.raises(ValueError):
+            interpolator.interpolate(0.0)
+
+    def test_segment_values_roundtrip(self):
+        curves = {1.0: _curve([0.25, 0.75]), 2.0: _curve([0.5, 0.5])}
+        interpolator = PiecewiseInterpolator(curves)
+        assert interpolator.segment_values(0).tolist() == [0.25, 0.5]
+        with pytest.raises(IndexError):
+            interpolator.segment_values(10)
+
+    def test_mdcc_against_reference(self):
+        curves = {1.0: _curve([0.5, 0.5]), 3.0: _curve([0.5, 0.5])}
+        interpolator = PiecewiseInterpolator(curves)
+        reference = _curve([0.5, 0.5])
+        assert interpolator.mdcc_against(2.0, reference) == pytest.approx(0.0, abs=1e-12)
+
+    def test_accuracy_on_held_out_synthetic_family(self, rng):
+        """Interpolating a smoothly varying family recovers the held-out curve."""
+
+        def family(size: float) -> BinnedDistribution:
+            weights = np.asarray([1.0, size, size**2, 1.0])
+            return _curve((weights / weights.sum()).tolist())
+
+        curves = {s: family(s) for s in (1.0, 2.0, 4.0)}
+        interpolator = PiecewiseInterpolator(curves)
+        generated = interpolator.interpolate(3.0)
+        actual = family(3.0).normalised()
+        assert np.max(np.abs(generated.fractions - actual.fractions)) < 0.05

@@ -1,0 +1,111 @@
+"""Unit tests for repro.stats.montecarlo (discrete sampling helpers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.montecarlo import DynamicWeightedSampler, sample_discrete, sample_discrete_many
+
+
+class TestSampleDiscrete:
+    def test_single_outcome(self, rng):
+        assert sample_discrete(rng, [0.0, 1.0, 0.0]) == 1
+
+    def test_frequencies_follow_weights(self, rng):
+        draws = [sample_discrete(rng, [1.0, 3.0]) for _ in range(4_000)]
+        assert np.mean(draws) == pytest.approx(0.75, abs=0.03)
+
+    def test_empty_weights_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_discrete(rng, [])
+
+    def test_negative_weights_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_discrete(rng, [1.0, -1.0])
+
+    def test_zero_total_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_discrete(rng, [0.0, 0.0])
+
+    def test_many_variant(self, rng):
+        draws = sample_discrete_many(rng, [0.5, 0.5], size=100)
+        assert draws.shape == (100,)
+        assert set(np.unique(draws)).issubset({0, 1})
+
+    def test_many_negative_size_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_discrete_many(rng, [1.0], size=-1)
+
+
+class TestDynamicWeightedSampler:
+    def test_total_weight_tracks_updates(self):
+        sampler = DynamicWeightedSampler([1.0, 2.0, 3.0])
+        assert sampler.total_weight == pytest.approx(6.0)
+        sampler.update(0, 5.0)
+        assert sampler.total_weight == pytest.approx(10.0)
+        sampler.increment(1, 1.0)
+        assert sampler.weight(1) == pytest.approx(3.0)
+
+    def test_add_appends_items(self):
+        sampler = DynamicWeightedSampler([1.0])
+        index = sampler.add(4.0)
+        assert index == 1
+        assert len(sampler) == 2
+        assert sampler.total_weight == pytest.approx(5.0)
+
+    def test_growth_beyond_initial_capacity(self):
+        sampler = DynamicWeightedSampler(capacity=2)
+        for value in range(50):
+            sampler.add(float(value + 1))
+        assert len(sampler) == 50
+        assert sampler.total_weight == pytest.approx(sum(range(1, 51)))
+
+    def test_sampling_respects_weights(self, rng):
+        sampler = DynamicWeightedSampler([1.0, 9.0])
+        draws = [sampler.sample(rng) for _ in range(5_000)]
+        assert np.mean(draws) == pytest.approx(0.9, abs=0.02)
+
+    def test_zero_weight_items_never_sampled(self, rng):
+        sampler = DynamicWeightedSampler([0.0, 1.0, 0.0, 1.0])
+        draws = {sampler.sample(rng) for _ in range(500)}
+        assert draws.issubset({1, 3})
+
+    def test_sampling_matches_frequencies_after_updates(self, rng):
+        sampler = DynamicWeightedSampler([1.0, 1.0, 1.0])
+        sampler.update(2, 8.0)
+        draws = np.asarray([sampler.sample(rng) for _ in range(8_000)])
+        assert (draws == 2).mean() == pytest.approx(0.8, abs=0.02)
+
+    def test_total_zero_weight_cannot_sample(self, rng):
+        sampler = DynamicWeightedSampler([0.0, 0.0])
+        with pytest.raises(ValueError):
+            sampler.sample(rng)
+
+    def test_index_bounds_checked(self):
+        sampler = DynamicWeightedSampler([1.0])
+        with pytest.raises(IndexError):
+            sampler.update(5, 1.0)
+        with pytest.raises(IndexError):
+            sampler.weight(-1)
+
+    def test_negative_weight_rejected(self):
+        sampler = DynamicWeightedSampler([1.0])
+        with pytest.raises(ValueError):
+            sampler.update(0, -1.0)
+        with pytest.raises(ValueError):
+            sampler.add(-2.0)
+
+    def test_preferential_attachment_pattern(self, rng):
+        """The namespace generator's usage pattern: weights grow as items win."""
+        sampler = DynamicWeightedSampler([2.0])
+        parents = []
+        for _ in range(300):
+            parent = sampler.sample(rng)
+            parents.append(parent)
+            sampler.increment(parent, 1.0)
+            sampler.add(2.0)
+        # Early items accumulate more children than late items (rich get richer).
+        early = sum(1 for p in parents if p < 10)
+        late = sum(1 for p in parents if p >= 290)
+        assert early > late

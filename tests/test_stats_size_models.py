@@ -1,0 +1,104 @@
+"""Tests for the alternative generative file-size models (Downey, Mitzenmacher)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ImpressionsConfig
+from repro.core.impressions import Impressions
+from repro.stats.size_models import DowneyMultiplicativeModel, RecursiveForestFileModel
+
+
+class TestDowneyMultiplicativeModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DowneyMultiplicativeModel(initial_size=0.0)
+        with pytest.raises(ValueError):
+            DowneyMultiplicativeModel(log_factor_sigma=0.0)
+        with pytest.raises(ValueError):
+            DowneyMultiplicativeModel(warmup=0)
+
+    def test_samples_positive(self, rng):
+        model = DowneyMultiplicativeModel()
+        sample = model.sample(rng, 2_000)
+        assert sample.shape == (2_000,)
+        assert np.all(sample > 0)
+
+    def test_log_sizes_are_roughly_symmetric_around_seed(self, rng):
+        model = DowneyMultiplicativeModel(initial_size=4096.0, log_factor_mu=0.0)
+        logs = np.log(model.sample(rng, 5_000))
+        assert abs(np.median(logs) - np.log(4096.0)) < 2.5
+
+    def test_positive_drift_grows_files(self):
+        neutral = DowneyMultiplicativeModel(log_factor_mu=0.0)
+        growing = DowneyMultiplicativeModel(log_factor_mu=0.5)
+        neutral_sample = neutral.sample(np.random.default_rng(1), 3_000)
+        growing_sample = growing.sample(np.random.default_rng(1), 3_000)
+        assert np.median(growing_sample) > np.median(neutral_sample)
+
+    def test_spread_grows_with_generations(self, rng):
+        """The multiplicative process produces a wide, skewed distribution."""
+        model = DowneyMultiplicativeModel()
+        logs = np.log(model.sample(rng, 5_000))
+        assert logs.std() > model.log_factor_sigma
+
+    def test_cdf_and_mean_are_usable(self):
+        model = DowneyMultiplicativeModel()
+        xs = np.logspace(0, 9, 20)
+        cdf = model.cdf(xs)
+        assert np.all(np.diff(cdf) >= 0)
+        assert model.mean() > 0
+
+    def test_empty_sample(self, rng):
+        assert DowneyMultiplicativeModel().sample(rng, 0).size == 0
+
+
+class TestRecursiveForestFileModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecursiveForestFileModel(new_file_probability=0.0)
+        with pytest.raises(ValueError):
+            RecursiveForestFileModel(factor_sigma=0.0)
+
+    def test_samples_positive_and_heavy_tailed(self, rng):
+        model = RecursiveForestFileModel()
+        sample = model.sample(rng, 8_000)
+        assert np.all(sample > 0)
+        # Heavy right tail: the mean greatly exceeds the median.
+        assert sample.mean() > 3 * np.median(sample)
+
+    def test_all_new_files_reduces_to_base_lognormal(self, rng):
+        model = RecursiveForestFileModel(new_file_probability=1.0)
+        sample = np.log(model.sample(rng, 5_000))
+        assert sample.mean() == pytest.approx(model.base.mu, abs=0.15)
+        assert sample.std() == pytest.approx(model.base.sigma, abs=0.15)
+
+    def test_lower_new_probability_makes_larger_tail(self):
+        shallow = RecursiveForestFileModel(new_file_probability=0.9)
+        deep = RecursiveForestFileModel(new_file_probability=0.2)
+        shallow_sample = shallow.sample(np.random.default_rng(3), 5_000)
+        deep_sample = deep.sample(np.random.default_rng(3), 5_000)
+        assert np.log(deep_sample).std() > np.log(shallow_sample).std()
+
+    def test_params_roundtrip(self):
+        model = RecursiveForestFileModel()
+        params = model.params()
+        assert params["new_file_probability"] == pytest.approx(0.35)
+        assert "base_mu" in params and "factor_sigma" in params
+
+
+class TestDropInReplacement:
+    def test_generative_model_plugs_into_impressions(self):
+        """The models work as file_size_model overrides, as §5 suggests."""
+        config = ImpressionsConfig(
+            fs_size_bytes=None,
+            num_files=150,
+            num_directories=30,
+            seed=9,
+            file_size_model=RecursiveForestFileModel(),
+        )
+        image = Impressions(config).generate()
+        assert image.file_count == 150
+        assert image.total_bytes > 0
+        assert "base_mu" in image.report.distributions["file_size_by_count"]

@@ -1,0 +1,70 @@
+"""Unit tests for the buffer-cache model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.cache import BufferCache
+
+
+class TestBufferCache:
+    def test_miss_then_hit(self):
+        cache = BufferCache()
+        assert cache.access("a", 100) is False
+        assert cache.access("a", 100) is True
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_ratio() == 0.5
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = BufferCache()
+        for index in range(1_000):
+            cache.access(f"k{index}", 1_000_000)
+        assert len(cache) == 1_000
+
+    def test_capacity_evicts_lru(self):
+        cache = BufferCache(capacity_bytes=300)
+        cache.access("a", 100)
+        cache.access("b", 100)
+        cache.access("c", 100)
+        cache.access("a", 100)  # refresh a
+        cache.access("d", 100)  # evicts b (least recently used)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+
+    def test_object_larger_than_cache_not_cached(self):
+        cache = BufferCache(capacity_bytes=100)
+        cache.access("huge", 500)
+        assert "huge" not in cache
+        assert cache.used_bytes == 0
+
+    def test_warm_does_not_count_statistics(self):
+        cache = BufferCache()
+        cache.warm({"a": 10, "b": 20})
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.access("a", 10) is True
+
+    def test_invalidate_empties_cache(self):
+        cache = BufferCache()
+        cache.access("a", 10)
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+        assert cache.access("a", 10) is False
+
+    def test_reaccess_updates_size(self):
+        cache = BufferCache(capacity_bytes=1_000)
+        cache.access("a", 100)
+        cache.access("a", 100)
+        assert cache.used_bytes == 100
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BufferCache(capacity_bytes=0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            BufferCache().access("a", -1)
+
+    def test_hit_ratio_empty(self):
+        assert BufferCache().hit_ratio() == 0.0

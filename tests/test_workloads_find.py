@@ -1,0 +1,98 @@
+"""Unit tests for the find simulator (Figure 1 mechanics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.fig1_find import _reshaped_image
+from repro.core.config import ImpressionsConfig
+from repro.core.impressions import Impressions
+from repro.namespace.generative_model import build_deep_tree, build_flat_tree
+from repro.workloads.find import FindCostModel, FindSimulator
+
+
+@pytest.fixture(scope="module")
+def figure1_image():
+    config = ImpressionsConfig(
+        fs_size_bytes=None, num_files=400, num_directories=100, seed=13, special_directories=()
+    )
+    return Impressions(config).generate()
+
+
+class TestFindBasics:
+    def test_visits_every_directory_and_entry(self, figure1_image):
+        result = FindSimulator(figure1_image).run()
+        assert result.directories_visited == figure1_image.directory_count
+        assert result.entries_examined == (
+            figure1_image.file_count + figure1_image.directory_count - 1
+        )
+
+    def test_matches_counted(self, figure1_image):
+        result = FindSimulator(figure1_image).run(name_substring="file0000")
+        assert result.matches >= 1
+        none = FindSimulator(figure1_image).run(name_substring="no-such-name")
+        assert none.matches == 0
+
+    def test_elapsed_positive(self, figure1_image):
+        assert FindSimulator(figure1_image).run().elapsed_ms > 0
+
+
+class TestCacheEffect:
+    def test_warm_cache_is_much_faster(self, figure1_image):
+        cold = FindSimulator(figure1_image).run().elapsed_ms
+        warm_simulator = FindSimulator(figure1_image)
+        warm_simulator.warm_cache()
+        warm = warm_simulator.run().elapsed_ms
+        assert warm < cold / 10
+        assert warm_simulator.cache.hit_ratio() == 1.0
+
+    def test_second_run_hits_cache(self, figure1_image):
+        simulator = FindSimulator(figure1_image)
+        first = simulator.run().elapsed_ms
+        second = simulator.run().elapsed_ms
+        assert second < first
+
+
+class TestTreeShapeEffect:
+    def test_deep_tree_slower_than_flat_tree(self, figure1_image):
+        flat = _reshaped_image(figure1_image, build_flat_tree(100), seed=13)
+        deep = _reshaped_image(figure1_image, build_deep_tree(100), seed=13)
+        flat_time = FindSimulator(flat).run().elapsed_ms
+        deep_time = FindSimulator(deep).run().elapsed_ms
+        # The paper reports roughly a 3x spread between flat and deep.
+        assert deep_time > 2.0 * flat_time
+
+    def test_flat_tree_faster_than_generated_tree(self, figure1_image):
+        flat = _reshaped_image(figure1_image, build_flat_tree(100), seed=13)
+        original_time = FindSimulator(figure1_image).run().elapsed_ms
+        flat_time = FindSimulator(flat).run().elapsed_ms
+        assert flat_time < original_time
+
+
+class TestFragmentationEffect:
+    def test_fragmented_image_is_slower(self):
+        base = ImpressionsConfig(
+            fs_size_bytes=None, num_files=300, num_directories=80, seed=21, special_directories=()
+        )
+        clean = Impressions(base).generate()
+        fragmented = Impressions(base.with_overrides(layout_score=0.93)).generate()
+        clean_time = FindSimulator(clean).run().elapsed_ms
+        fragmented_time = FindSimulator(fragmented).run().elapsed_ms
+        assert fragmented_time > clean_time
+
+
+class TestCostModel:
+    def test_zero_depth_penalty_removes_depth_effect(self, figure1_image):
+        flat = _reshaped_image(figure1_image, build_flat_tree(100), seed=13)
+        deep = _reshaped_image(figure1_image, build_deep_tree(100), seed=13)
+        costs = FindCostModel(depth_penalty_ms=0.0, sibling_locality_discount=1.0)
+        flat_time = FindSimulator(flat, cost_model=costs).run().elapsed_ms
+        deep_time = FindSimulator(deep, cost_model=costs).run().elapsed_ms
+        assert deep_time == pytest.approx(flat_time, rel=0.05)
+
+    def test_custom_cost_model_is_used(self, figure1_image):
+        cheap = FindCostModel(per_entry_cpu_ms=0.0, depth_penalty_ms=0.0)
+        default_time = FindSimulator(figure1_image).run().elapsed_ms
+        cheap_time = FindSimulator(figure1_image, cost_model=cheap).run().elapsed_ms
+        assert cheap_time < default_time

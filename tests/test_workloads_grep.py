@@ -1,0 +1,74 @@
+"""Unit tests for the grep simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.content.generators import ContentPolicy
+from repro.core.config import ImpressionsConfig
+from repro.core.impressions import Impressions
+from repro.workloads.grep import GrepCostModel, GrepSimulator
+
+
+@pytest.fixture(scope="module")
+def text_image():
+    config = ImpressionsConfig(
+        fs_size_bytes=None,
+        num_files=200,
+        num_directories=40,
+        seed=17,
+        generate_content=True,
+        content=ContentPolicy(text_model="hybrid", force_kind="text"),
+    )
+    return Impressions(config).generate()
+
+
+@pytest.fixture(scope="module")
+def binary_image():
+    config = ImpressionsConfig(
+        fs_size_bytes=None,
+        num_files=200,
+        num_directories=40,
+        seed=17,
+        generate_content=True,
+        content=ContentPolicy(text_model="hybrid", force_kind="binary"),
+    )
+    return Impressions(config).generate()
+
+
+class TestGrep:
+    def test_scans_text_files(self, text_image):
+        result = GrepSimulator(text_image).run()
+        assert result.files_scanned == text_image.file_count
+        assert result.files_skipped_binary == 0
+        assert result.bytes_read == text_image.total_bytes
+        assert result.elapsed_ms > 0
+
+    def test_binary_files_are_skipped(self, binary_image):
+        result = GrepSimulator(binary_image).run()
+        assert result.files_skipped_binary == binary_image.file_count
+        assert result.files_scanned == 0
+        assert result.bytes_read == 0
+
+    def test_binary_image_much_faster_than_text_image(self, text_image, binary_image):
+        """The paper's point: grep time depends on the *type* of files."""
+        text_time = GrepSimulator(text_image).run().elapsed_ms
+        binary_time = GrepSimulator(binary_image).run().elapsed_ms
+        assert binary_time < text_time / 10
+
+    def test_disabling_binary_skip_scans_everything(self, binary_image):
+        costs = GrepCostModel(skip_binary=False)
+        result = GrepSimulator(binary_image, cost_model=costs).run()
+        assert result.files_scanned == binary_image.file_count
+
+    def test_warm_cache_speeds_up_scan(self, text_image):
+        cold = GrepSimulator(text_image).run().elapsed_ms
+        warm_simulator = GrepSimulator(text_image)
+        warm_simulator.warm_cache()
+        warm = warm_simulator.run().elapsed_ms
+        assert warm < cold
+
+    def test_metadata_only_image_supported(self, small_image):
+        # No content generator: grep still runs off metadata (sizes + kinds).
+        result = GrepSimulator(small_image).run()
+        assert result.files_scanned + result.files_skipped_binary == small_image.file_count
