@@ -1,0 +1,21 @@
+"""Trace replay throughput (the `repro.trace` subsystem benchmark)."""
+
+from conftest import bench_scale
+
+from repro.bench import trace_replay
+
+
+def test_trace_replay_throughput(benchmark, print_result):
+    scale = bench_scale(0.05)
+    result = benchmark.pedantic(
+        lambda: trace_replay.run(scale=scale, num_ops=50_000, seed=42),
+        iterations=1,
+        rounds=1,
+    )
+    print_result("Trace replay performance", trace_replay.format_table(result))
+
+    zipf = result["results"]["zipf_cold"]
+    # Acceptance bar: >= 100k ops/sec replaying the 50k-op Zipf mix.
+    assert zipf["ops_per_second"] >= 100_000
+    # A warm cache must make the simulated replay cheaper.
+    assert result["warm_speedup_simulated"] > 1.0

@@ -1,4 +1,13 @@
 """Legacy setup shim so `pip install -e .` works offline (no wheel package)."""
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="impressions-repro",
+    version="0.1.0",
+    description="FAST '09 Impressions reproduction: file-system images and operation traces",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+    entry_points={"console_scripts": ["impressions=repro.core.cli:main"]},
+)

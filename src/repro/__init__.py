@@ -5,6 +5,11 @@ trees, file metadata and file content — from parameterised empirical
 distributions, so that file-system and application benchmarks can run against
 realistic, reproducible state.
 
+Beyond static images, :mod:`repro.trace` supplies the dynamic side of
+benchmarking: synthetic operation traces (metadata storms, Zipf access mixes,
+create/delete churn), a replay engine with a disk cost model, and
+trace-driven aging to a target layout score.
+
 The top-level package re-exports the most frequently used entry points so that
 a quickstart is just::
 

@@ -27,6 +27,7 @@ from repro.bench import (  # noqa: F401  (re-exported for convenience)
     table3_mdcc,
     table4_constraints,
     table6_performance,
+    trace_replay,
 )
 
 __all__ = [
@@ -42,5 +43,6 @@ __all__ = [
     "table3_mdcc",
     "table4_constraints",
     "table6_performance",
+    "trace_replay",
     "ablations",
 ]

@@ -10,6 +10,13 @@ Examples::
     impressions --files 2000 --dirs 400 --seed 7
     impressions --size-gb 4.55 --files 20000 --enforce-size --report out.json
     impressions --files 500 --content hybrid --materialize /tmp/image
+
+Operation-trace workflows live under the ``trace`` subcommand
+(:mod:`repro.trace.cli`)::
+
+    impressions trace synth --kind zipf --ops 50000 --files 2000 | \\
+        impressions trace replay --files 2000
+    impressions trace age --layout-score 0.7 --files 2000
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="impressions",
         description="Generate statistically accurate file-system images (FAST '09 reproduction).",
+        epilog="Operation traces: 'impressions trace synth|replay|age --help'.",
     )
     parser.add_argument("--size-gb", type=float, default=None, help="target file-system size in GiB")
     parser.add_argument("--size-bytes", type=int, default=None, help="target file-system size in bytes")
@@ -102,6 +110,14 @@ def config_from_args(args: argparse.Namespace) -> ImpressionsConfig:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``impressions`` console script."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        # Trace subcommands have their own parser; the image-generation flags
+        # below stay available positional-free for backward compatibility.
+        from repro.trace.cli import main as trace_main
+
+        return trace_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -45,7 +45,14 @@ __all__ = ["Impressions", "GenerationTimings"]
 
 @dataclass
 class GenerationTimings:
-    """Per-phase wall-clock timings, in seconds (the Table 6 breakdown)."""
+    """Per-phase wall-clock timings, in seconds (the Table 6 breakdown).
+
+    ``extras`` holds named timings of optional phases that run after image
+    generation — trace replay (``trace_replay``) and trace-driven aging
+    (``trace_aging``) record themselves here — and is merged into
+    :meth:`as_dict`, so Table 6 reporting picks the extra rows up without
+    knowing about them in advance.
+    """
 
     directory_structure: float = 0.0
     file_sizes: float = 0.0
@@ -53,7 +60,7 @@ class GenerationTimings:
     depth_and_placement: float = 0.0
     content: float = 0.0
     on_disk_creation: float = 0.0
-    extras: dict = field(default_factory=dict)
+    extras: dict[str, float] = field(default_factory=dict)
 
     @property
     def total(self) -> float:

@@ -29,6 +29,8 @@ class ReproducibilityReport:
         derived: values Impressions derived during generation (actual file
             count, total bytes, achieved layout score, …).
         phase_timings: seconds spent per generation phase (Table 6 rows).
+        traces: per-trace replay statistics recorded against this image
+            (op counts, simulated latencies, cache behaviour).
     """
 
     seed: int
@@ -36,6 +38,7 @@ class ReproducibilityReport:
     distributions: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
     derived: dict = field(default_factory=dict)
     phase_timings: dict = field(default_factory=dict)
+    traces: dict = field(default_factory=dict)
 
     def record_derived(self, key: str, value) -> None:
         self.derived[key] = value
@@ -43,14 +46,21 @@ class ReproducibilityReport:
     def record_timing(self, phase: str, seconds: float) -> None:
         self.phase_timings[phase] = float(seconds)
 
+    def record_trace(self, name: str, stats: Mapping) -> None:
+        """Attach the replay statistics of one trace run to the report."""
+        self.traces[name] = dict(stats)
+
     def to_dict(self) -> dict:
-        return {
+        out = {
             "seed": self.seed,
             "parameters": dict(self.parameters),
             "distributions": {name: dict(params) for name, params in self.distributions.items()},
             "derived": dict(self.derived),
             "phase_timings": dict(self.phase_timings),
         }
+        if self.traces:
+            out["traces"] = {name: dict(stats) for name, stats in self.traces.items()}
+        return out
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True, default=str)
@@ -77,4 +87,11 @@ class ReproducibilityReport:
             lines.append("Phase timings (seconds):")
             for phase, seconds in self.phase_timings.items():
                 lines.append(f"  {phase}: {seconds:.3f}")
+        if self.traces:
+            lines.append("")
+            lines.append("Trace replays:")
+            for name, stats in self.traces.items():
+                operations = stats.get("operations", "?")
+                simulated = stats.get("simulated_ms", 0.0)
+                lines.append(f"  {name}: {operations} ops, {simulated:.1f} simulated ms")
         return "\n".join(lines)

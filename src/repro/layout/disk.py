@@ -17,11 +17,21 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass, field
 
-__all__ = ["SimulatedDisk", "AllocationError", "DiskGeometry"]
+__all__ = ["SimulatedDisk", "AllocationError", "DoubleFreeError", "DiskGeometry"]
 
 
 class AllocationError(RuntimeError):
     """Raised when the disk has insufficient free space for an allocation."""
+
+
+class DoubleFreeError(RuntimeError):
+    """Raised when :meth:`SimulatedDisk.free` targets a file that is not allocated.
+
+    Covers both a genuine double free (the file was already freed) and a free
+    of a name that never existed; either way the caller's view of the disk has
+    diverged from the allocator's, which trace replay must surface loudly
+    instead of silently corrupting the free list.
+    """
 
 
 @dataclass(frozen=True)
@@ -169,6 +179,42 @@ class SimulatedDisk:
         blocks = self._allocations.pop(name)
         for start, length in _runs(sorted(blocks)):
             self._release_extent(start, length)
+
+    def free(self, name: str) -> int:
+        """Public free path: release ``name``'s blocks, returning how many.
+
+        Unlike :meth:`delete` (which raises ``KeyError`` for compatibility
+        with the original API), ``free`` raises :class:`DoubleFreeError` when
+        the file is not currently allocated — the unambiguous signal a trace
+        replayer needs for a delete of an already-deleted file.
+        """
+        if name not in self._allocations:
+            raise DoubleFreeError(f"double free: {name!r} is not currently allocated")
+        freed = len(self._allocations[name])
+        self.delete(name)
+        return freed
+
+    def reallocate(self, name: str, size_bytes: int) -> list[int]:
+        """Free ``name`` and allocate it afresh at ``size_bytes``.
+
+        The free happens first, so the new allocation may reuse the file's own
+        old blocks — exactly what a rewrite-in-place of a churned file does on
+        ext2.  Raises :class:`DoubleFreeError` when the file is not allocated
+        and :class:`AllocationError` (with the file left deallocated) when the
+        new size does not fit.
+        """
+        if name not in self._allocations:
+            raise DoubleFreeError(f"cannot reallocate {name!r}: not currently allocated")
+        self.free(name)
+        return self.allocate(name, size_bytes)
+
+    def rename(self, old_name: str, new_name: str) -> None:
+        """Transfer ``old_name``'s allocation to ``new_name`` (blocks unchanged)."""
+        if old_name not in self._allocations:
+            raise KeyError(f"unknown file {old_name!r}")
+        if new_name in self._allocations:
+            raise ValueError(f"file {new_name!r} already allocated")
+        self._allocations[new_name] = self._allocations.pop(old_name)
 
     def _release_extent(self, start: int, length: int) -> None:
         index = bisect.bisect_left(self._free_starts, start)

@@ -1,0 +1,58 @@
+"""Synthetic operation traces: generation, replay, and trace-driven aging.
+
+Impressions makes statically realistic images; this package supplies the
+dynamic half of benchmarking — parameterized, replayable streams of metadata
+and data operations in the spirit of the replay-trace taxonomy (Kahanwal &
+Singh) and 2DIO's configurable trace generation:
+
+* :mod:`repro.trace.ops` — the typed operation model and JSONL trace format.
+* :mod:`repro.trace.synthesize` — metadata storms, Zipf-popularity
+  read/write mixes over a generated image, and create/delete churn.
+* :mod:`repro.trace.replay` — replay engine over the namespace tree,
+  simulated disk, and buffer cache, with per-op-class latency statistics.
+* :mod:`repro.trace.aging` — trace-driven aging to a target layout score,
+  an alternative to :class:`repro.layout.fragmenter.Fragmenter`.
+* :mod:`repro.trace.cli` — the ``impressions trace synth|replay|age``
+  subcommands.
+"""
+
+from repro.trace.aging import TraceAger, TraceAgingResult, age_image_to_score
+from repro.trace.ops import (
+    DATA_OP_KINDS,
+    METADATA_OP_KINDS,
+    OP_KINDS,
+    Operation,
+    OperationTrace,
+    TraceFormatError,
+)
+from repro.trace.replay import OpClassStats, ReplayCostModel, ReplayResult, TraceReplayer
+from repro.trace.synthesize import (
+    ChurnSpec,
+    MetadataStormSpec,
+    ZipfMixSpec,
+    synthesize_churn,
+    synthesize_metadata_storm,
+    synthesize_zipf_mix,
+)
+
+__all__ = [
+    "OP_KINDS",
+    "DATA_OP_KINDS",
+    "METADATA_OP_KINDS",
+    "Operation",
+    "OperationTrace",
+    "TraceFormatError",
+    "ChurnSpec",
+    "MetadataStormSpec",
+    "ZipfMixSpec",
+    "synthesize_churn",
+    "synthesize_metadata_storm",
+    "synthesize_zipf_mix",
+    "TraceReplayer",
+    "ReplayResult",
+    "ReplayCostModel",
+    "OpClassStats",
+    "TraceAger",
+    "TraceAgingResult",
+    "age_image_to_score",
+]

@@ -1,0 +1,276 @@
+"""Typed operation model and JSONL trace container.
+
+The replay-trace taxonomy (Kahanwal & Singh) distinguishes metadata
+operations (``create``, ``stat``, ``delete``, ``rename``, ``mkdir``) from data
+operations (``read``, ``write``).  :class:`Operation` is one record of either
+kind; :class:`OperationTrace` is an append-friendly in-memory sequence of them
+with a line-oriented JSONL serialization, so traces can be piped between the
+``impressions trace`` subcommands, stored next to a reproducibility report,
+and diffed byte-for-byte when checking determinism.
+
+Serialization is canonical: keys are sorted, separators are fixed, and fields
+holding their default value are omitted, so the same trace always produces
+the same bytes.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, Mapping
+
+__all__ = [
+    "OP_KINDS",
+    "DATA_OP_KINDS",
+    "METADATA_OP_KINDS",
+    "Operation",
+    "OperationTrace",
+    "TraceFormatError",
+]
+
+#: Every operation kind the trace model understands.
+OP_KINDS = ("create", "write", "read", "stat", "delete", "rename", "mkdir")
+#: Kinds that move file data (and therefore carry a byte count).
+DATA_OP_KINDS = frozenset({"write", "read"})
+#: Kinds that only touch metadata.
+METADATA_OP_KINDS = frozenset(OP_KINDS) - DATA_OP_KINDS
+
+_KIND_SET = frozenset(OP_KINDS)
+
+
+class TraceFormatError(ValueError):
+    """Raised when JSONL trace input cannot be parsed."""
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """One operation of a trace.
+
+    Attributes:
+        kind: one of :data:`OP_KINDS`.
+        path: the file or directory the operation targets.
+        size: byte count for ``create``/``write``/``read`` (0 elsewhere).
+        dest: rename target path (empty for every other kind).
+        append: for ``write`` only — True appends ``size`` bytes past EOF
+            (allocating new blocks), False overwrites in place the way a
+            steady-state read/write mix does.
+        batch: arrival-batch index; synthesizers group operations that
+            "arrive" together (think one client request) under one index,
+            and the replayer reports batch counts back.
+    """
+
+    kind: str
+    path: str
+    size: int = 0
+    dest: str = ""
+    append: bool = False
+    batch: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KIND_SET:
+            raise ValueError(f"unknown operation kind {self.kind!r}")
+        if not self.path:
+            raise ValueError("operation path must be non-empty")
+        if self.size < 0:
+            raise ValueError("operation size must be non-negative")
+        if self.batch < 0:
+            raise ValueError("operation batch must be non-negative")
+        if self.kind == "rename" and not self.dest:
+            raise ValueError("rename requires a dest path")
+        if self.kind != "rename" and self.dest:
+            raise ValueError(f"dest is only valid for rename, not {self.kind!r}")
+        if self.append and self.kind != "write":
+            raise ValueError(f"append is only valid for write, not {self.kind!r}")
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind in DATA_OP_KINDS
+
+    def to_json_line(self) -> str:
+        """Canonical single-line JSON encoding (defaults omitted)."""
+        record: dict[str, object] = {"op": self.kind, "path": self.path}
+        if self.size:
+            record["size"] = self.size
+        if self.dest:
+            record["dest"] = self.dest
+        if self.append:
+            record["append"] = True
+        if self.batch:
+            record["batch"] = self.batch
+        return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "Operation":
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise TraceFormatError(f"malformed trace line: {line!r}") from error
+        if not isinstance(record, dict) or "op" not in record or "path" not in record:
+            raise TraceFormatError(f"trace line missing op/path: {line!r}")
+        if not isinstance(record["op"], str) or not isinstance(record["path"], str):
+            raise TraceFormatError(f"trace line op/path must be strings: {line!r}")
+        if not isinstance(record.get("dest", ""), str):
+            raise TraceFormatError(f"trace line dest must be a string: {line!r}")
+        try:
+            return cls(
+                kind=record["op"],
+                path=record["path"],
+                size=int(record.get("size", 0)),
+                dest=record.get("dest", ""),
+                append=bool(record.get("append", False)),
+                batch=int(record.get("batch", 0)),
+            )
+        except (TypeError, ValueError) as error:
+            raise TraceFormatError(f"invalid trace line {line!r}: {error}") from error
+
+
+#: Header line marker: the first line of a serialized trace is a metadata
+#: record rather than an operation.
+_HEADER_KEY = "impressions_trace"
+_FORMAT_VERSION = 1
+
+
+class OperationTrace:
+    """An append-friendly, replayable sequence of operations.
+
+    The trace carries a ``metadata`` mapping (synthesizer name, parameters,
+    seed) that is serialized as a JSONL header line, so a trace file is
+    self-describing without affecting replay.
+    """
+
+    def __init__(
+        self,
+        operations: Iterable[Operation] = (),
+        metadata: Mapping[str, object] | None = None,
+    ) -> None:
+        self._operations: list[Operation] = list(operations)
+        self.metadata: dict[str, object] = dict(metadata or {})
+
+    # Construction ---------------------------------------------------------
+
+    def append(self, operation: Operation) -> None:
+        self._operations.append(operation)
+
+    def extend(self, operations: Iterable[Operation]) -> None:
+        self._operations.extend(operations)
+
+    def add(
+        self,
+        kind: str,
+        path: str,
+        size: int = 0,
+        dest: str = "",
+        append: bool = False,
+        batch: int = 0,
+    ) -> Operation:
+        """Create an operation, append it to the trace, and return it."""
+        operation = Operation(
+            kind=kind, path=path, size=size, dest=dest, append=append, batch=batch
+        )
+        self._operations.append(operation)
+        return operation
+
+    # Access ---------------------------------------------------------------
+
+    @property
+    def operations(self) -> list[Operation]:
+        return list(self._operations)
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._operations)
+
+    def __getitem__(self, index: int) -> Operation:
+        return self._operations[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OperationTrace):
+            return NotImplemented
+        return self._operations == other._operations and self.metadata == other.metadata
+
+    def counts_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for operation in self._operations:
+            counts[operation.kind] = counts.get(operation.kind, 0) + 1
+        return counts
+
+    def bytes_by_kind(self) -> dict[str, int]:
+        """Total bytes moved per data-operation kind."""
+        totals: dict[str, int] = {}
+        for operation in self._operations:
+            if operation.is_data:
+                totals[operation.kind] = totals.get(operation.kind, 0) + operation.size
+        return totals
+
+    def num_batches(self) -> int:
+        if not self._operations:
+            return 0
+        return max(operation.batch for operation in self._operations) + 1
+
+    def summary(self) -> dict:
+        return {
+            "operations": len(self._operations),
+            "batches": self.num_batches(),
+            "counts_by_kind": self.counts_by_kind(),
+            "bytes_by_kind": self.bytes_by_kind(),
+        }
+
+    # Serialization --------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Serialize header + one line per operation (canonical bytes)."""
+        buffer = io.StringIO()
+        self.write_jsonl(buffer)
+        return buffer.getvalue()
+
+    def write_jsonl(self, stream: IO[str]) -> None:
+        header = {
+            _HEADER_KEY: _FORMAT_VERSION,
+            "operations": len(self._operations),
+            "metadata": self.metadata,
+        }
+        stream.write(json.dumps(header, sort_keys=True, separators=(",", ":")))
+        stream.write("\n")
+        for operation in self._operations:
+            stream.write(operation.to_json_line())
+            stream.write("\n")
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            self.write_jsonl(handle)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "OperationTrace":
+        return cls.read_jsonl(io.StringIO(text))
+
+    @classmethod
+    def read_jsonl(cls, stream: IO[str]) -> "OperationTrace":
+        """Parse a trace from a JSONL stream (header line optional)."""
+        trace = cls()
+        first = True
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            if first:
+                first = False
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise TraceFormatError(f"malformed trace line: {line!r}") from error
+                if isinstance(record, dict) and _HEADER_KEY in record:
+                    version = record[_HEADER_KEY]
+                    if version != _FORMAT_VERSION:
+                        raise TraceFormatError(f"unsupported trace version {version!r}")
+                    trace.metadata = dict(record.get("metadata", {}))
+                    continue
+            trace.append(Operation.from_json_line(line))
+        return trace
+
+    @classmethod
+    def load(cls, path: str) -> "OperationTrace":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.read_jsonl(handle)

@@ -1,0 +1,463 @@
+"""Trace replay engine.
+
+Executes an :class:`~repro.trace.ops.OperationTrace` against the triple the
+rest of the repo already models — :class:`~repro.namespace.tree.FileSystemTree`
+namespace, :class:`~repro.layout.disk.SimulatedDisk` allocator, and
+:class:`~repro.workloads.cache.BufferCache` — and reports per-op-class
+simulated latency and byte counts derived from the disk's
+:class:`~repro.layout.disk.DiskGeometry` cost model.
+
+Two ways to drive it:
+
+* :meth:`TraceReplayer.replay` runs a whole trace and returns a
+  :class:`ReplayResult`;
+* :meth:`TraceReplayer.execute` applies a single operation, for callers (like
+  the trace-driven ager) that interleave replay with measurement.
+
+All simulated statistics are a pure function of the trace and the initial
+disk/cache state: replaying the same trace twice yields identical
+:meth:`ReplayResult.as_dict` output.  Wall-clock throughput is reported
+separately (:attr:`ReplayResult.wall_seconds`) so determinism checks are not
+polluted by timing noise.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.core.image import FileSystemImage
+from repro.layout.disk import AllocationError, DiskGeometry, DoubleFreeError, SimulatedDisk
+from repro.trace.ops import Operation, OperationTrace
+from repro.workloads.cache import BufferCache
+
+__all__ = ["ReplayCostModel", "OpClassStats", "ReplayResult", "TraceReplayer"]
+
+# Indices into the per-kind accumulator rows (kept as plain lists so the hot
+# loop does no attribute lookups).
+_COUNT, _SKIPPED, _TOTAL, _MIN, _MAX, _BYTES = range(6)
+
+
+@dataclass(frozen=True)
+class ReplayCostModel:
+    """CPU-side cost constants of the replayer (milliseconds).
+
+    Disk-side costs all come from the :class:`DiskGeometry` of the disk being
+    replayed against; these constants only cover what never leaves memory.
+    """
+
+    #: processing a metadata access served from the buffer cache.
+    cached_metadata_cpu_ms: float = 0.005
+    #: per-block cost of a data read served from the buffer cache.
+    cached_read_cpu_ms_per_block: float = 0.001
+    #: namespace bookkeeping on create/delete/rename/mkdir, on top of the
+    #: metadata write the disk charges.
+    namespace_update_cpu_ms: float = 0.01
+
+
+@dataclass
+class OpClassStats:
+    """Aggregated statistics for one operation kind."""
+
+    count: int = 0
+    skipped: int = 0
+    total_ms: float = 0.0
+    min_ms: float = 0.0
+    max_ms: float = 0.0
+    bytes_moved: int = 0
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "skipped": self.skipped,
+            "total_ms": self.total_ms,
+            "mean_ms": self.mean_ms,
+            "min_ms": self.min_ms,
+            "max_ms": self.max_ms,
+            "bytes": self.bytes_moved,
+        }
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one trace.
+
+    ``as_dict`` contains only simulated, deterministic values; wall-clock
+    figures live in :attr:`wall_seconds` / :attr:`ops_per_second`.
+    """
+
+    per_kind: dict[str, OpClassStats] = field(default_factory=dict)
+    executed: int = 0
+    skipped: int = 0
+    batches: int = 0
+    simulated_ms: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    layout_score_before: float | None = None
+    layout_score_after: float | None = None
+    wall_seconds: float = 0.0
+
+    @property
+    def total_operations(self) -> int:
+        return self.executed + self.skipped
+
+    @property
+    def ops_per_second(self) -> float:
+        """Wall-clock replay throughput (how fast the engine itself runs)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.total_operations / self.wall_seconds
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def simulated_throughput_ops_s(self) -> float:
+        """Throughput of the *simulated* disk (ops per simulated second)."""
+        if self.simulated_ms <= 0.0:
+            return 0.0
+        return 1000.0 * self.executed / self.simulated_ms
+
+    def as_dict(self) -> dict:
+        out: dict = {
+            "operations": self.total_operations,
+            "executed": self.executed,
+            "skipped": self.skipped,
+            "batches": self.batches,
+            "simulated_ms": self.simulated_ms,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_ratio": self.cache_hit_ratio,
+            "per_kind": {kind: stats.as_dict() for kind, stats in sorted(self.per_kind.items())},
+        }
+        if self.layout_score_before is not None:
+            out["layout_score_before"] = self.layout_score_before
+        if self.layout_score_after is not None:
+            out["layout_score_after"] = self.layout_score_after
+        return out
+
+
+class TraceReplayer:
+    """Replays operation traces against a namespace + disk + cache.
+
+    Args:
+        image: image whose disk and namespace the trace runs against.  The
+            image's files are reachable under their tree paths.  When omitted,
+            a standalone disk of ``disk_blocks`` blocks is created — the mode
+            storm/churn traces (which build their own namespace) use.
+        cache: buffer cache; a fresh unbounded cache by default (cold start).
+        cost_model: CPU-side cost constants.
+        disk_blocks: size of the standalone disk when ``image`` is None.
+        strict: raise on inconsistent operations (create of an existing path,
+            delete/read of a missing one) instead of counting them as skipped.
+    """
+
+    def __init__(
+        self,
+        image: FileSystemImage | None = None,
+        *,
+        cache: BufferCache | None = None,
+        cost_model: ReplayCostModel | None = None,
+        disk_blocks: int = 262_144,
+        strict: bool = False,
+    ) -> None:
+        if image is not None and image.disk is not None:
+            self._disk = image.disk
+        else:
+            self._disk = SimulatedDisk(num_blocks=disk_blocks)
+        self._image = image
+        self._cache = cache if cache is not None else BufferCache()
+        self._costs = cost_model or ReplayCostModel()
+        self._strict = strict
+        self._geometry: DiskGeometry = self._disk.geometry
+        # (runs, blocks) per on-disk file, maintained incrementally so read
+        # costs stay O(1) after the first access.
+        self._run_stats: dict[str, tuple[int, int]] = {}
+        self._directories: set[str] = set()
+        self._rows: dict[str, list] = {}
+        self._executed = 0
+        self._skipped = 0
+        self._simulated_ms = 0.0
+        self._max_batch = -1
+
+    @property
+    def disk(self) -> SimulatedDisk:
+        return self._disk
+
+    @property
+    def cache(self) -> BufferCache:
+        return self._cache
+
+    def warm_cache(self) -> None:
+        """Pre-load metadata and data of every existing on-disk file."""
+        block_size = self._geometry.block_size
+        items: dict[str, int] = {}
+        for name in self._disk.file_names():
+            items["meta:" + name] = 256
+            items["data:" + name] = len(self._disk.blocks_of(name)) * block_size
+        self._cache.warm(items)
+
+    # Replay -----------------------------------------------------------------
+
+    def replay(self, trace: OperationTrace) -> ReplayResult:
+        """Execute every operation of ``trace`` and return the statistics."""
+        score_before = self._image_layout_score()
+        execute = self.execute
+        start = time.perf_counter()
+        for operation in trace:
+            execute(operation)
+        wall = time.perf_counter() - start
+        result = self.result()
+        result.wall_seconds = wall
+        result.layout_score_before = score_before
+        result.layout_score_after = self._image_layout_score()
+        self._record_image_timing(wall)
+        return result
+
+    def execute(self, operation: Operation) -> float:
+        """Apply one operation; returns its simulated latency in ms."""
+        kind = operation.kind
+        path = operation.path
+        size = operation.size
+        disk = self._disk
+        cache = self._cache
+        costs = self._costs
+        geometry = self._geometry
+
+        skipped = False
+        latency = 0.0
+        if kind == "read":
+            stats = self._run_stats.get(path)
+            if stats is None:
+                stats = self._compute_run_stats(path)
+            if stats is None:
+                skipped = True
+                self._fail_if_strict(operation, "read of unknown file")
+            else:
+                runs, blocks = stats
+                read_blocks = blocks
+                if size and size < blocks * geometry.block_size:
+                    read_blocks = max(1, (size + geometry.block_size - 1) // geometry.block_size)
+                if cache.access("data:" + path, blocks * geometry.block_size):
+                    latency = costs.cached_read_cpu_ms_per_block * max(read_blocks, 1)
+                elif blocks == 0:
+                    latency = geometry.access_time_ms(1, 1)
+                else:
+                    latency = geometry.access_time_ms(runs, read_blocks)
+        elif kind == "stat":
+            if cache.access("meta:" + path, 256):
+                latency = costs.cached_metadata_cpu_ms
+            else:
+                latency = geometry.access_time_ms(1, 1)
+        elif kind == "write":
+            if disk.has_file(path):
+                if operation.append:
+                    try:
+                        new_blocks = disk.extend(path, size)
+                    except AllocationError:
+                        skipped = True
+                        self._fail_if_strict(operation, "disk full")
+                    else:
+                        latency = self._write_latency(new_blocks)
+                        self._bump_run_stats(path, new_blocks)
+                        cache.discard("data:" + path)
+                else:
+                    # In-place overwrite of the first `size` bytes; only the
+                    # part past EOF (if any) allocates new blocks.
+                    stats = self._run_stats.get(path) or self._compute_run_stats(path)
+                    runs, blocks = stats
+                    needed = disk.blocks_needed(size)
+                    covered = min(blocks, needed) if blocks else 0
+                    overflow = needed - blocks
+                    if overflow > 0:
+                        try:
+                            new_blocks = disk.extend(path, overflow * geometry.block_size)
+                        except AllocationError:
+                            new_blocks = []
+                        self._bump_run_stats(path, new_blocks)
+                        covered += len(new_blocks)
+                    if covered:
+                        covered_runs = max(1, round(runs * covered / blocks)) if blocks else 1
+                        latency = geometry.access_time_ms(covered_runs, covered)
+                    else:
+                        latency = costs.namespace_update_cpu_ms
+                    cache.discard("data:" + path)
+            else:
+                # Write to a path never created: an implicit create, the way
+                # O_CREAT|O_WRONLY behaves.
+                skipped = not self._create(path, size)
+                if skipped:
+                    self._fail_if_strict(operation, "disk full")
+                else:
+                    latency = self._write_latency(disk.blocks_of(path)) + (
+                        geometry.access_time_ms(1, 1) + costs.namespace_update_cpu_ms
+                    )
+        elif kind == "create":
+            if disk.has_file(path):
+                skipped = True
+                self._fail_if_strict(operation, "create of existing file")
+            elif self._create(path, size):
+                latency = (
+                    geometry.access_time_ms(1, 1)
+                    + geometry.transfer_time_ms(disk.blocks_needed(size))
+                    + costs.namespace_update_cpu_ms
+                )
+            else:
+                skipped = True
+                self._fail_if_strict(operation, "disk full")
+        elif kind == "delete":
+            try:
+                disk.free(path)
+            except DoubleFreeError:
+                if path in self._directories:
+                    self._directories.discard(path)
+                    cache.discard("meta:" + path)
+                    latency = geometry.access_time_ms(1, 1) + costs.namespace_update_cpu_ms
+                else:
+                    skipped = True
+                    self._fail_if_strict(operation, "delete of unknown file")
+            else:
+                self._run_stats.pop(path, None)
+                cache.discard("data:" + path)
+                cache.discard("meta:" + path)
+                latency = geometry.access_time_ms(1, 1) + costs.namespace_update_cpu_ms
+        elif kind == "rename":
+            dest = operation.dest
+            try:
+                disk.rename(path, dest)
+            except (KeyError, ValueError):
+                skipped = True
+                self._fail_if_strict(operation, "rename of unknown or colliding file")
+            else:
+                stats = self._run_stats.pop(path, None)
+                if stats is not None:
+                    self._run_stats[dest] = stats
+                cache.discard("data:" + path)
+                cache.discard("meta:" + path)
+                latency = geometry.access_time_ms(1, 1) + costs.namespace_update_cpu_ms
+        elif kind == "mkdir":
+            if path in self._directories:
+                skipped = True
+                self._fail_if_strict(operation, "mkdir of existing directory")
+            else:
+                self._directories.add(path)
+                cache.access("meta:" + path, 4096)
+                latency = geometry.access_time_ms(1, 1) + costs.namespace_update_cpu_ms
+        else:  # pragma: no cover - Operation validates kinds
+            raise ValueError(f"unknown operation kind {kind!r}")
+
+        row = self._rows.get(kind)
+        if row is None:
+            row = [0, 0, 0.0, math.inf, 0.0, 0]
+            self._rows[kind] = row
+        if skipped:
+            row[_SKIPPED] += 1
+            self._skipped += 1
+        else:
+            row[_COUNT] += 1
+            row[_TOTAL] += latency
+            if latency < row[_MIN]:
+                row[_MIN] = latency
+            if latency > row[_MAX]:
+                row[_MAX] = latency
+            row[_BYTES] += size if kind in ("read", "write", "create") else 0
+            self._executed += 1
+            self._simulated_ms += latency
+        if operation.batch > self._max_batch:
+            self._max_batch = operation.batch
+        return latency
+
+    def result(self) -> ReplayResult:
+        """Snapshot the statistics accumulated so far."""
+        per_kind = {}
+        for kind, row in self._rows.items():
+            per_kind[kind] = OpClassStats(
+                count=row[_COUNT],
+                skipped=row[_SKIPPED],
+                total_ms=row[_TOTAL],
+                min_ms=0.0 if math.isinf(row[_MIN]) else row[_MIN],
+                max_ms=row[_MAX],
+                bytes_moved=row[_BYTES],
+            )
+        return ReplayResult(
+            per_kind=per_kind,
+            executed=self._executed,
+            skipped=self._skipped,
+            batches=self._max_batch + 1,
+            simulated_ms=self._simulated_ms,
+            cache_hits=self._cache.hits,
+            cache_misses=self._cache.misses,
+        )
+
+    # Internal helpers --------------------------------------------------------
+
+    def _create(self, path: str, size: int) -> bool:
+        try:
+            blocks = self._disk.allocate(path, size)
+        except AllocationError:
+            return False
+        runs = _count_runs(blocks)
+        self._run_stats[path] = (runs, len(blocks))
+        self._cache.access("meta:" + path, 256)
+        return True
+
+    def _write_latency(self, new_blocks: list[int]) -> float:
+        if not new_blocks:
+            return self._costs.namespace_update_cpu_ms
+        return self._geometry.access_time_ms(_count_runs(new_blocks), len(new_blocks))
+
+    def _compute_run_stats(self, path: str) -> tuple[int, int] | None:
+        if not self._disk.has_file(path):
+            return None
+        blocks = self._disk.blocks_of(path)
+        stats = (_count_runs(blocks), len(blocks))
+        self._run_stats[path] = stats
+        return stats
+
+    def _bump_run_stats(self, path: str, new_blocks: list[int]) -> None:
+        stats = self._run_stats.get(path)
+        if stats is None:
+            self._compute_run_stats(path)
+            return
+        runs, blocks = stats
+        # Appended blocks form their own runs unless the first one extends the
+        # file's previous tail; recomputing exactly would be O(file), so treat
+        # the appended extent as new runs (an upper bound on fragmentation).
+        self._run_stats[path] = (runs + _count_runs(new_blocks), blocks + len(new_blocks))
+
+    def _fail_if_strict(self, operation: Operation, reason: str) -> None:
+        if self._strict:
+            raise ValueError(f"strict replay failed on {operation}: {reason}")
+
+    def _image_layout_score(self) -> float | None:
+        if self._image is None:
+            return None
+        return self._image.achieved_layout_score()
+
+    def _record_image_timing(self, wall_seconds: float) -> None:
+        if self._image is None:
+            return
+        timings = self._image.extras.get("timings")
+        if timings is not None:
+            extras = timings.extras
+            extras["trace_replay"] = extras.get("trace_replay", 0.0) + wall_seconds
+
+
+def _count_runs(blocks: list[int]) -> int:
+    """Contiguous runs in a logically ordered block list."""
+    if not blocks:
+        return 0
+    runs = 1
+    previous = blocks[0]
+    for block in blocks[1:]:
+        if block != previous + 1:
+            runs += 1
+        previous = block
+    return runs

@@ -66,6 +66,17 @@ class BufferCache:
         self.hits = 0
         self.misses = 0
 
+    def discard(self, key: str) -> bool:
+        """Drop one object if present (a delete/rename invalidation).
+
+        Returns True when the key was cached.  Does not count as a hit or a
+        miss: invalidation is bookkeeping, not an access.
+        """
+        if key not in self._entries:
+            return False
+        self._used -= self._entries.pop(key)
+        return True
+
     def invalidate(self) -> None:
         """Drop everything (a cold cache)."""
         self._entries.clear()

@@ -97,3 +97,83 @@ class TestMain:
         help_text = capsys.readouterr().out
         for option in ("--size-gb", "--files", "--layout-score", "--content", "--seed"):
             assert option in help_text
+
+
+class TestTraceSubcommand:
+    def test_synth_churn_to_file(self, tmp_path, capsys):
+        from repro.trace.ops import OperationTrace
+
+        out = tmp_path / "trace.jsonl"
+        exit_code = main(["trace", "synth", "--kind", "churn", "--ops", "500",
+                          "--seed", "3", "--out", str(out)])
+        assert exit_code == 0
+        trace = OperationTrace.load(str(out))
+        assert len(trace) == 500
+        assert trace.metadata["synthesizer"] == "churn"
+
+    def test_synth_to_stdout_then_replay_roundtrip(self, tmp_path, capsys, monkeypatch):
+        """The synth | replay pipe: stdout of synth is valid stdin for replay."""
+        import io
+
+        main(["trace", "synth", "--kind", "zipf", "--ops", "400",
+              "--seed", "3", "--files", "80", "--dirs", "20"])
+        piped = capsys.readouterr().out
+        assert piped.startswith('{"impressions_trace"')
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(piped))
+        exit_code = main(["trace", "replay", "--files", "80", "--dirs", "20"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "replayed 400 ops" in output
+        assert "Replay statistics by operation class" in output
+
+    def test_replay_writes_stats_json(self, tmp_path, capsys):
+        import json as json_module
+
+        trace_path = tmp_path / "t.jsonl"
+        stats_path = tmp_path / "stats.json"
+        main(["trace", "synth", "--kind", "storm", "--ops", "400",
+              "--out", str(trace_path)])
+        capsys.readouterr()
+        main(["trace", "replay", "--trace", str(trace_path), "--quiet",
+              "--stats", str(stats_path)])
+        stats = json_module.loads(stats_path.read_text())
+        assert stats["executed"] > 0
+        assert "per_kind" in stats and "ops_per_second" in stats
+
+    def test_replay_determinism_across_processes(self, tmp_path, capsys):
+        """Same seed + config => identical stats JSON (modulo wall-clock keys)."""
+        import json as json_module
+
+        trace_path = tmp_path / "t.jsonl"
+        main(["trace", "synth", "--kind", "zipf", "--ops", "300", "--seed", "9",
+              "--files", "60", "--dirs", "15", "--out", str(trace_path)])
+        payloads = []
+        for name in ("a.json", "b.json"):
+            stats_path = tmp_path / name
+            main(["trace", "replay", "--trace", str(trace_path), "--quiet",
+                  "--files", "60", "--dirs", "15", "--stats", str(stats_path)])
+            payload = json_module.loads(stats_path.read_text())
+            payload.pop("wall_seconds")
+            payload.pop("ops_per_second")
+            payloads.append(payload)
+        capsys.readouterr()
+        assert payloads[0] == payloads[1]
+
+    def test_age_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "aging.jsonl"
+        exit_code = main(["trace", "age", "--layout-score", "0.85", "--files", "120",
+                          "--dirs", "25", "--out", str(out)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "aged image" in output
+        assert out.exists()
+
+    def test_age_requires_image(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "age", "--layout-score", "0.8"])
+
+    def test_plain_cli_still_works_after_trace_wiring(self, capsys):
+        exit_code = main(["--files", "40", "--dirs", "10", "--seed", "3", "--quiet"])
+        assert exit_code == 0
+        assert "generated image" in capsys.readouterr().out

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.layout.disk import AllocationError, DiskGeometry, SimulatedDisk
@@ -178,3 +179,104 @@ class TestCostModel:
         assert summary["num_blocks"] == 64
         assert summary["used_blocks"] == 1
         assert summary["files"] == 1
+
+
+class TestFreeAndReallocate:
+    def test_free_returns_block_count(self):
+        disk = SimulatedDisk(num_blocks=64)
+        disk.allocate("f", 3 * 4096)
+        assert disk.free("f") == 3
+        assert not disk.has_file("f")
+        assert disk.free_blocks == 64
+
+    def test_double_free_raises_explicit_error(self):
+        from repro.layout.disk import DoubleFreeError
+
+        disk = SimulatedDisk(num_blocks=64)
+        disk.allocate("f", 4096)
+        disk.free("f")
+        with pytest.raises(DoubleFreeError, match="double free"):
+            disk.free("f")
+
+    def test_free_of_unknown_file_raises(self):
+        from repro.layout.disk import DoubleFreeError
+
+        disk = SimulatedDisk(num_blocks=64)
+        with pytest.raises(DoubleFreeError):
+            disk.free("never-existed")
+
+    def test_reallocate_can_reuse_own_blocks(self):
+        disk = SimulatedDisk(num_blocks=64)
+        old = disk.allocate("f", 4 * 4096)
+        new = disk.reallocate("f", 4 * 4096)
+        assert new == old  # first-fit hands back the freed region
+
+    def test_reallocate_unknown_raises(self):
+        from repro.layout.disk import DoubleFreeError
+
+        disk = SimulatedDisk(num_blocks=64)
+        with pytest.raises(DoubleFreeError):
+            disk.reallocate("f", 4096)
+
+    def test_rename_preserves_blocks(self):
+        disk = SimulatedDisk(num_blocks=64)
+        blocks = disk.allocate("a", 2 * 4096)
+        disk.rename("a", "b")
+        assert not disk.has_file("a")
+        assert disk.blocks_of("b") == blocks
+        with pytest.raises(KeyError):
+            disk.rename("a", "c")
+        disk.allocate("a", 4096)
+        with pytest.raises(ValueError):
+            disk.rename("a", "b")
+
+
+class TestCoalescingUnderChurn:
+    """Free-extent invariants while files churn through free()/allocate."""
+
+    def _free_extents(self, disk: SimulatedDisk) -> list[tuple[int, int]]:
+        return list(zip(disk._free_starts, disk._free_lengths))
+
+    def _assert_invariants(self, disk: SimulatedDisk) -> None:
+        extents = self._free_extents(disk)
+        for (start_a, len_a), (start_b, _) in zip(extents, extents[1:]):
+            # Sorted, non-overlapping, and never adjacent (adjacent extents
+            # must have been coalesced into one).
+            assert start_a + len_a < start_b
+
+    def test_interleaved_free_coalesces_fully(self):
+        disk = SimulatedDisk(num_blocks=128)
+        names = [f"f{i}" for i in range(16)]
+        for name in names:
+            disk.allocate(name, 8 * 4096)
+        # Free odd files first, then even: every boundary exercises both the
+        # merge-with-next and merge-with-previous paths.
+        for name in names[1::2]:
+            disk.free(name)
+            self._assert_invariants(disk)
+        for name in names[0::2]:
+            disk.free(name)
+            self._assert_invariants(disk)
+        assert self._free_extents(disk) == [(0, 128)]
+
+    def test_random_churn_keeps_extents_canonical(self):
+        rng = np.random.default_rng(123)
+        disk = SimulatedDisk(num_blocks=2048)
+        live: list[str] = []
+        counter = 0
+        for _ in range(600):
+            if live and rng.random() < 0.45:
+                victim = live.pop(int(rng.integers(len(live))))
+                disk.free(victim)
+            else:
+                name = f"churn{counter}"
+                counter += 1
+                size = int(rng.integers(1, 16)) * 4096
+                if disk.blocks_needed(size) <= disk.free_blocks:
+                    disk.allocate(name, size)
+                    live.append(name)
+            self._assert_invariants(disk)
+            assert disk.used_blocks + disk.free_blocks == disk.num_blocks
+        for name in live:
+            disk.free(name)
+        assert self._free_extents(disk) == [(0, 2048)]

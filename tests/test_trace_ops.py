@@ -1,0 +1,125 @@
+"""Tests for the trace operation model and JSONL serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.ops import (
+    DATA_OP_KINDS,
+    METADATA_OP_KINDS,
+    OP_KINDS,
+    Operation,
+    OperationTrace,
+    TraceFormatError,
+)
+
+
+class TestOperation:
+    def test_kinds_partition(self):
+        assert DATA_OP_KINDS | METADATA_OP_KINDS == frozenset(OP_KINDS)
+        assert not DATA_OP_KINDS & METADATA_OP_KINDS
+
+    def test_valid_operation(self):
+        op = Operation(kind="write", path="/a", size=4096, append=True)
+        assert op.is_data
+        assert Operation(kind="stat", path="/a").is_data is False
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "chmod", "path": "/a"},
+            {"kind": "read", "path": ""},
+            {"kind": "read", "path": "/a", "size": -1},
+            {"kind": "read", "path": "/a", "batch": -1},
+            {"kind": "rename", "path": "/a"},
+            {"kind": "read", "path": "/a", "dest": "/b"},
+            {"kind": "read", "path": "/a", "append": True},
+        ],
+    )
+    def test_invalid_operations_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Operation(**kwargs)
+
+    def test_json_line_roundtrip(self):
+        ops = [
+            Operation(kind="create", path="/x", size=100),
+            Operation(kind="rename", path="/x", dest="/y", batch=3),
+            Operation(kind="write", path="/y", size=10, append=True),
+            Operation(kind="stat", path="/y"),
+        ]
+        for op in ops:
+            assert Operation.from_json_line(op.to_json_line()) == op
+
+    def test_json_line_omits_defaults(self):
+        line = Operation(kind="stat", path="/a").to_json_line()
+        assert "size" not in line and "dest" not in line and "batch" not in line
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json",
+            "[1,2]",
+            '{"path": "/a"}',
+            '{"op": "stat", "path": 5}',
+            '{"op": 1, "path": "/a"}',
+            '{"op": "rename", "path": "/a", "dest": 2}',
+        ],
+    )
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(TraceFormatError):
+            Operation.from_json_line(line)
+
+
+class TestOperationTrace:
+    def _sample(self) -> OperationTrace:
+        trace = OperationTrace(metadata={"synthesizer": "test", "seed": 1})
+        trace.add("mkdir", "/d")
+        trace.add("create", "/d/a", size=8192)
+        trace.add("read", "/d/a", size=8192, batch=1)
+        trace.add("write", "/d/a", size=100, append=True, batch=1)
+        trace.add("delete", "/d/a", batch=2)
+        return trace
+
+    def test_append_and_counts(self):
+        trace = self._sample()
+        assert len(trace) == 5
+        assert trace.counts_by_kind() == {
+            "mkdir": 1,
+            "create": 1,
+            "read": 1,
+            "write": 1,
+            "delete": 1,
+        }
+        assert trace.bytes_by_kind() == {"read": 8192, "write": 100}
+        assert trace.num_batches() == 3
+
+    def test_jsonl_roundtrip_preserves_everything(self):
+        trace = self._sample()
+        restored = OperationTrace.from_jsonl(trace.to_jsonl())
+        assert restored == trace
+        assert restored.metadata == {"synthesizer": "test", "seed": 1}
+
+    def test_jsonl_is_canonical(self):
+        trace = self._sample()
+        assert trace.to_jsonl() == OperationTrace.from_jsonl(trace.to_jsonl()).to_jsonl()
+
+    def test_headerless_jsonl_accepted(self):
+        body = '{"op":"stat","path":"/a"}\n{"op":"delete","path":"/a"}\n'
+        trace = OperationTrace.from_jsonl(body)
+        assert len(trace) == 2
+        assert trace.metadata == {}
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(TraceFormatError):
+            OperationTrace.from_jsonl('{"impressions_trace":99,"metadata":{}}\n')
+
+    def test_save_and_load(self, tmp_path):
+        trace = self._sample()
+        path = tmp_path / "trace.jsonl"
+        trace.save(str(path))
+        assert OperationTrace.load(str(path)) == trace
+
+    def test_summary_shape(self):
+        summary = self._sample().summary()
+        assert summary["operations"] == 5
+        assert summary["batches"] == 3
