@@ -1,0 +1,88 @@
+"""A campaign sweep end to end: declare, run, report, compare.
+
+Declares a 12-scenario campaign (3 file counts x 2 layout scores x 2 seeds),
+runs it on a process pool, shows that re-running skips every completed
+scenario via fingerprints, renders the per-metric report across the sweep
+axes, and demonstrates regression tracking by comparing the store against a
+copy with one metric artificially inflated.
+
+Run with::
+
+    PYTHONPATH=src python examples/campaign_sweep.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from repro.campaign import CampaignSpec, ResultStore, compare, render_report, run_campaign
+
+SPEC = {
+    "name": "layout-sweep",
+    "description": "how fragmentation and scale shape find + replay cost",
+    "base": {"num_directories": 24, "fs_size_bytes": 32 * 1024 * 1024},
+    "sweep": {
+        "num_files": [100, 200, 400],
+        "layout_score": [1.0, 0.7],
+        "seed": [1, 2],
+    },
+    "steps": [
+        {"step": "summary"},
+        {"step": "find"},
+        {"step": "trace_replay", "kind": "zipf", "ops": 2_000},
+    ],
+}
+
+
+def main() -> None:
+    spec = CampaignSpec.from_dict(SPEC)
+    print(f"campaign {spec.name}: {spec.num_scenarios} scenarios")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = os.path.join(tmp, "results.jsonl")
+
+        # 1. Run the whole grid on 4 workers.
+        result = run_campaign(spec, store_path, workers=4)
+        print(
+            f"executed {len(result.executed)} scenario(s) "
+            f"in {result.wall_seconds:.2f} s on 4 workers"
+        )
+
+        # 2. Re-running is free: every fingerprint is already in the store.
+        rerun = run_campaign(spec, store_path, workers=4)
+        print(
+            f"re-run: {len(rerun.executed)} executed, "
+            f"{len(rerun.skipped)} skipped via fingerprints"
+        )
+
+        # 3. Per-metric view across the sweep axes.
+        store = ResultStore(store_path)
+        rows = list(store.latest_rows().values())
+        print()
+        print(
+            render_report(
+                rows,
+                metrics=["find.elapsed_ms", "trace_replay.simulated_ms"],
+                title="find + replay cost across the sweep",
+            )
+        )
+
+        # 4. Regression tracking: inflate one scenario's replay cost by 40%
+        # and diff the stores the way CI would diff two revisions.
+        regressed_path = os.path.join(tmp, "regressed.jsonl")
+        regressed = ResultStore(regressed_path)
+        for index, row in enumerate(store):
+            if index == 0:
+                row = json.loads(json.dumps(row))
+                row["metrics"]["trace_replay.simulated_ms"] *= 1.4
+            regressed.append(row)
+        diff = compare(store.latest_rows(), regressed.latest_rows(), tolerance=0.1)
+        print()
+        print(diff.render_text())
+        assert diff.has_regressions
+
+
+if __name__ == "__main__":
+    main()

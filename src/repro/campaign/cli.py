@@ -1,0 +1,212 @@
+"""``impressions campaign`` subcommands.
+
+Four verbs::
+
+    impressions campaign run sweep.json --store results.jsonl --workers 4
+    impressions campaign list sweep.json --store results.jsonl
+    impressions campaign report --store results.jsonl --metric find.elapsed_ms
+    impressions campaign compare baseline.jsonl results.jsonl --tolerance 0.1
+
+``run`` expands the spec, executes pending scenarios across a worker pool,
+and appends result rows to the store (scenarios whose fingerprint is already
+stored are skipped — re-running a finished campaign is free).  ``list`` shows
+the expanded grid with fingerprints and completion state.  ``report`` renders
+per-metric tables across the sweep axes.  ``compare`` diffs two stores and
+exits nonzero when it finds metric regressions beyond the tolerance, so it
+can gate CI.  Every verb accepts ``--json`` for machine-readable output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.campaign.registry import step_names
+from repro.campaign.report import compare, metric_names, render_report
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec, SpecError
+from repro.campaign.store import ResultStore, StoreError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="impressions campaign",
+        description="Declarative scenario sweeps with parallel execution and regression tracking.",
+        epilog=f"Registered steps: {', '.join(step_names())}.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="execute a campaign spec")
+    run.add_argument("spec", help="campaign spec (JSON file)")
+    run.add_argument(
+        "--store",
+        default="campaign-results.jsonl",
+        metavar="PATH",
+        help="JSONL result store to append to (default: %(default)s)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default: %(default)s)"
+    )
+    run.add_argument(
+        "--force", action="store_true", help="re-run scenarios already in the store"
+    )
+    run.add_argument("--json", action="store_true", help="print a JSON summary")
+    run.add_argument("--quiet", action="store_true", help="suppress per-scenario progress")
+
+    lst = commands.add_parser("list", help="show a spec's expanded scenarios")
+    lst.add_argument("spec", help="campaign spec (JSON file)")
+    lst.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="result store to check completion against",
+    )
+    lst.add_argument("--json", action="store_true", help="print scenarios as JSON")
+
+    report = commands.add_parser("report", help="render result tables across the sweep")
+    report.add_argument("--store", required=True, metavar="PATH", help="JSONL result store")
+    report.add_argument(
+        "--metric",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="metric to include (repeatable; default: all)",
+    )
+    report.add_argument("--json", action="store_true", help="print rows as JSON")
+
+    cmp_parser = commands.add_parser(
+        "compare", help="diff two result stores and flag regressions"
+    )
+    cmp_parser.add_argument("baseline", help="baseline result store (JSONL)")
+    cmp_parser.add_argument("candidate", help="candidate result store (JSONL)")
+    cmp_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="allowed relative metric change (default: %(default)s)",
+    )
+    cmp_parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help=(
+            "do not fail when the candidate store is missing baseline scenarios "
+            "(by default an incomplete candidate fails the gate)"
+        ),
+    )
+    cmp_parser.add_argument("--json", action="store_true", help="print the diff as JSON")
+    return parser
+
+
+def _run_run(args: argparse.Namespace) -> int:
+    spec = CampaignSpec.load(args.spec)
+    progress = None if (args.quiet or args.json) else lambda line: print(line)
+    result = run_campaign(
+        spec, args.store, workers=args.workers, force=args.force, progress=progress
+    )
+    if args.json:
+        print(json.dumps(result.as_dict(), sort_keys=True))
+    else:
+        print(
+            f"campaign {result.campaign}: {len(result.executed)} scenario(s) executed, "
+            f"{len(result.skipped)} skipped (already in {result.store_path}), "
+            f"{result.wall_seconds:.2f} s"
+        )
+    return 0
+
+
+def _run_list(args: argparse.Namespace) -> int:
+    spec = CampaignSpec.load(args.spec)
+    completed = ResultStore(args.store).fingerprints() if args.store else set()
+    scenarios = spec.expand()
+    if args.json:
+        payload = [
+            {
+                "scenario": scenario.scenario_id,
+                "fingerprint": scenario.fingerprint,
+                "params": dict(scenario.params),
+                "completed": scenario.fingerprint in completed,
+            }
+            for scenario in scenarios
+        ]
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    print(f"campaign {spec.name}: {len(scenarios)} scenario(s)")
+    for scenario in scenarios:
+        state = "done" if scenario.fingerprint in completed else "pending"
+        print(f"  [{state:7s}] {scenario.scenario_id}  {scenario.fingerprint[:12]}")
+    return 0
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if not store.exists():
+        raise SystemExit(f"impressions campaign report: error: no such store {args.store}")
+    latest = store.latest_rows()
+    rows = list(latest.values())
+    if args.json:
+        print(
+            json.dumps(
+                {"rows": rows, "metrics": metric_names(rows)}, sort_keys=True
+            )
+        )
+        return 0
+    title = None
+    if rows:
+        title = f"Campaign {rows[0].get('campaign', '?')} ({len(rows)} scenarios)"
+    print(render_report(rows, metrics=args.metric, title=title))
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    baseline = ResultStore(args.baseline)
+    candidate = ResultStore(args.candidate)
+    for store in (baseline, candidate):
+        if not store.exists():
+            raise SystemExit(
+                f"impressions campaign compare: error: no such store {store.path}"
+            )
+    baseline_rows = baseline.latest_rows()
+    result = compare(baseline_rows, candidate.latest_rows(), tolerance=args.tolerance)
+    # The gate must not pass vacuously: a truncated or empty candidate store
+    # (crashed run, wrong path) is a failure unless explicitly allowed.
+    incomplete = bool(result.only_in_baseline) or (
+        result.compared_scenarios == 0 and bool(baseline_rows)
+    )
+    failed = result.has_regressions or (incomplete and not args.allow_missing)
+    if args.json:
+        payload = result.as_dict()
+        payload["failed"] = failed
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(result.render_text())
+        if incomplete and not args.allow_missing:
+            print(
+                "FAIL: candidate store is missing baseline scenario(s) "
+                "(pass --allow-missing to tolerate an incomplete candidate)"
+            )
+    return 1 if failed else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``impressions campaign ...``."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _run_run(args)
+        if args.command == "list":
+            return _run_list(args)
+        if args.command == "report":
+            return _run_report(args)
+        return _run_compare(args)
+    except (SpecError, StoreError, ValueError) as error:
+        raise SystemExit(f"impressions campaign {args.command}: error: {error}")
+    except OSError as error:
+        raise SystemExit(f"impressions campaign {args.command}: error: {error}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,243 @@
+"""Scenario-step registry.
+
+A *step* is a named callable a campaign scenario runs against its freshly
+generated image.  Registering steps by name keeps campaign specs declarative
+(JSON names callables) and makes the existing workload simulators, trace
+machinery, and bench drivers uniform building blocks — the RT-Bench idea of
+an extensible harness with uniform result collection.
+
+Every step has the signature::
+
+    step(image: FileSystemImage, config: ImpressionsConfig, params: dict) -> dict
+
+and returns a flat mapping of metric name → JSON scalar.  Returned metrics
+must be **deterministic** (pure functions of the scenario): wall-clock times
+are measured by the runner and stored separately, so result rows stay
+byte-comparable across runs.
+
+Built-in steps:
+
+``summary``
+    Image shape: file/directory counts, total bytes, achieved layout score.
+``find``
+    :class:`~repro.workloads.find.FindSimulator` traversal
+    (params: ``pattern``, ``warm_cache``).
+``grep``
+    :class:`~repro.workloads.grep.GrepSimulator` content scan
+    (params: ``warm_cache``).
+``trace_replay``
+    Synthesize a trace (params: ``kind`` ∈ zipf|churn|storm, ``ops``,
+    ``seed_offset``, ``warm_cache``) and replay it against the image.
+``merged_replay``
+    Synthesize ``clients`` per-client churn traces, interleave them with
+    :func:`~repro.trace.ops.merge_traces`, replay once, and report overall
+    plus per-client simulated cost.
+``age``
+    Trace-driven aging to ``target_score`` (params: ``seed_offset``).
+``bench``
+    Run a :mod:`repro.bench` driver's ``run()`` (params: ``driver`` plus the
+    driver's keyword arguments) and report its scalar results.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.config import ImpressionsConfig
+from repro.core.image import FileSystemImage
+from repro.trace.aging import TraceAger
+from repro.trace.ops import merge_traces
+from repro.trace.replay import ReplayResult, TraceReplayer
+from repro.trace.synthesize import (
+    ChurnSpec,
+    MetadataStormSpec,
+    ZipfMixSpec,
+    synthesize_churn,
+    synthesize_metadata_storm,
+    synthesize_zipf_mix,
+)
+from repro.workloads.find import FindSimulator
+from repro.workloads.grep import GrepSimulator
+
+__all__ = ["StepFunction", "register_step", "get_step", "step_names"]
+
+StepFunction = Callable[[FileSystemImage, ImpressionsConfig, dict], Mapping[str, object]]
+
+_REGISTRY: dict[str, StepFunction] = {}
+
+
+def register_step(name: str) -> Callable[[StepFunction], StepFunction]:
+    """Decorator registering ``function`` as the step called ``name``."""
+
+    def decorator(function: StepFunction) -> StepFunction:
+        if name in _REGISTRY:
+            raise ValueError(f"step {name!r} is already registered")
+        _REGISTRY[name] = function
+        return function
+
+    return decorator
+
+
+def get_step(name: str) -> StepFunction:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown step {name!r}; registered steps: {step_names()}") from None
+
+
+def step_names() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+# Built-in steps --------------------------------------------------------------
+
+
+@register_step("summary")
+def _step_summary(image: FileSystemImage, config: ImpressionsConfig, params: dict) -> dict:
+    summary = image.summary()
+    return {
+        "files": summary["files"],
+        "directories": summary["directories"],
+        "total_bytes": summary["total_bytes"],
+        "layout_score": summary["layout_score"],
+    }
+
+
+@register_step("find")
+def _step_find(image: FileSystemImage, config: ImpressionsConfig, params: dict) -> dict:
+    simulator = FindSimulator(image)
+    if params.get("warm_cache"):
+        simulator.warm_cache()
+    result = simulator.run(params.get("pattern", "target"))
+    return {
+        "elapsed_ms": result.elapsed_ms,
+        "directories_visited": result.directories_visited,
+        "entries_examined": result.entries_examined,
+        "cache_hit_ratio": result.cache_hit_ratio,
+    }
+
+
+@register_step("grep")
+def _step_grep(image: FileSystemImage, config: ImpressionsConfig, params: dict) -> dict:
+    simulator = GrepSimulator(image)
+    if params.get("warm_cache"):
+        simulator.warm_cache()
+    result = simulator.run()
+    return {
+        "elapsed_ms": result.elapsed_ms,
+        "files_scanned": result.files_scanned,
+        "files_skipped_binary": result.files_skipped_binary,
+        "bytes_read": result.bytes_read,
+        "cache_hit_ratio": result.cache_hit_ratio,
+    }
+
+
+def _synthesize(kind: str, image: FileSystemImage, ops: int, seed: int, batch_size: int):
+    if kind == "zipf":
+        return synthesize_zipf_mix(
+            image, ZipfMixSpec(num_ops=ops, batch_size=batch_size), seed=seed
+        )
+    if kind == "churn":
+        return synthesize_churn(ChurnSpec(num_ops=ops, batch_size=batch_size), seed=seed)
+    if kind == "storm":
+        return synthesize_metadata_storm(
+            MetadataStormSpec(
+                num_dirs=10, files_per_dir=max(1, ops // 40), batch_size=batch_size
+            ),
+            seed=seed,
+        )
+    raise ValueError(f"unknown trace kind {kind!r}; expected zipf, churn, or storm")
+
+
+def _replay_metrics(result: ReplayResult) -> dict:
+    return {
+        "executed": result.executed,
+        "skipped": result.skipped,
+        "simulated_ms": result.simulated_ms,
+        "cache_hit_ratio": result.cache_hit_ratio,
+        "simulated_throughput_ops_s": result.simulated_throughput_ops_s,
+    }
+
+
+@register_step("trace_replay")
+def _step_trace_replay(image: FileSystemImage, config: ImpressionsConfig, params: dict) -> dict:
+    kind = params.get("kind", "zipf")
+    ops = int(params.get("ops", 5_000))
+    seed = config.seed + int(params.get("seed_offset", 0))
+    trace = _synthesize(kind, image, ops, seed, int(params.get("batch_size", 64)))
+    replayer = TraceReplayer(image)
+    if params.get("warm_cache"):
+        replayer.warm_cache()
+    result = replayer.replay(trace)
+    return _replay_metrics(result)
+
+
+@register_step("merged_replay")
+def _step_merged_replay(image: FileSystemImage, config: ImpressionsConfig, params: dict) -> dict:
+    clients = int(params.get("clients", 2))
+    if clients < 1:
+        raise ValueError("merged_replay needs at least one client")
+    kind = params.get("kind", "churn")
+    ops = int(params.get("ops", 5_000))
+    base_seed = config.seed + int(params.get("seed_offset", 0))
+    traces = []
+    for index in range(clients):
+        if kind == "churn":
+            # Per-client name prefixes keep the clients from colliding on
+            # freshly created paths while still sharing the image namespace.
+            spec = ChurnSpec(num_ops=ops, name_prefix=f"/churn/c{index}/f")
+            traces.append(synthesize_churn(spec, seed=base_seed + index))
+        else:
+            traces.append(_synthesize(kind, image, ops, base_seed + index, 64))
+    merged = merge_traces(*traces)
+    result = TraceReplayer(image).replay(merged)
+    metrics = _replay_metrics(result)
+    metrics["clients"] = clients
+    for client, stats in sorted(result.per_client.items()):
+        metrics[f"{client}_executed"] = stats.count
+        metrics[f"{client}_simulated_ms"] = stats.total_ms
+    return metrics
+
+
+@register_step("age")
+def _step_age(image: FileSystemImage, config: ImpressionsConfig, params: dict) -> dict:
+    target = params.get("target_score")
+    if target is None:
+        raise ValueError("age step requires a 'target_score' parameter")
+    seed = config.seed + int(params.get("seed_offset", 0))
+    ager = TraceAger(image, float(target), np.random.default_rng(seed))
+    result = ager.age()
+    return {
+        "initial_score": result.initial_score,
+        "achieved_score": result.achieved_score,
+        "target_score": result.target_score,
+        "score_error": result.error,
+        "files_rewritten": result.files_rewritten,
+        "operations": len(result.trace),
+    }
+
+
+@register_step("bench")
+def _step_bench(image: FileSystemImage, config: ImpressionsConfig, params: dict) -> dict:
+    driver_name = params.get("driver")
+    if not driver_name or not isinstance(driver_name, str) or "." in driver_name:
+        raise ValueError("bench step requires a 'driver' module name from repro.bench")
+    module = importlib.import_module(f"repro.bench.{driver_name}")
+    run = getattr(module, "run", None)
+    if run is None:
+        raise ValueError(f"bench driver {driver_name!r} has no run() function")
+    kwargs = {key: value for key, value in params.items() if key != "driver"}
+    result = run(**kwargs)
+    # Bench drivers generate their own images; report their scalar outputs
+    # (nested tables stay in the driver's own domain).
+    metrics: dict[str, object] = {}
+    for key, value in result.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        metrics[key] = value
+    if not metrics:
+        metrics["completed"] = 1
+    return metrics

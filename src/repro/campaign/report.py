@@ -1,0 +1,252 @@
+"""Campaign reporting and regression tracking.
+
+``render_report`` turns a result store into per-metric tables across the
+sweep axes; ``compare`` diffs two stores (e.g. produced by two git revisions
+running the same spec) and classifies every beyond-tolerance metric change:
+
+* **regression** — the metric moved in its *worse* direction (cost metrics
+  up, goodness metrics down);
+* **improvement** — it moved in its better direction;
+* **drift** — it changed but the metric has no inherent direction (counts,
+  byte totals): still worth a look, not a failure.
+
+Directionality is inferred from the metric leaf name (``…_ms`` and
+``…_seconds`` are costs, scores / hit ratios / throughputs are goodness,
+everything else neutral), so steps added later get sensible treatment
+without touching this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.bench.common import format_rows
+from repro.campaign.store import deterministic_view
+
+__all__ = [
+    "metric_names",
+    "metric_direction",
+    "render_report",
+    "compare",
+    "ComparisonResult",
+    "MetricDelta",
+]
+
+#: leaf names (after the final ``.``) whose increase is a regression.
+_LOWER_IS_BETTER_SUFFIXES = ("_ms", "_seconds")
+_LOWER_IS_BETTER_NAMES = frozenset({"skipped", "score_error", "files_skipped_binary"})
+#: leaf names whose decrease is a regression.
+_HIGHER_IS_BETTER_SUFFIXES = ("_score", "_ratio", "_ops_s", "_per_second")
+_HIGHER_IS_BETTER_NAMES = frozenset({"layout_score", "executed"})
+
+
+def metric_direction(name: str) -> str:
+    """``"lower"``, ``"higher"``, or ``"neutral"`` — which way is better."""
+    leaf = name.rsplit(".", 1)[-1]
+    if leaf in _LOWER_IS_BETTER_NAMES or leaf.endswith(_LOWER_IS_BETTER_SUFFIXES):
+        return "lower"
+    if leaf in _HIGHER_IS_BETTER_NAMES or leaf.endswith(_HIGHER_IS_BETTER_SUFFIXES):
+        return "higher"
+    return "neutral"
+
+
+def metric_names(rows: Iterable[Mapping]) -> list[str]:
+    """Every metric name appearing in ``rows``, sorted."""
+    names: set[str] = set()
+    for row in rows:
+        names.update(row.get("metrics", {}))
+    return sorted(names)
+
+
+def render_report(
+    rows: Sequence[Mapping],
+    metrics: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """One aligned table: a row per scenario, sweep axes then metrics.
+
+    Args:
+        rows: result rows (typically ``ResultStore.latest_rows().values()``
+            in scenario order).
+        metrics: metric names to show; all of them by default.
+        title: optional table title.
+    """
+    rows = list(rows)
+    if not rows:
+        return "no results"
+    available = metric_names(rows)
+    if metrics:
+        missing = sorted(set(metrics) - set(available))
+        if missing:
+            raise ValueError(f"unknown metric(s) {missing}; available: {available}")
+        selected = list(metrics)
+    else:
+        selected = available
+
+    axes: list[str] = []
+    for row in rows:
+        for axis in row.get("params", {}):
+            if axis not in axes:
+                axes.append(axis)
+
+    headers = axes + selected
+    table_rows = []
+    for row in rows:
+        params = row.get("params", {})
+        values = row.get("metrics", {})
+        table_rows.append(
+            [params.get(axis, "-") for axis in axes]
+            + [values.get(metric, "-") for metric in selected]
+        )
+    return format_rows(headers, table_rows, title=title)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One beyond-tolerance metric change between two stores."""
+
+    scenario: str
+    metric: str
+    baseline: float
+    candidate: float
+    relative_change: float
+    classification: str  # "regression" | "improvement" | "drift"
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "relative_change": self.relative_change,
+            "classification": self.classification,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.scenario} {self.metric}: "
+            f"{self.baseline:g} -> {self.candidate:g} "
+            f"({self.relative_change:+.1%}, {self.classification})"
+        )
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of comparing a candidate store against a baseline."""
+
+    tolerance: float
+    compared_scenarios: int = 0
+    compared_metrics: int = 0
+    regressions: list[MetricDelta] = field(default_factory=list)
+    improvements: list[MetricDelta] = field(default_factory=list)
+    drifts: list[MetricDelta] = field(default_factory=list)
+    only_in_baseline: list[str] = field(default_factory=list)
+    only_in_candidate: list[str] = field(default_factory=list)
+    identical_rows: int = 0
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+    def as_dict(self) -> dict:
+        return {
+            "tolerance": self.tolerance,
+            "compared_scenarios": self.compared_scenarios,
+            "compared_metrics": self.compared_metrics,
+            "identical_rows": self.identical_rows,
+            "regressions": [delta.as_dict() for delta in self.regressions],
+            "improvements": [delta.as_dict() for delta in self.improvements],
+            "drifts": [delta.as_dict() for delta in self.drifts],
+            "only_in_baseline": list(self.only_in_baseline),
+            "only_in_candidate": list(self.only_in_candidate),
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"compared {self.compared_scenarios} scenarios / "
+            f"{self.compared_metrics} metrics at tolerance {self.tolerance:.1%}"
+            f" ({self.identical_rows} rows identical)"
+        ]
+        for label, deltas in (
+            ("REGRESSION", self.regressions),
+            ("improvement", self.improvements),
+            ("drift", self.drifts),
+        ):
+            for delta in deltas:
+                lines.append(f"  {label}: {delta.describe()}")
+        if self.only_in_baseline:
+            lines.append(f"  only in baseline: {', '.join(self.only_in_baseline)}")
+        if self.only_in_candidate:
+            lines.append(f"  only in candidate: {', '.join(self.only_in_candidate)}")
+        if not (self.regressions or self.improvements or self.drifts):
+            lines.append("  no metric changes beyond tolerance")
+        return "\n".join(lines)
+
+
+def compare(
+    baseline_rows: Mapping[str, Mapping],
+    candidate_rows: Mapping[str, Mapping],
+    tolerance: float = 0.05,
+) -> ComparisonResult:
+    """Diff two stores' latest rows, keyed by scenario id.
+
+    Scenarios are joined on their id (stable across code revisions even when
+    fingerprints move); numeric metrics present on both sides are compared
+    with relative tolerance.  A zero baseline compares exactly: any nonzero
+    candidate value is beyond tolerance.
+
+    Args:
+        baseline_rows: ``ResultStore.latest_rows()`` of the reference run.
+        candidate_rows: same, for the run under test.
+        tolerance: allowed relative change before a metric is flagged.
+    """
+    if tolerance < 0.0:
+        raise ValueError("tolerance must be non-negative")
+    result = ComparisonResult(tolerance=tolerance)
+    result.only_in_baseline = sorted(set(baseline_rows) - set(candidate_rows))
+    result.only_in_candidate = sorted(set(candidate_rows) - set(baseline_rows))
+
+    for scenario in sorted(set(baseline_rows) & set(candidate_rows)):
+        base_row = baseline_rows[scenario]
+        cand_row = candidate_rows[scenario]
+        result.compared_scenarios += 1
+        if deterministic_view(base_row) == deterministic_view(cand_row):
+            result.identical_rows += 1
+        base_metrics = base_row.get("metrics", {})
+        cand_metrics = cand_row.get("metrics", {})
+        for metric in sorted(set(base_metrics) & set(cand_metrics)):
+            base_value = base_metrics[metric]
+            cand_value = cand_metrics[metric]
+            if isinstance(base_value, bool) or isinstance(cand_value, bool):
+                continue
+            if not isinstance(base_value, (int, float)) or not isinstance(
+                cand_value, (int, float)
+            ):
+                continue
+            result.compared_metrics += 1
+            if base_value == cand_value:
+                continue
+            if base_value == 0.0:
+                relative = float("inf") if cand_value else 0.0
+            else:
+                relative = (cand_value - base_value) / abs(base_value)
+            if abs(relative) <= tolerance:
+                continue
+            direction = metric_direction(metric)
+            if direction == "neutral":
+                classification = "drift"
+            elif (direction == "lower") == (relative > 0):
+                classification = "regression"
+            else:
+                classification = "improvement"
+            delta = MetricDelta(
+                scenario=scenario,
+                metric=metric,
+                baseline=float(base_value),
+                candidate=float(cand_value),
+                relative_change=relative,
+                classification=classification,
+            )
+            getattr(result, classification + "s").append(delta)
+    return result

@@ -1,0 +1,155 @@
+"""Campaign execution: scenario workers and the parallel runner.
+
+Each scenario is an independent unit of work — generate the image described
+by its knobs, run its steps, collect metrics — so the runner fans scenarios
+out across a :class:`concurrent.futures.ProcessPoolExecutor` (image
+generation is CPU-bound; processes sidestep the GIL).  :func:`run_scenario`
+is a module-level function of a plain dict payload so it pickles cleanly.
+
+Determinism contract: everything in a result row except the ``wall`` section
+is a pure function of the scenario (fingerprint, knobs, steps, simulated
+metrics).  Rows are appended to the store in *scenario order*, not completion
+order, so two runs of one spec yield byte-identical stores modulo ``wall``
+regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.campaign.registry import get_step
+from repro.campaign.spec import CampaignSpec, Scenario
+from repro.campaign.store import ResultStore
+from repro.core.config import ImpressionsConfig
+from repro.core.impressions import Impressions
+
+__all__ = ["run_scenario", "run_campaign", "CampaignRunResult", "RESULT_FORMAT_VERSION"]
+
+#: Version stamp written into every result row.
+RESULT_FORMAT_VERSION = 1
+
+
+def run_scenario(payload: dict) -> dict:
+    """Execute one scenario payload (see :meth:`Scenario.payload`).
+
+    Returns the complete result row: scenario identity, resolved knobs,
+    per-step metrics namespaced as ``<label>.<metric>``, and a ``wall``
+    section with wall-clock seconds for generation and each step.
+    """
+    config = ImpressionsConfig.from_knobs(payload["knobs"])
+    wall: dict[str, float] = {}
+    start = time.perf_counter()
+    image = Impressions(config).generate()
+    wall["generate_seconds"] = time.perf_counter() - start
+
+    metrics: dict[str, object] = {}
+    for step_spec in payload["steps"]:
+        params = dict(step_spec)
+        name = params.pop("step")
+        label = params.pop("label", name)
+        function = get_step(name)
+        start = time.perf_counter()
+        step_metrics = function(image, config, params)
+        wall[f"{label}_seconds"] = time.perf_counter() - start
+        for key, value in step_metrics.items():
+            metrics[f"{label}.{key}"] = value
+
+    return {
+        "format": RESULT_FORMAT_VERSION,
+        "campaign": payload["campaign"],
+        "scenario": payload["scenario"],
+        "fingerprint": payload["fingerprint"],
+        "params": dict(payload["params"]),
+        "knobs": dict(payload["knobs"]),
+        "steps": [dict(step) for step in payload["steps"]],
+        "metrics": metrics,
+        "wall": wall,
+    }
+
+
+@dataclass
+class CampaignRunResult:
+    """What one ``run_campaign`` invocation did."""
+
+    campaign: str
+    store_path: str
+    total_scenarios: int
+    executed: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "campaign": self.campaign,
+            "store": self.store_path,
+            "scenarios": self.total_scenarios,
+            "executed": len(self.executed),
+            "skipped_existing": len(self.skipped),
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store_path: str,
+    *,
+    workers: int = 1,
+    force: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignRunResult:
+    """Expand ``spec`` and execute every scenario not already in the store.
+
+    Args:
+        spec: the campaign to run.
+        store_path: JSONL result store to append to (created if missing).
+        workers: worker processes; ``1`` runs scenarios in-process (no pool),
+            which is also the fallback when only one scenario is pending.
+        force: re-run scenarios whose fingerprints are already stored
+            (appending fresh rows) instead of skipping them.
+        progress: optional callback receiving one human-readable line per
+            scenario scheduled or skipped.
+
+    Returns:
+        A :class:`CampaignRunResult`; rows land in the store as a side effect.
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    start = time.perf_counter()
+    store = ResultStore(store_path)
+    scenarios = spec.expand()
+    completed = store.fingerprints() if not force else set()
+
+    pending: list[Scenario] = []
+    result = CampaignRunResult(
+        campaign=spec.name, store_path=store_path, total_scenarios=len(scenarios)
+    )
+    for scenario in scenarios:
+        if scenario.fingerprint in completed:
+            result.skipped.append(scenario.scenario_id)
+            if progress:
+                progress(f"skip {scenario.scenario_id} (already in store)")
+        else:
+            pending.append(scenario)
+            if progress:
+                progress(f"run  {scenario.scenario_id}")
+
+    # Rows are appended as they complete (in scenario order — executor.map
+    # yields in submission order no matter which worker finishes first), so a
+    # failure partway through keeps every finished scenario in the store and
+    # the next run resumes from the crash point via fingerprints.
+    payloads = [scenario.payload() for scenario in pending]
+    if len(payloads) <= 1 or workers == 1:
+        for scenario, payload in zip(pending, payloads):
+            store.append(run_scenario(payload))
+            result.executed.append(scenario.scenario_id)
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
+            for scenario, row in zip(pending, pool.map(run_scenario, payloads)):
+                store.append(row)
+                result.executed.append(scenario.scenario_id)
+
+    result.wall_seconds = time.perf_counter() - start
+    return result

@@ -1,0 +1,88 @@
+"""Append-only JSONL result store.
+
+One line per completed scenario.  Rows are canonical JSON (sorted keys, fixed
+separators) so that two runs of the same campaign produce byte-identical
+stores *except* for the ``wall`` section, which holds every wall-clock
+measurement; :func:`deterministic_view` strips it for comparisons.
+
+The store is append-only on purpose: results are facts about a (spec, seed,
+code) triple, never edited in place.  Re-running a campaign consults
+:meth:`ResultStore.fingerprints` and skips scenarios whose fingerprint is
+already present; ``--force`` appends fresh rows, and readers that want one
+row per scenario take the latest (:meth:`ResultStore.latest_rows`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator, Mapping
+
+__all__ = ["ResultStore", "StoreError", "deterministic_view", "WALL_KEY"]
+
+#: Result-row section holding wall-clock (nondeterministic) measurements.
+WALL_KEY = "wall"
+
+
+class StoreError(ValueError):
+    """Raised when a result store file cannot be parsed."""
+
+
+def deterministic_view(row: Mapping[str, object]) -> dict:
+    """The row without its wall-clock section (the comparable part)."""
+    return {key: value for key, value in row.items() if key != WALL_KEY}
+
+
+class ResultStore:
+    """An append-only JSONL file of campaign result rows."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def append(self, row: Mapping[str, object]) -> None:
+        """Append one result row as a canonical JSON line."""
+        line = json.dumps(row, sort_keys=True, separators=(",", ":"))
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.write("\n")
+
+    def __iter__(self) -> Iterator[dict]:
+        if not self.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise StoreError(
+                        f"{self.path}:{number}: malformed result row: {error}"
+                    ) from error
+                if not isinstance(row, dict):
+                    raise StoreError(f"{self.path}:{number}: result row must be an object")
+                yield row
+
+    def rows(self) -> list[dict]:
+        return list(self)
+
+    def fingerprints(self) -> set[str]:
+        """Fingerprints of every scenario with a stored result."""
+        return {
+            str(row["fingerprint"]) for row in self if "fingerprint" in row
+        }
+
+    def latest_rows(self) -> dict[str, dict]:
+        """Latest row per scenario id (later appends win, e.g. after --force)."""
+        latest: dict[str, dict] = {}
+        for row in self:
+            scenario = str(row.get("scenario", row.get("fingerprint", "")))
+            latest[scenario] = row
+        return latest

@@ -17,11 +17,18 @@ Operation-trace workflows live under the ``trace`` subcommand
     impressions trace synth --kind zipf --ops 50000 --files 2000 | \\
         impressions trace replay --files 2000
     impressions trace age --layout-score 0.7 --files 2000
+
+Scenario sweeps live under the ``campaign`` subcommand
+(:mod:`repro.campaign.cli`)::
+
+    impressions campaign run sweep.json --store results.jsonl --workers 4
+    impressions campaign compare baseline.jsonl results.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -36,7 +43,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="impressions",
         description="Generate statistically accurate file-system images (FAST '09 reproduction).",
-        epilog="Operation traces: 'impressions trace synth|replay|age --help'.",
+        epilog=(
+            "Operation traces: 'impressions trace synth|replay|age --help'. "
+            "Scenario sweeps: 'impressions campaign run|list|report|compare --help'."
+        ),
     )
     parser.add_argument("--size-gb", type=float, default=None, help="target file-system size in GiB")
     parser.add_argument("--size-bytes", type=int, default=None, help="target file-system size in bytes")
@@ -73,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", metavar="PATH", default=None, help="write the reproducibility report (JSON) here"
     )
     parser.add_argument("--quiet", action="store_true", help="only print the summary line")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable JSON summary instead of the text report",
+    )
     return parser
 
 
@@ -118,6 +133,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.trace.cli import main as trace_main
 
         return trace_main(list(argv[1:]))
+    if argv and argv[0] == "campaign":
+        from repro.campaign.cli import main as campaign_main
+
+        return campaign_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -128,6 +147,32 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     image = Impressions(config).generate()
     summary = image.summary()
+
+    written: int | None = None
+    if args.materialize:
+        written = image.materialize(args.materialize)
+
+    if args.json:
+        # Machine-readable mode: one JSON document on stdout, nothing else —
+        # campaign workers and scripts consume this instead of scraping the
+        # human-formatted report.
+        payload: dict = {
+            "summary": summary,
+            "knobs": config.to_knobs(),
+            # Config-only identity; campaign scenario fingerprints build on
+            # this plus the scenario's step list.
+            "config_fingerprint": config.fingerprint(),
+        }
+        if image.report is not None:
+            payload["report"] = image.report.to_dict()
+        if written is not None:
+            payload["materialized"] = {"path": args.materialize, "files": written}
+        print(json.dumps(payload, sort_keys=True, default=str))
+        if args.report and image.report is not None:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                handle.write(image.report.to_json())
+        return 0
+
     print(
         "generated image: "
         f"{summary['files']} files, {summary['directories']} directories, "
@@ -143,8 +188,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             handle.write(image.report.to_json())
         print(f"reproducibility report written to {args.report}")
 
-    if args.materialize:
-        written = image.materialize(args.materialize)
+    if written is not None:
         print(f"materialized {written} files under {args.materialize}")
 
     return 0

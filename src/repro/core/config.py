@@ -15,6 +15,8 @@ distribution's parameters in the :class:`~repro.core.report.ReproducibilityRepor
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
@@ -37,7 +39,7 @@ from repro.stats.distributions import (
     ShiftedPoissonDistribution,
 )
 
-__all__ = ["ImpressionsConfig", "GIB", "MIB"]
+__all__ = ["ImpressionsConfig", "GIB", "MIB", "KNOB_NAMES"]
 
 GIB = 1024**3
 MIB = 1024**2
@@ -47,6 +49,30 @@ MIB = 1024**2
 DEFAULT_FS_BYTES = int(4.55 * GIB)
 DEFAULT_NUM_FILES = 20_000
 DEFAULT_NUM_DIRECTORIES = 4_000
+
+#: The JSON-scalar knob set understood by :meth:`ImpressionsConfig.to_knobs` /
+#: :meth:`ImpressionsConfig.from_knobs` — the parameters campaign specs can
+#: set and sweep.
+KNOB_NAMES = frozenset(
+    {
+        "fs_size_bytes",
+        "num_files",
+        "num_directories",
+        "use_simple_size_model",
+        "attachment_offset",
+        "use_multiplicative_depth_model",
+        "enforce_fs_size",
+        "beta",
+        "max_oversampling_factor",
+        "content_model",
+        "layout_score",
+        "disk_capacity_bytes",
+        "block_size",
+        "files_per_directory",
+        "special_directories",
+        "seed",
+    }
+)
 
 
 @dataclass
@@ -217,6 +243,75 @@ class ImpressionsConfig:
     def with_overrides(self, **overrides) -> "ImpressionsConfig":
         """A copy of this config with the given fields replaced."""
         return replace(self, **overrides)
+
+    # Knob serialization --------------------------------------------------------
+
+    def to_knobs(self) -> dict:
+        """The JSON-scalar view of this config (the sweepable knob set).
+
+        Knobs cover every parameter a declarative campaign spec can set; model
+        objects (custom distributions, timestamp models, similarity profiles)
+        are intentionally outside this view — a config built through
+        :meth:`from_knobs` round-trips exactly, one carrying hand-constructed
+        model overrides serializes only its scalar knobs.
+        """
+        return {
+            "fs_size_bytes": self.fs_size_bytes,
+            "num_files": self.num_files,
+            "num_directories": self.num_directories,
+            "use_simple_size_model": self.use_simple_size_model,
+            "attachment_offset": self.attachment_offset,
+            "use_multiplicative_depth_model": self.use_multiplicative_depth_model,
+            "enforce_fs_size": self.enforce_fs_size,
+            "beta": self.beta,
+            "max_oversampling_factor": self.max_oversampling_factor,
+            "content_model": self.content.text_model if self.generate_content else "none",
+            "layout_score": self.layout_score,
+            "disk_capacity_bytes": self.disk_capacity_bytes,
+            "block_size": self.block_size,
+            "files_per_directory": self.files_per_directory,
+            "special_directories": bool(self.special_directories),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_knobs(cls, knobs: Mapping[str, object]) -> "ImpressionsConfig":
+        """Build a config from a knob mapping (see :meth:`to_knobs`).
+
+        Omitted knobs keep their defaults; unknown keys raise ``ValueError``
+        so campaign specs fail fast on typos rather than silently sweeping
+        nothing.
+        """
+        unknown = sorted(set(knobs) - KNOB_NAMES)
+        if unknown:
+            raise ValueError(
+                f"unknown config knobs {unknown}; valid knobs: {sorted(KNOB_NAMES)}"
+            )
+        values = dict(knobs)
+        kwargs: dict = {}
+        for name in KNOB_NAMES - {"content_model", "special_directories"}:
+            if name in values:
+                kwargs[name] = values[name]
+        if "special_directories" in values:
+            kwargs["special_directories"] = (
+                DEFAULT_SPECIAL_DIRECTORIES if values["special_directories"] else ()
+            )
+        content_model = values.get("content_model", "none")
+        if not isinstance(content_model, str):
+            raise ValueError("content_model knob must be a string")
+        if content_model != "none":
+            kwargs["generate_content"] = True
+            kwargs["content"] = ContentPolicy(text_model=content_model)
+        return cls(**kwargs)
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 hex digest of the knob view (config+seed identity).
+
+        This identifies the *configuration* only; campaign scenarios extend
+        it with their step list (:func:`repro.campaign.spec.scenario_fingerprint`).
+        """
+        canonical = json.dumps(self.to_knobs(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def parameter_table(self) -> dict[str, str]:
         """Human-readable parameter table (the Table 2 view of this config)."""

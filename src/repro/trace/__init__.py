@@ -24,6 +24,7 @@ from repro.trace.ops import (
     Operation,
     OperationTrace,
     TraceFormatError,
+    merge_traces,
 )
 from repro.trace.replay import OpClassStats, ReplayCostModel, ReplayResult, TraceReplayer
 from repro.trace.synthesize import (
@@ -42,6 +43,7 @@ __all__ = [
     "Operation",
     "OperationTrace",
     "TraceFormatError",
+    "merge_traces",
     "ChurnSpec",
     "MetadataStormSpec",
     "ZipfMixSpec",

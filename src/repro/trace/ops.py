@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import io
 import json
-from dataclasses import dataclass
-from typing import IO, Iterable, Iterator, Mapping
+from dataclasses import dataclass, replace
+from typing import IO, Iterable, Iterator, Mapping, Sequence
 
 __all__ = [
     "OP_KINDS",
@@ -27,6 +27,7 @@ __all__ = [
     "Operation",
     "OperationTrace",
     "TraceFormatError",
+    "merge_traces",
 ]
 
 #: Every operation kind the trace model understands.
@@ -58,6 +59,9 @@ class Operation:
         batch: arrival-batch index; synthesizers group operations that
             "arrive" together (think one client request) under one index,
             and the replayer reports batch counts back.
+        client: tag of the client that issued the operation (empty for
+            single-client traces); :func:`merge_traces` stamps it and the
+            replayer reports per-client statistics when it is set.
     """
 
     kind: str
@@ -66,6 +70,7 @@ class Operation:
     dest: str = ""
     append: bool = False
     batch: int = 0
+    client: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in _KIND_SET:
@@ -98,6 +103,8 @@ class Operation:
             record["append"] = True
         if self.batch:
             record["batch"] = self.batch
+        if self.client:
+            record["client"] = self.client
         return json.dumps(record, sort_keys=True, separators=(",", ":"))
 
     @classmethod
@@ -112,6 +119,8 @@ class Operation:
             raise TraceFormatError(f"trace line op/path must be strings: {line!r}")
         if not isinstance(record.get("dest", ""), str):
             raise TraceFormatError(f"trace line dest must be a string: {line!r}")
+        if not isinstance(record.get("client", ""), str):
+            raise TraceFormatError(f"trace line client must be a string: {line!r}")
         try:
             return cls(
                 kind=record["op"],
@@ -120,6 +129,7 @@ class Operation:
                 dest=record.get("dest", ""),
                 append=bool(record.get("append", False)),
                 batch=int(record.get("batch", 0)),
+                client=record.get("client", ""),
             )
         except (TypeError, ValueError) as error:
             raise TraceFormatError(f"invalid trace line {line!r}: {error}") from error
@@ -163,10 +173,11 @@ class OperationTrace:
         dest: str = "",
         append: bool = False,
         batch: int = 0,
+        client: str = "",
     ) -> Operation:
         """Create an operation, append it to the trace, and return it."""
         operation = Operation(
-            kind=kind, path=path, size=size, dest=dest, append=append, batch=batch
+            kind=kind, path=path, size=size, dest=dest, append=append, batch=batch, client=client
         )
         self._operations.append(operation)
         return operation
@@ -209,6 +220,14 @@ class OperationTrace:
         if not self._operations:
             return 0
         return max(operation.batch for operation in self._operations) + 1
+
+    def client_tags(self) -> tuple[str, ...]:
+        """Distinct non-empty client tags, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for operation in self._operations:
+            if operation.client and operation.client not in seen:
+                seen[operation.client] = None
+        return tuple(seen)
 
     def summary(self) -> dict:
         return {
@@ -274,3 +293,60 @@ class OperationTrace:
     def load(cls, path: str) -> "OperationTrace":
         with open(path, "r", encoding="utf-8") as handle:
             return cls.read_jsonl(handle)
+
+
+def merge_traces(
+    *traces: OperationTrace, tags: Sequence[str] | None = None
+) -> OperationTrace:
+    """Interleave per-client traces into one arrival-ordered stream.
+
+    Each input trace models one client; its arrival-batch indices are treated
+    as a shared clock, so the merged stream carries batch 0 of every client
+    before batch 1 of any client (clients rotate in ``tags`` order within a
+    batch, and each client's own operation order is preserved).  Every merged
+    operation is stamped with its client tag (``client0``, ``client1``, …
+    unless ``tags`` overrides them); operations already carrying a tag keep
+    it.  Paths are shared namespace: if two clients touch the same path the
+    merged trace really does model that contention (synthesizers accept
+    per-client roots/prefixes when isolation is wanted).
+
+    Args:
+        traces: one trace per client (at least one).
+        tags: per-client tags; must be unique and match ``len(traces)``.
+
+    Returns:
+        A new :class:`OperationTrace`; inputs are not modified.
+    """
+    if not traces:
+        raise ValueError("merge_traces requires at least one trace")
+    if tags is None:
+        tags = tuple(f"client{index}" for index in range(len(traces)))
+    else:
+        tags = tuple(tags)
+        if len(tags) != len(traces):
+            raise ValueError(f"got {len(traces)} traces but {len(tags)} tags")
+        if len(set(tags)) != len(tags):
+            raise ValueError("client tags must be unique")
+        if not all(tags):
+            raise ValueError("client tags must be non-empty")
+
+    entries: list[tuple[int, int, int, Operation]] = []
+    for client_index, trace in enumerate(traces):
+        for sequence, operation in enumerate(trace):
+            entries.append((operation.batch, client_index, sequence, operation))
+    entries.sort(key=lambda entry: entry[:3])
+
+    merged = OperationTrace(
+        metadata={
+            "merged": True,
+            "clients": list(tags),
+            "operations_per_client": [len(trace) for trace in traces],
+            "sources": [dict(trace.metadata) for trace in traces],
+        }
+    )
+    for _batch, client_index, _sequence, operation in entries:
+        if operation.client:
+            merged.append(operation)
+        else:
+            merged.append(replace(operation, client=tags[client_index]))
+    return merged

@@ -92,6 +92,9 @@ class ReplayResult:
     """
 
     per_kind: dict[str, OpClassStats] = field(default_factory=dict)
+    #: per-client aggregates, keyed by client tag; empty unless the trace
+    #: carried client tags (see :func:`repro.trace.ops.merge_traces`).
+    per_client: dict[str, OpClassStats] = field(default_factory=dict)
     executed: int = 0
     skipped: int = 0
     batches: int = 0
@@ -137,6 +140,10 @@ class ReplayResult:
             "cache_hit_ratio": self.cache_hit_ratio,
             "per_kind": {kind: stats.as_dict() for kind, stats in sorted(self.per_kind.items())},
         }
+        if self.per_client:
+            out["per_client"] = {
+                client: stats.as_dict() for client, stats in sorted(self.per_client.items())
+            }
         if self.layout_score_before is not None:
             out["layout_score_before"] = self.layout_score_before
         if self.layout_score_after is not None:
@@ -182,6 +189,7 @@ class TraceReplayer:
         self._run_stats: dict[str, tuple[int, int]] = {}
         self._directories: set[str] = set()
         self._rows: dict[str, list] = {}
+        self._client_rows: dict[str, list] = {}
         self._executed = 0
         self._skipped = 0
         self._simulated_ms = 0.0
@@ -357,17 +365,28 @@ class TraceReplayer:
         if row is None:
             row = [0, 0, 0.0, math.inf, 0.0, 0]
             self._rows[kind] = row
+        rows = [row]
+        if operation.client:
+            client_row = self._client_rows.get(operation.client)
+            if client_row is None:
+                client_row = [0, 0, 0.0, math.inf, 0.0, 0]
+                self._client_rows[operation.client] = client_row
+            rows.append(client_row)
+        moved = size if kind in ("read", "write", "create") else 0
+        for row in rows:
+            if skipped:
+                row[_SKIPPED] += 1
+            else:
+                row[_COUNT] += 1
+                row[_TOTAL] += latency
+                if latency < row[_MIN]:
+                    row[_MIN] = latency
+                if latency > row[_MAX]:
+                    row[_MAX] = latency
+                row[_BYTES] += moved
         if skipped:
-            row[_SKIPPED] += 1
             self._skipped += 1
         else:
-            row[_COUNT] += 1
-            row[_TOTAL] += latency
-            if latency < row[_MIN]:
-                row[_MIN] = latency
-            if latency > row[_MAX]:
-                row[_MAX] = latency
-            row[_BYTES] += size if kind in ("read", "write", "create") else 0
             self._executed += 1
             self._simulated_ms += latency
         if operation.batch > self._max_batch:
@@ -376,18 +395,11 @@ class TraceReplayer:
 
     def result(self) -> ReplayResult:
         """Snapshot the statistics accumulated so far."""
-        per_kind = {}
-        for kind, row in self._rows.items():
-            per_kind[kind] = OpClassStats(
-                count=row[_COUNT],
-                skipped=row[_SKIPPED],
-                total_ms=row[_TOTAL],
-                min_ms=0.0 if math.isinf(row[_MIN]) else row[_MIN],
-                max_ms=row[_MAX],
-                bytes_moved=row[_BYTES],
-            )
         return ReplayResult(
-            per_kind=per_kind,
+            per_kind={kind: _stats_from_row(row) for kind, row in self._rows.items()},
+            per_client={
+                client: _stats_from_row(row) for client, row in self._client_rows.items()
+            },
             executed=self._executed,
             skipped=self._skipped,
             batches=self._max_batch + 1,
@@ -448,6 +460,17 @@ class TraceReplayer:
         if timings is not None:
             extras = timings.extras
             extras["trace_replay"] = extras.get("trace_replay", 0.0) + wall_seconds
+
+
+def _stats_from_row(row: list) -> OpClassStats:
+    return OpClassStats(
+        count=row[_COUNT],
+        skipped=row[_SKIPPED],
+        total_ms=row[_TOTAL],
+        min_ms=0.0 if math.isinf(row[_MIN]) else row[_MIN],
+        max_ms=row[_MAX],
+        bytes_moved=row[_BYTES],
+    )
 
 
 def _count_runs(blocks: list[int]) -> int:

@@ -32,8 +32,17 @@ class TestCommon:
         config = scaled_default_config(scale=0.01)
         assert config.num_files >= 50
         assert config.num_directories >= 10
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="positive"):
             scaled_default_config(scale=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            scaled_default_config(scale=-0.5)
+        with pytest.raises(ValueError, match="positive"):
+            scaled_default_config(scale=float("nan"))
+
+    def test_scaled_config_can_scale_up(self):
+        config = scaled_default_config(scale=2.0)
+        assert config.num_files == 40_000
+        assert config.num_directories == 8_000
 
     def test_scaled_config_full_scale_matches_paper(self):
         config = scaled_default_config(scale=1.0)

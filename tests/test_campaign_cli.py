@@ -1,0 +1,287 @@
+"""End-to-end tests of ``impressions campaign run|list|report|compare``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.report import ComparisonResult, MetricDelta, compare, metric_direction
+from repro.campaign.store import ResultStore
+from repro.core.cli import main
+
+SPEC_DOC = {
+    "name": "cli",
+    "base": {"num_directories": 12, "fs_size_bytes": 32 * 1024 * 1024},
+    "sweep": {"num_files": [60, 80], "seed": [1, 2]},
+    "steps": [{"step": "summary"}, {"step": "find"}],
+}
+
+
+@pytest.fixture(scope="module")
+def campaign_dir(tmp_path_factory):
+    """A spec file plus a store populated through the real CLI."""
+    directory = tmp_path_factory.mktemp("campaign_cli")
+    spec_path = directory / "spec.json"
+    spec_path.write_text(json.dumps(SPEC_DOC))
+    store_path = directory / "results.jsonl"
+    code = main(
+        ["campaign", "run", str(spec_path), "--store", str(store_path), "--quiet"]
+    )
+    assert code == 0
+    return directory
+
+
+class TestRun:
+    def test_rerun_skips_and_reports_json(self, campaign_dir, capsys):
+        code = main(
+            [
+                "campaign",
+                "run",
+                str(campaign_dir / "spec.json"),
+                "--store",
+                str(campaign_dir / "results.jsonl"),
+                "--json",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["executed"] == 0
+        assert summary["skipped_existing"] == 4
+        assert summary["scenarios"] == 4
+
+    def test_parallel_run_into_fresh_store(self, campaign_dir, capsys):
+        store = campaign_dir / "parallel.jsonl"
+        code = main(
+            [
+                "campaign",
+                "run",
+                str(campaign_dir / "spec.json"),
+                "--store",
+                str(store),
+                "--workers",
+                "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["executed"] == 4
+        assert len(ResultStore(str(store)).rows()) == 4
+
+    def test_bad_spec_is_a_clean_error(self, campaign_dir, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(dict(SPEC_DOC, sweep={"bogus_knob": [1]})))
+        with pytest.raises(SystemExit, match="bogus_knob"):
+            main(["campaign", "run", str(bad), "--store", str(tmp_path / "s.jsonl")])
+
+
+class TestList:
+    def test_list_shows_completion(self, campaign_dir, capsys):
+        code = main(
+            [
+                "campaign",
+                "list",
+                str(campaign_dir / "spec.json"),
+                "--store",
+                str(campaign_dir / "results.jsonl"),
+                "--json",
+            ]
+        )
+        assert code == 0
+        scenarios = json.loads(capsys.readouterr().out)
+        assert len(scenarios) == 4
+        assert all(entry["completed"] for entry in scenarios)
+
+    def test_list_without_store_is_pending(self, campaign_dir, capsys):
+        code = main(["campaign", "list", str(campaign_dir / "spec.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("pending") == 4
+
+
+class TestReport:
+    def test_report_renders_axes_and_metrics(self, campaign_dir, capsys):
+        code = main(
+            ["campaign", "report", "--store", str(campaign_dir / "results.jsonl")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "num_files" in out and "seed" in out
+        assert "find.elapsed_ms" in out
+
+    def test_report_metric_filter_and_json(self, campaign_dir, capsys):
+        code = main(
+            [
+                "campaign",
+                "report",
+                "--store",
+                str(campaign_dir / "results.jsonl"),
+                "--metric",
+                "summary.files",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["rows"]) == 4
+        assert "summary.files" in payload["metrics"]
+
+    def test_unknown_metric_is_an_error(self, campaign_dir):
+        with pytest.raises(SystemExit, match="unknown metric"):
+            main(
+                [
+                    "campaign",
+                    "report",
+                    "--store",
+                    str(campaign_dir / "results.jsonl"),
+                    "--metric",
+                    "nope.nothing",
+                ]
+            )
+
+    def test_missing_store_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such store"):
+            main(["campaign", "report", "--store", str(tmp_path / "absent.jsonl")])
+
+
+class TestCompare:
+    def test_identical_stores_have_no_regressions(self, campaign_dir, capsys):
+        store = str(campaign_dir / "results.jsonl")
+        code = main(["campaign", "compare", store, store, "--json"])
+        assert code == 0
+        diff = json.loads(capsys.readouterr().out)
+        assert diff["regressions"] == []
+        assert diff["identical_rows"] == 4
+
+    def test_injected_regression_is_flagged_and_exits_nonzero(
+        self, campaign_dir, tmp_path, capsys
+    ):
+        baseline = ResultStore(str(campaign_dir / "results.jsonl"))
+        regressed = ResultStore(str(tmp_path / "regressed.jsonl"))
+        for index, row in enumerate(baseline):
+            if index == 0:
+                row["metrics"]["find.elapsed_ms"] *= 1.5
+            regressed.append(row)
+        code = main(
+            [
+                "campaign",
+                "compare",
+                str(campaign_dir / "results.jsonl"),
+                str(regressed.path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSION" in out
+        assert "find.elapsed_ms" in out
+
+    def test_improvement_is_not_a_regression(self, campaign_dir, tmp_path, capsys):
+        baseline = ResultStore(str(campaign_dir / "results.jsonl"))
+        improved = ResultStore(str(tmp_path / "improved.jsonl"))
+        for index, row in enumerate(baseline):
+            if index == 0:
+                row["metrics"]["find.elapsed_ms"] *= 0.5
+            improved.append(row)
+        code = main(
+            [
+                "campaign",
+                "compare",
+                str(campaign_dir / "results.jsonl"),
+                str(improved.path),
+                "--json",
+            ]
+        )
+        assert code == 0
+        diff = json.loads(capsys.readouterr().out)
+        assert diff["regressions"] == []
+        assert len(diff["improvements"]) == 1
+
+    def test_truncated_candidate_fails_the_gate(self, campaign_dir, tmp_path, capsys):
+        baseline = ResultStore(str(campaign_dir / "results.jsonl"))
+        truncated = ResultStore(str(tmp_path / "truncated.jsonl"))
+        truncated.append(baseline.rows()[0])
+        code = main(
+            [
+                "campaign",
+                "compare",
+                str(baseline.path),
+                str(truncated.path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "missing baseline scenario" in out
+
+    def test_allow_missing_tolerates_truncated_candidate(
+        self, campaign_dir, tmp_path, capsys
+    ):
+        baseline = ResultStore(str(campaign_dir / "results.jsonl"))
+        truncated = ResultStore(str(tmp_path / "truncated2.jsonl"))
+        truncated.append(baseline.rows()[0])
+        code = main(
+            [
+                "campaign",
+                "compare",
+                str(baseline.path),
+                str(truncated.path),
+                "--allow-missing",
+                "--json",
+            ]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["failed"] is False
+
+    def test_tolerance_suppresses_small_changes(self, campaign_dir, tmp_path, capsys):
+        baseline = ResultStore(str(campaign_dir / "results.jsonl"))
+        nudged = ResultStore(str(tmp_path / "nudged.jsonl"))
+        for index, row in enumerate(baseline):
+            if index == 0:
+                row["metrics"]["find.elapsed_ms"] *= 1.04
+            nudged.append(row)
+        code = main(
+            [
+                "campaign",
+                "compare",
+                str(campaign_dir / "results.jsonl"),
+                str(nudged.path),
+            ]
+        )
+        assert code == 0
+
+
+class TestComparisonUnit:
+    def test_metric_direction_heuristics(self):
+        assert metric_direction("find.elapsed_ms") == "lower"
+        assert metric_direction("wall.generate_seconds") == "lower"
+        assert metric_direction("trace_replay.skipped") == "lower"
+        assert metric_direction("summary.layout_score") == "higher"
+        assert metric_direction("replay.cache_hit_ratio") == "higher"
+        assert metric_direction("replay.simulated_throughput_ops_s") == "higher"
+        assert metric_direction("summary.total_bytes") == "neutral"
+
+    def test_neutral_change_is_drift_not_regression(self):
+        base = {"s": {"scenario": "s", "metrics": {"a.total_bytes": 100}}}
+        cand = {"s": {"scenario": "s", "metrics": {"a.total_bytes": 200}}}
+        diff = compare(base, cand, tolerance=0.05)
+        assert not diff.has_regressions
+        assert len(diff.drifts) == 1
+
+    def test_zero_baseline_flags_any_nonzero_candidate(self):
+        base = {"s": {"scenario": "s", "metrics": {"a.elapsed_ms": 0}}}
+        cand = {"s": {"scenario": "s", "metrics": {"a.elapsed_ms": 3}}}
+        diff = compare(base, cand, tolerance=0.5)
+        assert diff.has_regressions
+
+    def test_disjoint_scenarios_are_reported(self):
+        base = {"only_base": {"scenario": "only_base", "metrics": {}}}
+        cand = {"only_cand": {"scenario": "only_cand", "metrics": {}}}
+        diff = compare(base, cand)
+        assert diff.only_in_baseline == ["only_base"]
+        assert diff.only_in_candidate == ["only_cand"]
+
+    def test_render_text_mentions_regressions(self):
+        result = ComparisonResult(tolerance=0.05)
+        result.regressions.append(
+            MetricDelta("s", "a.elapsed_ms", 1.0, 2.0, 1.0, "regression")
+        )
+        assert "REGRESSION" in result.render_text()

@@ -1,0 +1,166 @@
+"""Campaign spec parsing, expansion, and fingerprinting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, SpecError, scenario_fingerprint
+from repro.core.config import ImpressionsConfig
+
+SPEC_DOC = {
+    "name": "sweep",
+    "base": {"num_files": 100, "num_directories": 20, "fs_size_bytes": 32 * 1024 * 1024},
+    "sweep": {"num_files": [60, 90], "layout_score": [1.0, 0.8], "seed": [1, 2]},
+    "steps": [{"step": "summary"}, {"step": "find", "pattern": "x"}],
+}
+
+
+class TestParsing:
+    def test_from_dict_round_trip(self):
+        spec = CampaignSpec.from_dict(SPEC_DOC)
+        assert spec.name == "sweep"
+        assert spec.num_scenarios == 8
+        assert spec.to_dict()["sweep"]["layout_score"] == [1.0, 0.8]
+
+    def test_from_json(self):
+        spec = CampaignSpec.from_json(json.dumps(SPEC_DOC))
+        assert spec.num_scenarios == 8
+
+    def test_load(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(SPEC_DOC))
+        assert CampaignSpec.load(str(path)).name == "sweep"
+
+    def test_rejects_unknown_knob(self):
+        bad = dict(SPEC_DOC, base={"numfiles": 10})
+        with pytest.raises(SpecError, match="numfiles"):
+            CampaignSpec.from_dict(bad)
+
+    def test_rejects_unknown_sweep_axis(self):
+        bad = dict(SPEC_DOC, sweep={"not_a_knob": [1]})
+        with pytest.raises(SpecError, match="not_a_knob"):
+            CampaignSpec.from_dict(bad)
+
+    def test_rejects_empty_axis(self):
+        bad = dict(SPEC_DOC, sweep={"seed": []})
+        with pytest.raises(SpecError, match="must not be empty"):
+            CampaignSpec.from_dict(bad)
+
+    def test_rejects_missing_steps(self):
+        bad = dict(SPEC_DOC, steps=[])
+        with pytest.raises(SpecError, match="at least one step"):
+            CampaignSpec.from_dict(bad)
+
+    def test_rejects_unregistered_step_at_parse_time(self):
+        bad = dict(SPEC_DOC, steps=[{"step": "fnd"}])
+        with pytest.raises(SpecError, match="unknown step 'fnd'"):
+            CampaignSpec.from_dict(bad)
+
+    def test_rejects_bad_knob_value_at_parse_time(self):
+        bad = dict(SPEC_DOC, sweep={"layout_score": [2.0]})
+        with pytest.raises(SpecError, match="layout_score"):
+            CampaignSpec.from_dict(bad)
+
+    def test_rejects_unknown_document_key(self):
+        with pytest.raises(SpecError, match="swep"):
+            CampaignSpec.from_dict(dict(SPEC_DOC, swep={}))
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(SpecError, match="not valid JSON"):
+            CampaignSpec.from_json("{nope")
+
+
+class TestExpansion:
+    def test_cross_product_order_is_declaration_order_last_axis_fastest(self):
+        spec = CampaignSpec.from_dict(SPEC_DOC)
+        scenarios = spec.expand()
+        assert len(scenarios) == 8
+        assert [s.params for s in scenarios[:3]] == [
+            {"num_files": 60, "layout_score": 1.0, "seed": 1},
+            {"num_files": 60, "layout_score": 1.0, "seed": 2},
+            {"num_files": 60, "layout_score": 0.8, "seed": 1},
+        ]
+
+    def test_scenario_ids_are_readable_and_unique(self):
+        scenarios = CampaignSpec.from_dict(SPEC_DOC).expand()
+        ids = [s.scenario_id for s in scenarios]
+        assert ids[0] == "sweep[num_files=60,layout_score=1,seed=1]"
+        assert len(set(ids)) == len(ids)
+
+    def test_sweep_overrides_base(self):
+        scenarios = CampaignSpec.from_dict(SPEC_DOC).expand()
+        assert scenarios[0].knobs["num_files"] == 60  # not the base 100
+
+    def test_scenario_config_builds(self):
+        scenario = CampaignSpec.from_dict(SPEC_DOC).expand()[0]
+        config = scenario.config()
+        assert config.num_files == 60
+        assert config.seed == 1
+
+    def test_payload_is_json_serializable(self):
+        scenario = CampaignSpec.from_dict(SPEC_DOC).expand()[0]
+        round_tripped = json.loads(json.dumps(scenario.payload()))
+        assert round_tripped["fingerprint"] == scenario.fingerprint
+
+
+class TestFingerprints:
+    def test_identical_specs_have_identical_fingerprints(self):
+        first = CampaignSpec.from_dict(SPEC_DOC).expand()
+        second = CampaignSpec.from_dict(json.loads(json.dumps(SPEC_DOC))).expand()
+        assert [s.fingerprint for s in first] == [s.fingerprint for s in second]
+
+    def test_fingerprint_changes_with_knob_value(self):
+        scenarios = CampaignSpec.from_dict(SPEC_DOC).expand()
+        assert len({s.fingerprint for s in scenarios}) == len(scenarios)
+
+    def test_fingerprint_changes_with_steps(self):
+        knobs = {"num_files": 60, "seed": 1}
+        with_find = scenario_fingerprint(knobs, [{"step": "find"}])
+        with_grep = scenario_fingerprint(knobs, [{"step": "grep"}])
+        assert with_find != with_grep
+
+    def test_fingerprint_normalizes_knob_spelling(self):
+        # A default spelled out explicitly is the same scenario as one
+        # relying on the default.
+        explicit = scenario_fingerprint(
+            {"num_files": 60, "block_size": 4096}, [{"step": "summary"}]
+        )
+        implicit = scenario_fingerprint({"num_files": 60}, [{"step": "summary"}])
+        assert explicit == implicit
+
+
+class TestConfigKnobs:
+    def test_to_knobs_from_knobs_round_trip(self):
+        config = ImpressionsConfig(
+            num_files=123, num_directories=45, layout_score=0.7, seed=9
+        )
+        rebuilt = ImpressionsConfig.from_knobs(config.to_knobs())
+        assert rebuilt.to_knobs() == config.to_knobs()
+        assert rebuilt.fingerprint() == config.fingerprint()
+
+    def test_from_knobs_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown config knobs"):
+            ImpressionsConfig.from_knobs({"num_fils": 10})
+
+    def test_content_model_knob(self):
+        config = ImpressionsConfig.from_knobs({"num_files": 10, "content_model": "hybrid"})
+        assert config.generate_content is True
+        assert config.content.text_model == "hybrid"
+        assert config.to_knobs()["content_model"] == "hybrid"
+        metadata_only = ImpressionsConfig.from_knobs({"num_files": 10})
+        assert metadata_only.generate_content is False
+        assert metadata_only.to_knobs()["content_model"] == "none"
+
+    def test_special_directories_knob(self):
+        disabled = ImpressionsConfig.from_knobs(
+            {"num_files": 10, "special_directories": False}
+        )
+        assert disabled.special_directories == ()
+        assert disabled.to_knobs()["special_directories"] is False
+
+    def test_fingerprint_is_seed_sensitive(self):
+        one = ImpressionsConfig(num_files=10, seed=1).fingerprint()
+        two = ImpressionsConfig(num_files=10, seed=2).fingerprint()
+        assert one != two

@@ -91,6 +91,35 @@ class TestMain:
         exit_code = main(["--files", "25", "--dirs", "6", "--quiet", "--content", "hybrid"])
         assert exit_code == 0
 
+    def test_main_json_output_is_machine_readable(self, capsys):
+        exit_code = main(["--files", "40", "--dirs", "10", "--seed", "5", "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["files"] == 40
+        assert payload["knobs"]["num_files"] == 40
+        assert payload["knobs"]["seed"] == 5
+        assert len(payload["config_fingerprint"]) == 64
+        assert payload["report"]["seed"] == 5
+
+    def test_main_json_with_materialize_and_report(self, tmp_path, capsys):
+        target = tmp_path / "image"
+        report_path = tmp_path / "report.json"
+        exit_code = main(
+            ["--files", "30", "--dirs", "8", "--json",
+             "--materialize", str(target), "--report", str(report_path)]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["materialized"]["files"] == 30
+        assert json.loads(report_path.read_text())["seed"] == 42
+
+    def test_json_fingerprint_is_seed_stable(self, capsys):
+        main(["--files", "30", "--dirs", "8", "--seed", "9", "--json"])
+        first = json.loads(capsys.readouterr().out)
+        main(["--files", "30", "--dirs", "8", "--seed", "9", "--json"])
+        second = json.loads(capsys.readouterr().out)
+        assert first["config_fingerprint"] == second["config_fingerprint"]
+
     def test_help_lists_key_options(self, capsys):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--help"])

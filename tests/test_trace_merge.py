@@ -1,0 +1,121 @@
+"""Multi-client trace interleaving and per-client replay statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.ops import Operation, OperationTrace, merge_traces
+from repro.trace.replay import TraceReplayer
+from repro.trace.synthesize import ChurnSpec, synthesize_churn
+
+
+def _tiny_trace(prefix: str, batches: int, per_batch: int) -> OperationTrace:
+    trace = OperationTrace()
+    for batch in range(batches):
+        for index in range(per_batch):
+            trace.add("create", f"{prefix}/b{batch}i{index}", size=4096, batch=batch)
+    return trace
+
+
+class TestMergeTraces:
+    def test_arrival_order_by_batch(self):
+        merged = merge_traces(_tiny_trace("/a", 3, 2), _tiny_trace("/b", 3, 2))
+        batches = [operation.batch for operation in merged]
+        assert batches == sorted(batches)
+        # within a batch, clients rotate in tag order
+        first_batch = [op for op in merged if op.batch == 0]
+        assert [op.client for op in first_batch] == ["client0"] * 2 + ["client1"] * 2
+
+    def test_per_client_order_preserved(self):
+        left = _tiny_trace("/a", 2, 3)
+        merged = merge_traces(left, _tiny_trace("/b", 2, 3))
+        left_paths = [op.path for op in merged if op.client == "client0"]
+        assert left_paths == [op.path for op in left]
+
+    def test_custom_tags(self):
+        merged = merge_traces(
+            _tiny_trace("/a", 1, 1), _tiny_trace("/b", 1, 1), tags=("web", "db")
+        )
+        assert merged.client_tags() == ("web", "db")
+
+    def test_existing_client_tags_are_kept(self):
+        tagged = OperationTrace([Operation(kind="stat", path="/x", client="preset")])
+        merged = merge_traces(tagged, _tiny_trace("/b", 1, 1))
+        assert merged.operations[0].client == "preset"
+
+    def test_metadata_records_sources(self):
+        left = synthesize_churn(ChurnSpec(num_ops=50, name_prefix="/c0/f"), seed=1)
+        right = synthesize_churn(ChurnSpec(num_ops=70, name_prefix="/c1/f"), seed=2)
+        merged = merge_traces(left, right)
+        assert merged.metadata["clients"] == ["client0", "client1"]
+        assert merged.metadata["operations_per_client"] == [50, 70]
+        assert merged.metadata["sources"][0]["synthesizer"] == "churn"
+
+    def test_inputs_unmodified(self):
+        left = _tiny_trace("/a", 1, 2)
+        merge_traces(left, _tiny_trace("/b", 1, 2))
+        assert all(op.client == "" for op in left)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_traces()
+        with pytest.raises(ValueError, match="tags"):
+            merge_traces(_tiny_trace("/a", 1, 1), tags=("one", "two"))
+        with pytest.raises(ValueError, match="unique"):
+            merge_traces(
+                _tiny_trace("/a", 1, 1), _tiny_trace("/b", 1, 1), tags=("x", "x")
+            )
+        with pytest.raises(ValueError, match="non-empty"):
+            merge_traces(_tiny_trace("/a", 1, 1), tags=("",))
+
+    def test_jsonl_round_trip_keeps_client_tags(self):
+        merged = merge_traces(_tiny_trace("/a", 2, 2), _tiny_trace("/b", 2, 2))
+        round_tripped = OperationTrace.from_jsonl(merged.to_jsonl())
+        assert round_tripped.operations == merged.operations
+
+    def test_untagged_serialization_is_unchanged(self):
+        # Single-client traces serialize exactly as before the client field
+        # existed (no "client" key), so old trace files stay byte-compatible.
+        operation = Operation(kind="stat", path="/x")
+        assert "client" not in operation.to_json_line()
+        parsed = Operation.from_json_line('{"op":"stat","path":"/x"}')
+        assert parsed.client == ""
+
+    def test_merge_determinism(self):
+        make = lambda: merge_traces(
+            synthesize_churn(ChurnSpec(num_ops=200, name_prefix="/c0/f"), seed=3),
+            synthesize_churn(ChurnSpec(num_ops=200, name_prefix="/c1/f"), seed=4),
+        )
+        assert make().to_jsonl() == make().to_jsonl()
+
+
+class TestPerClientReplayStats:
+    def test_per_client_stats_partition_totals(self):
+        merged = merge_traces(
+            synthesize_churn(ChurnSpec(num_ops=300, name_prefix="/c0/f"), seed=1),
+            synthesize_churn(ChurnSpec(num_ops=300, name_prefix="/c1/f"), seed=2),
+        )
+        result = TraceReplayer().replay(merged)
+        assert set(result.per_client) == {"client0", "client1"}
+        assert (
+            sum(stats.count for stats in result.per_client.values()) == result.executed
+        )
+        assert (
+            sum(stats.skipped for stats in result.per_client.values()) == result.skipped
+        )
+        total_ms = sum(stats.total_ms for stats in result.per_client.values())
+        assert total_ms == pytest.approx(result.simulated_ms)
+
+    def test_per_client_in_as_dict_only_when_tagged(self):
+        untagged = TraceReplayer().replay(_tiny_trace("/a", 2, 2))
+        assert "per_client" not in untagged.as_dict()
+        tagged = TraceReplayer().replay(
+            merge_traces(_tiny_trace("/a", 2, 2), _tiny_trace("/b", 2, 2))
+        )
+        assert set(tagged.as_dict()["per_client"]) == {"client0", "client1"}
+
+    def test_single_trace_merge_tags_everything(self):
+        merged = merge_traces(_tiny_trace("/solo", 2, 2))
+        result = TraceReplayer().replay(merged)
+        assert set(result.per_client) == {"client0"}
+        assert result.per_client["client0"].count == result.executed
