@@ -17,16 +17,30 @@ a quickstart is just::
 
     image = Impressions(ImpressionsConfig(num_files=2000, seed=42)).generate()
     print(image.summary())
+
+Generation runs on a composable staged pipeline (:mod:`repro.pipeline`);
+``Impressions`` is the stable facade over its default six-stage sequence.
+Callers that want stage subsets, per-stage progress, or the content-addressed
+stage cache use the pipeline API::
+
+    from repro import StageCache, default_pipeline
+
+    result = default_pipeline().run(config, cache=StageCache(".stage-cache"))
+    image = result.image
 """
 
 from repro.core.config import ImpressionsConfig
 from repro.core.image import FileSystemImage
 from repro.core.impressions import Impressions
+from repro.pipeline import Pipeline, StageCache, default_pipeline
 
 __all__ = [
     "Impressions",
     "ImpressionsConfig",
     "FileSystemImage",
+    "Pipeline",
+    "StageCache",
+    "default_pipeline",
     "__version__",
 ]
 

@@ -28,6 +28,7 @@ from repro.campaign.report import compare, metric_names, render_report
 from repro.campaign.runner import run_campaign
 from repro.campaign.spec import CampaignSpec, SpecError
 from repro.campaign.store import ResultStore, StoreError
+from repro.pipeline.stage import PipelineError
 
 __all__ = ["main", "build_parser"]
 
@@ -53,6 +54,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--force", action="store_true", help="re-run scenarios already in the store"
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "stage-cache directory: scenarios sharing generation knobs "
+            "reuse the cached image instead of regenerating it"
+        ),
     )
     run.add_argument("--json", action="store_true", help="print a JSON summary")
     run.add_argument("--quiet", action="store_true", help="suppress per-scenario progress")
@@ -105,7 +115,12 @@ def _run_run(args: argparse.Namespace) -> int:
     spec = CampaignSpec.load(args.spec)
     progress = None if (args.quiet or args.json) else lambda line: print(line)
     result = run_campaign(
-        spec, args.store, workers=args.workers, force=args.force, progress=progress
+        spec,
+        args.store,
+        workers=args.workers,
+        force=args.force,
+        cache_dir=args.cache_dir,
+        progress=progress,
     )
     if args.json:
         print(json.dumps(result.as_dict(), sort_keys=True))
@@ -202,7 +217,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "report":
             return _run_report(args)
         return _run_compare(args)
-    except (SpecError, StoreError, ValueError) as error:
+    except (SpecError, StoreError, PipelineError, ValueError) as error:
         raise SystemExit(f"impressions campaign {args.command}: error: {error}")
     except OSError as error:
         raise SystemExit(f"impressions campaign {args.command}: error: {error}")

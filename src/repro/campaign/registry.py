@@ -15,6 +15,11 @@ must be **deterministic** (pure functions of the scenario): wall-clock times
 are measured by the runner and stored separately, so result rows stay
 byte-comparable across runs.
 
+Steps with a pipeline counterpart (``trace_replay``, ``age``, ``bench``)
+delegate to the registered post-generation stages in
+:mod:`repro.pipeline.registry` via :func:`~repro.pipeline.registry.run_post_stage`,
+so campaign scenarios and pipeline extensions share one implementation.
+
 Built-in steps:
 
 ``summary``
@@ -41,24 +46,14 @@ Built-in steps:
 
 from __future__ import annotations
 
-import importlib
 from typing import Callable, Mapping
-
-import numpy as np
 
 from repro.core.config import ImpressionsConfig
 from repro.core.image import FileSystemImage
-from repro.trace.aging import TraceAger
+from repro.pipeline.registry import replay_metrics, run_post_stage, synthesize_trace
 from repro.trace.ops import merge_traces
-from repro.trace.replay import ReplayResult, TraceReplayer
-from repro.trace.synthesize import (
-    ChurnSpec,
-    MetadataStormSpec,
-    ZipfMixSpec,
-    synthesize_churn,
-    synthesize_metadata_storm,
-    synthesize_zipf_mix,
-)
+from repro.trace.replay import TraceReplayer
+from repro.trace.synthesize import ChurnSpec, synthesize_churn
 from repro.workloads.find import FindSimulator
 from repro.workloads.grep import GrepSimulator
 
@@ -135,44 +130,11 @@ def _step_grep(image: FileSystemImage, config: ImpressionsConfig, params: dict) 
     }
 
 
-def _synthesize(kind: str, image: FileSystemImage, ops: int, seed: int, batch_size: int):
-    if kind == "zipf":
-        return synthesize_zipf_mix(
-            image, ZipfMixSpec(num_ops=ops, batch_size=batch_size), seed=seed
-        )
-    if kind == "churn":
-        return synthesize_churn(ChurnSpec(num_ops=ops, batch_size=batch_size), seed=seed)
-    if kind == "storm":
-        return synthesize_metadata_storm(
-            MetadataStormSpec(
-                num_dirs=10, files_per_dir=max(1, ops // 40), batch_size=batch_size
-            ),
-            seed=seed,
-        )
-    raise ValueError(f"unknown trace kind {kind!r}; expected zipf, churn, or storm")
-
-
-def _replay_metrics(result: ReplayResult) -> dict:
-    return {
-        "executed": result.executed,
-        "skipped": result.skipped,
-        "simulated_ms": result.simulated_ms,
-        "cache_hit_ratio": result.cache_hit_ratio,
-        "simulated_throughput_ops_s": result.simulated_throughput_ops_s,
-    }
-
-
 @register_step("trace_replay")
 def _step_trace_replay(image: FileSystemImage, config: ImpressionsConfig, params: dict) -> dict:
-    kind = params.get("kind", "zipf")
-    ops = int(params.get("ops", 5_000))
-    seed = config.seed + int(params.get("seed_offset", 0))
-    trace = _synthesize(kind, image, ops, seed, int(params.get("batch_size", 64)))
-    replayer = TraceReplayer(image)
-    if params.get("warm_cache"):
-        replayer.warm_cache()
-    result = replayer.replay(trace)
-    return _replay_metrics(result)
+    # Delegates to the pipeline's post-generation stage so campaign steps and
+    # pipeline extensions share one implementation.
+    return run_post_stage("trace_replay", image, config, params)
 
 
 @register_step("merged_replay")
@@ -191,10 +153,10 @@ def _step_merged_replay(image: FileSystemImage, config: ImpressionsConfig, param
             spec = ChurnSpec(num_ops=ops, name_prefix=f"/churn/c{index}/f")
             traces.append(synthesize_churn(spec, seed=base_seed + index))
         else:
-            traces.append(_synthesize(kind, image, ops, base_seed + index, 64))
+            traces.append(synthesize_trace(kind, image, ops, base_seed + index, 64))
     merged = merge_traces(*traces)
     result = TraceReplayer(image).replay(merged)
-    metrics = _replay_metrics(result)
+    metrics = replay_metrics(result)
     metrics["clients"] = clients
     for client, stats in sorted(result.per_client.items()):
         metrics[f"{client}_executed"] = stats.count
@@ -204,40 +166,9 @@ def _step_merged_replay(image: FileSystemImage, config: ImpressionsConfig, param
 
 @register_step("age")
 def _step_age(image: FileSystemImage, config: ImpressionsConfig, params: dict) -> dict:
-    target = params.get("target_score")
-    if target is None:
-        raise ValueError("age step requires a 'target_score' parameter")
-    seed = config.seed + int(params.get("seed_offset", 0))
-    ager = TraceAger(image, float(target), np.random.default_rng(seed))
-    result = ager.age()
-    return {
-        "initial_score": result.initial_score,
-        "achieved_score": result.achieved_score,
-        "target_score": result.target_score,
-        "score_error": result.error,
-        "files_rewritten": result.files_rewritten,
-        "operations": len(result.trace),
-    }
+    return run_post_stage("trace_aging", image, config, params)
 
 
 @register_step("bench")
 def _step_bench(image: FileSystemImage, config: ImpressionsConfig, params: dict) -> dict:
-    driver_name = params.get("driver")
-    if not driver_name or not isinstance(driver_name, str) or "." in driver_name:
-        raise ValueError("bench step requires a 'driver' module name from repro.bench")
-    module = importlib.import_module(f"repro.bench.{driver_name}")
-    run = getattr(module, "run", None)
-    if run is None:
-        raise ValueError(f"bench driver {driver_name!r} has no run() function")
-    kwargs = {key: value for key, value in params.items() if key != "driver"}
-    result = run(**kwargs)
-    # Bench drivers generate their own images; report their scalar outputs
-    # (nested tables stay in the driver's own domain).
-    metrics: dict[str, object] = {}
-    for key, value in result.items():
-        if isinstance(value, bool) or not isinstance(value, (int, float)):
-            continue
-        metrics[key] = value
-    if not metrics:
-        metrics["completed"] = 1
-    return metrics
+    return run_post_stage("bench", image, config, params)

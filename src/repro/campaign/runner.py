@@ -6,10 +6,12 @@ out across a :class:`concurrent.futures.ProcessPoolExecutor` (image
 generation is CPU-bound; processes sidestep the GIL).  :func:`run_scenario`
 is a module-level function of a plain dict payload so it pickles cleanly.
 
-Determinism contract: everything in a result row except the ``wall`` section
-is a pure function of the scenario (fingerprint, knobs, steps, simulated
-metrics).  Rows are appended to the store in *scenario order*, not completion
-order, so two runs of one spec yield byte-identical stores modulo ``wall``
+Determinism contract: everything in a result row except the ``wall`` and
+``cache`` sections is a pure function of the scenario (fingerprint, knobs,
+steps, simulated metrics) — the stage cache restores bit-identical state, so
+a cache-hit scenario reports the same metrics as a regenerated one.  Rows
+are appended to the store in *scenario order*, not completion order, so two
+runs of one spec yield byte-identical stores modulo ``wall``/``cache``
 regardless of worker scheduling.
 """
 
@@ -22,9 +24,10 @@ from typing import Callable
 
 from repro.campaign.registry import get_step
 from repro.campaign.spec import CampaignSpec, Scenario
-from repro.campaign.store import ResultStore
+from repro.campaign.store import CACHE_KEY, ResultStore
 from repro.core.config import ImpressionsConfig
-from repro.core.impressions import Impressions
+from repro.pipeline.cache import StageCache
+from repro.pipeline.runner import default_pipeline
 
 __all__ = ["run_scenario", "run_campaign", "CampaignRunResult", "RESULT_FORMAT_VERSION"]
 
@@ -36,13 +39,19 @@ def run_scenario(payload: dict) -> dict:
     """Execute one scenario payload (see :meth:`Scenario.payload`).
 
     Returns the complete result row: scenario identity, resolved knobs,
-    per-step metrics namespaced as ``<label>.<metric>``, and a ``wall``
-    section with wall-clock seconds for generation and each step.
+    per-step metrics namespaced as ``<label>.<metric>``, a ``wall`` section
+    with wall-clock seconds for generation and each step, and — when the
+    payload names a ``cache_dir`` — a ``cache`` section with the stage-cache
+    counters of the generation pipeline (scenarios sharing generation knobs
+    restore the image from the cache instead of regenerating it).
     """
     config = ImpressionsConfig.from_knobs(payload["knobs"])
+    cache_dir = payload.get("cache_dir")
+    cache = StageCache(cache_dir) if cache_dir else None
     wall: dict[str, float] = {}
     start = time.perf_counter()
-    image = Impressions(config).generate()
+    pipeline_result = default_pipeline().run(config, cache=cache)
+    image = pipeline_result.image
     wall["generate_seconds"] = time.perf_counter() - start
 
     metrics: dict[str, object] = {}
@@ -57,7 +66,7 @@ def run_scenario(payload: dict) -> dict:
         for key, value in step_metrics.items():
             metrics[f"{label}.{key}"] = value
 
-    return {
+    row = {
         "format": RESULT_FORMAT_VERSION,
         "campaign": payload["campaign"],
         "scenario": payload["scenario"],
@@ -68,6 +77,9 @@ def run_scenario(payload: dict) -> dict:
         "metrics": metrics,
         "wall": wall,
     }
+    if cache is not None:
+        row[CACHE_KEY] = pipeline_result.cache_summary()
+    return row
 
 
 @dataclass
@@ -98,6 +110,7 @@ def run_campaign(
     *,
     workers: int = 1,
     force: bool = False,
+    cache_dir: str | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> CampaignRunResult:
     """Expand ``spec`` and execute every scenario not already in the store.
@@ -109,6 +122,11 @@ def run_campaign(
             which is also the fallback when only one scenario is pending.
         force: re-run scenarios whose fingerprints are already stored
             (appending fresh rows) instead of skipping them.
+        cache_dir: optional stage-cache directory shared by every scenario
+            (and safe to share across campaigns): scenarios with the same
+            generation knobs generate the image once and restore it from the
+            cache afterwards.  Workers race benignly — cache writes are
+            atomic and content-addressed.
         progress: optional callback receiving one human-readable line per
             scenario scheduled or skipped.
 
@@ -141,6 +159,9 @@ def run_campaign(
     # failure partway through keeps every finished scenario in the store and
     # the next run resumes from the crash point via fingerprints.
     payloads = [scenario.payload() for scenario in pending]
+    if cache_dir:
+        for payload in payloads:
+            payload["cache_dir"] = cache_dir
     if len(payloads) <= 1 or workers == 1:
         for scenario, payload in zip(pending, payloads):
             store.append(run_scenario(payload))

@@ -2,8 +2,9 @@
 
 One line per completed scenario.  Rows are canonical JSON (sorted keys, fixed
 separators) so that two runs of the same campaign produce byte-identical
-stores *except* for the ``wall`` section, which holds every wall-clock
-measurement; :func:`deterministic_view` strips it for comparisons.
+stores *except* for the ``wall`` section (every wall-clock measurement) and
+the optional ``cache`` section (stage-cache hit counters, which depend on
+prior runs); :func:`deterministic_view` strips both for comparisons.
 
 The store is append-only on purpose: results are facts about a (spec, seed,
 code) triple, never edited in place.  Re-running a campaign consults
@@ -18,10 +19,15 @@ import json
 import os
 from typing import Iterator, Mapping
 
-__all__ = ["ResultStore", "StoreError", "deterministic_view", "WALL_KEY"]
+__all__ = ["ResultStore", "StoreError", "deterministic_view", "WALL_KEY", "CACHE_KEY"]
 
 #: Result-row section holding wall-clock (nondeterministic) measurements.
 WALL_KEY = "wall"
+
+#: Result-row section holding stage-cache counters.  Cache hits depend on
+#: what earlier runs left in the cache directory, not on the scenario, so the
+#: section is excluded from the deterministic view alongside ``wall``.
+CACHE_KEY = "cache"
 
 
 class StoreError(ValueError):
@@ -29,8 +35,8 @@ class StoreError(ValueError):
 
 
 def deterministic_view(row: Mapping[str, object]) -> dict:
-    """The row without its wall-clock section (the comparable part)."""
-    return {key: value for key, value in row.items() if key != WALL_KEY}
+    """The row without its wall-clock and cache sections (the comparable part)."""
+    return {key: value for key, value in row.items() if key not in (WALL_KEY, CACHE_KEY)}
 
 
 class ResultStore:

@@ -23,6 +23,15 @@ Scenario sweeps live under the ``campaign`` subcommand
 
     impressions campaign run sweep.json --store results.jsonl --workers 4
     impressions campaign compare baseline.jsonl results.jsonl
+
+Generation itself runs on the staged pipeline (:mod:`repro.pipeline`):
+``--stages`` selects a stage subset, ``--cache-dir`` enables the
+content-addressed stage cache, and the ``pipeline`` subcommand inspects the
+stage graph::
+
+    impressions --files 2000 --cache-dir ~/.cache/impressions   # resumes free
+    impressions --files 2000 --stages directory_structure,file_sizes,extensions,depth_and_placement
+    impressions pipeline inspect --files 2000 --seed 7
 """
 
 from __future__ import annotations
@@ -34,20 +43,12 @@ from typing import Sequence
 
 from repro.content.generators import ContentPolicy
 from repro.core.config import GIB, ImpressionsConfig
-from repro.core.impressions import Impressions
 
-__all__ = ["main", "build_parser", "config_from_args"]
+__all__ = ["main", "build_parser", "config_from_args", "add_config_arguments"]
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="impressions",
-        description="Generate statistically accurate file-system images (FAST '09 reproduction).",
-        epilog=(
-            "Operation traces: 'impressions trace synth|replay|age --help'. "
-            "Scenario sweeps: 'impressions campaign run|list|report|compare --help'."
-        ),
-    )
+def add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    """Add the image-configuration flags shared with ``impressions pipeline``."""
     parser.add_argument("--size-gb", type=float, default=None, help="target file-system size in GiB")
     parser.add_argument("--size-bytes", type=int, default=None, help="target file-system size in bytes")
     parser.add_argument("--files", type=int, default=None, help="number of files")
@@ -75,6 +76,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--no-special-dirs", action="store_true", help="disable special-directory biases"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="impressions",
+        description="Generate statistically accurate file-system images (FAST '09 reproduction).",
+        epilog=(
+            "Operation traces: 'impressions trace synth|replay|age --help'. "
+            "Scenario sweeps: 'impressions campaign run|list|report|compare --help'. "
+            "Stage graph: 'impressions pipeline inspect --help'."
+        ),
+    )
+    add_config_arguments(parser)
+    parser.add_argument(
+        "--stages",
+        metavar="LIST",
+        default=None,
+        help=(
+            "comma-separated subset of generation stages to run "
+            "(e.g. 'directory_structure,file_sizes,extensions,depth_and_placement' "
+            "for an image without disk layout)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "content-addressed stage cache: re-runs with the same config resume "
+            "from the deepest cached stage instead of regenerating"
+        ),
     )
     parser.add_argument(
         "--materialize", metavar="PATH", default=None, help="write the image to this directory"
@@ -137,6 +170,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.campaign.cli import main as campaign_main
 
         return campaign_main(list(argv[1:]))
+    if argv and argv[0] == "pipeline":
+        from repro.pipeline.cli import main as pipeline_main
+
+        return pipeline_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -145,7 +182,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error(str(error))
         return 2  # pragma: no cover - parser.error raises SystemExit
 
-    image = Impressions(config).generate()
+    from repro.pipeline import StageCache, StageWiringError, default_pipeline
+
+    pipeline = default_pipeline()
+    if args.stages:
+        names = [name.strip() for name in args.stages.split(",") if name.strip()]
+        try:
+            pipeline = pipeline.subset(names)
+        except StageWiringError as error:
+            parser.error(str(error))
+            return 2  # pragma: no cover - parser.error raises SystemExit
+    cache = StageCache(args.cache_dir) if args.cache_dir else None
+    result = pipeline.run(config, cache=cache)
+    image = result.image
     summary = image.summary()
 
     written: int | None = None
@@ -162,6 +211,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             # Config-only identity; campaign scenario fingerprints build on
             # this plus the scenario's step list.
             "config_fingerprint": config.fingerprint(),
+            # Per-stage fingerprints, seconds and cache outcome.
+            "pipeline": result.as_dict(),
         }
         if image.report is not None:
             payload["report"] = image.report.to_dict()
@@ -178,6 +229,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"{summary['files']} files, {summary['directories']} directories, "
         f"{summary['total_bytes']} bytes, layout score {summary['layout_score']:.3f}"
     )
+    if cache is not None:
+        stats = result.cache_summary()
+        print(
+            f"stage cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+            f"{stats['stores']} store(s) in {args.cache_dir}"
+        )
 
     if not args.quiet and image.report is not None:
         print()

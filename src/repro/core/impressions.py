@@ -1,4 +1,4 @@
-"""The Impressions generation pipeline (Section 3.3).
+"""The Impressions generation facade (Section 3.3).
 
 Image creation proceeds in the phases the paper describes and times
 (Table 6):
@@ -15,30 +15,30 @@ Image creation proceeds in the phases the paper describes and times
 6. **On-disk creation & layout** — files are allocated on the simulated disk
    while the fragmenter steers the layout score toward the target.
 
+Since the pipeline redesign these phases live as composable stages in
+:mod:`repro.pipeline` (one :class:`~repro.pipeline.stage.Stage` per phase,
+run by a :class:`~repro.pipeline.runner.Pipeline`).  :class:`Impressions`
+remains the stable convenience API: ``Impressions(config).generate()`` runs
+the default six-stage pipeline and returns an image identical, seed for
+seed, to what the historical monolithic generator produced.  Callers that
+want stage subsets, progress hooks or the content-addressed stage cache use
+the pipeline API directly::
+
+    from repro.pipeline import StageCache, default_pipeline
+
+    result = default_pipeline().run(config, cache=StageCache(cache_dir))
+    image = result.image
+
 Every phase's wall-clock time is recorded in the reproducibility report so
 the Table 6 benchmark simply reads it back.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.constraints.resolver import ConstraintResolver, ConstraintSpec
-from repro.content.generators import ContentGenerator
 from repro.core.config import ImpressionsConfig
 from repro.core.image import FileSystemImage
-from repro.core.report import ReproducibilityReport
-from repro.layout.disk import SimulatedDisk
-from repro.layout.fragmenter import Fragmenter
-from repro.metadata.extensions import content_kind_for_extension
-from repro.metadata.names import NameGenerator
-from repro.namespace.generative_model import GenerativeTreeModel
-from repro.namespace.placement import FilePlacer
-from repro.namespace.special_dirs import install_special_directories
-from repro.namespace.tree import FileSystemTree
 
 __all__ = ["Impressions", "GenerationTimings"]
 
@@ -51,7 +51,8 @@ class GenerationTimings:
     generation — trace replay (``trace_replay``) and trace-driven aging
     (``trace_aging``) record themselves here — and is merged into
     :meth:`as_dict`, so Table 6 reporting picks the extra rows up without
-    knowing about them in advance.
+    knowing about them in advance.  An extras key that collides with a core
+    phase key (or ``total``) raises instead of silently shadowing the phase.
     """
 
     directory_structure: float = 0.0
@@ -64,6 +65,12 @@ class GenerationTimings:
 
     @property
     def total(self) -> float:
+        """Sum of the six core generation phases.
+
+        ``extras`` entries are deliberately excluded: they time optional
+        post-generation work (replay, aging), not image creation, and the
+        Table 6 total only covers creation.
+        """
         return (
             self.directory_structure
             + self.file_sizes
@@ -83,12 +90,23 @@ class GenerationTimings:
             "on_disk_creation": self.on_disk_creation,
             "total": self.total,
         }
+        collisions = sorted(set(self.extras) & set(out))
+        if collisions:
+            raise ValueError(
+                f"extras timing key(s) {collisions} would shadow core phase entries; "
+                "record post-generation phases under distinct names"
+            )
         out.update(self.extras)
         return out
 
 
 class Impressions:
-    """Generates file-system images from an :class:`ImpressionsConfig`."""
+    """Generates file-system images from an :class:`ImpressionsConfig`.
+
+    A thin facade over :func:`repro.pipeline.runner.default_pipeline` kept
+    for API stability (and as the one-liner the paper's "ease of use" goal
+    asks for).
+    """
 
     def __init__(self, config: ImpressionsConfig | None = None) -> None:
         self._config = config or ImpressionsConfig()
@@ -98,169 +116,7 @@ class Impressions:
         return self._config
 
     def generate(self) -> FileSystemImage:
-        """Run the full pipeline and return the generated image."""
-        config = self._config
-        rng = np.random.default_rng(config.seed)
-        timings = GenerationTimings()
-        report = ReproducibilityReport(seed=config.seed, parameters=config.parameter_table())
-        report.distributions = self._distribution_report()
+        """Run the full default pipeline and return the generated image."""
+        from repro.pipeline.runner import default_pipeline
 
-        # Phase 1: namespace.
-        start = time.perf_counter()
-        tree = self._build_namespace(rng)
-        timings.directory_structure = time.perf_counter() - start
-
-        # Phase 2: file sizes.
-        start = time.perf_counter()
-        sizes = self._sample_file_sizes(rng, report)
-        timings.file_sizes = time.perf_counter() - start
-
-        # Phase 3: extensions.
-        start = time.perf_counter()
-        extensions = config.extension_model.sample_extensions(rng, len(sizes))
-        timings.extensions = time.perf_counter() - start
-
-        # Phase 4: depth selection + parent placement + file creation.
-        start = time.perf_counter()
-        content_generator = ContentGenerator(policy=config.content) if config.generate_content else None
-        self._populate_files(tree, sizes, extensions, rng, content_generator)
-        timings.depth_and_placement = time.perf_counter() - start
-
-        # Optional: file timestamps (age model).
-        if config.timestamp_model is not None:
-            now = config.timestamp_now if config.timestamp_now is not None else time.time()
-            report.record_derived("timestamp_now", now)
-            for file_node in tree.files:
-                file_node.timestamps = config.timestamp_model.sample(rng, now)
-
-        # Phase 5: content (recorded lazily; cost here is model construction +
-        # a sample generation to surface configuration errors early).
-        content_seed = int(rng.integers(0, 2**31 - 1))
-        start = time.perf_counter()
-        if content_generator is not None and tree.file_count:
-            probe = tree.files[0]
-            probe_rng = np.random.default_rng((content_seed, probe.file_id))
-            content_generator.generate(min(probe.size, 4096), probe.extension, probe_rng)
-        timings.content = time.perf_counter() - start
-
-        # Phase 6: on-disk creation with the requested layout score.
-        start = time.perf_counter()
-        disk = self._create_on_disk(tree, rng)
-        timings.on_disk_creation = time.perf_counter() - start
-
-        report.record_timing("directory_structure", timings.directory_structure)
-        report.record_timing("file_sizes", timings.file_sizes)
-        report.record_timing("extensions", timings.extensions)
-        report.record_timing("depth_and_placement", timings.depth_and_placement)
-        report.record_timing("content", timings.content)
-        report.record_timing("on_disk_creation", timings.on_disk_creation)
-        report.record_timing("total", timings.total)
-        report.record_derived("file_count", tree.file_count)
-        report.record_derived("directory_count", tree.directory_count)
-        report.record_derived("total_bytes", tree.total_bytes)
-
-        image = FileSystemImage(
-            tree=tree,
-            disk=disk,
-            content_generator=content_generator,
-            content_seed=content_seed,
-            report=report,
-        )
-        report.record_derived("layout_score", image.achieved_layout_score())
-        image.extras["timings"] = timings
-        return image
-
-    # Pipeline phases ------------------------------------------------------------
-
-    def _build_namespace(self, rng: np.random.Generator) -> FileSystemTree:
-        config = self._config
-        model = GenerativeTreeModel(attachment_offset=config.attachment_offset)
-        tree = model.generate(config.resolved_num_directories(), rng)
-        if config.special_directories:
-            install_special_directories(tree, tuple(config.special_directories), rng)
-        return tree
-
-    def _sample_file_sizes(self, rng: np.random.Generator, report: ReproducibilityReport) -> np.ndarray:
-        config = self._config
-        num_files = config.resolved_num_files()
-        size_model = config.resolved_size_model()
-
-        if config.enforce_fs_size and config.fs_size_bytes is not None:
-            spec = ConstraintSpec(
-                num_values=num_files,
-                target_sum=float(config.fs_size_bytes),
-                distribution=size_model,
-                beta=config.beta,
-                max_oversampling_factor=config.max_oversampling_factor,
-            )
-            result = ConstraintResolver(spec, rng).resolve()
-            report.record_derived("constraint_final_beta", result.final_beta)
-            report.record_derived("constraint_oversampling", result.oversampling_factor)
-            report.record_derived("constraint_converged", result.converged)
-            sizes = result.values
-        else:
-            sizes = np.asarray(size_model.sample(rng, num_files), dtype=float)
-        return np.maximum(np.round(sizes), 0).astype(np.int64)
-
-    def _populate_files(
-        self,
-        tree: FileSystemTree,
-        sizes: np.ndarray,
-        extensions: list[str],
-        rng: np.random.Generator,
-        content_generator: ContentGenerator | None,
-    ) -> None:
-        config = self._config
-        special_nodes = {
-            directory.special_label: directory
-            for directory in tree.directories
-            if directory.special_label is not None
-        }
-        placer = FilePlacer(
-            tree=tree,
-            model=config.placement_model(),
-            rng=rng,
-            special_nodes=special_nodes,
-        )
-        names = NameGenerator()
-        for size, extension in zip(sizes, extensions):
-            parent = placer.place(int(size))
-            kind = (
-                content_generator.content_kind(extension)
-                if content_generator is not None
-                else content_kind_for_extension(extension)
-            )
-            tree.create_file(
-                parent=parent,
-                size=int(size),
-                extension=extension,
-                name=names.next_file_name(extension),
-                content_kind=kind,
-            )
-
-    def _create_on_disk(self, tree: FileSystemTree, rng: np.random.Generator) -> SimulatedDisk:
-        config = self._config
-        # Size the disk for whichever is larger: the configured capacity or the
-        # bytes actually sampled (a Pareto-tail file can exceed the nominal FS
-        # size), with 30% slack for the fragmenter's temporary files.
-        needed_blocks = int(tree.total_bytes * 1.3) // config.block_size + tree.file_count + 1024
-        capacity_blocks = max(
-            config.resolved_disk_capacity() // config.block_size, needed_blocks, 1024
-        )
-        disk = SimulatedDisk(num_blocks=capacity_blocks)
-        fragmenter = Fragmenter(disk=disk, target_score=config.layout_score, rng=rng)
-        for file_node in tree.files:
-            blocks = fragmenter.allocate_regular_file(file_node.path(), file_node.size)
-            file_node.block_list = blocks
-            file_node.first_block = blocks[0] if blocks else None
-        fragmenter.finish()
-        return disk
-
-    def _distribution_report(self) -> dict[str, dict[str, float]]:
-        config = self._config
-        return {
-            "file_size_by_count": dict(config.resolved_size_model().params()),
-            "file_size_by_bytes": dict(config.resolved_bytes_model().params()),
-            "file_count_with_depth": dict(config.depth_distribution.params()),
-            "directory_size_files": dict(config.directory_file_count_model.params()),
-        }
+        return default_pipeline().run(self._config).image

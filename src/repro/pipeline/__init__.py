@@ -1,0 +1,63 @@
+"""Composable staged generation (the Section 3.3 phases as first-class units).
+
+The paper describes image creation as an explicit phase sequence and times it
+phase by phase (Table 6).  This package turns those phases into composable
+:class:`Stage` objects wired through a shared :class:`GenerationContext` and
+run by a :class:`Pipeline`:
+
+* :mod:`repro.pipeline.stage` — the ``Stage`` protocol (declared inputs,
+  outputs and config knobs) and per-stage SHA-256 fingerprints chained over
+  upstream stages.
+* :mod:`repro.pipeline.context` — the :class:`GenerationContext` carrying the
+  config, the seeded rng stream, the tree/sizes/disk artifacts, the report
+  and the per-stage timings.
+* :mod:`repro.pipeline.stages` — the six generation stages of the default
+  pipeline (``directory_structure`` … ``on_disk_creation``).
+* :mod:`repro.pipeline.registry` — a name → stage factory registry; trace
+  replay, trace-driven aging and bench drivers register here as
+  post-generation stages.
+* :mod:`repro.pipeline.cache` — a content-addressed on-disk artifact cache
+  keyed by stage fingerprint, so pipelines resume mid-run and campaign
+  scenarios sharing generation knobs reuse the cached image.
+* :mod:`repro.pipeline.runner` — the :class:`Pipeline` itself plus
+  :func:`default_pipeline` and :func:`image_fingerprint`.
+
+Quickstart::
+
+    from repro.pipeline import StageCache, default_pipeline
+
+    pipeline = default_pipeline()
+    result = pipeline.run(config, cache=StageCache("/tmp/stage-cache"))
+    image = result.image          # identical to Impressions(config).generate()
+    result.executions             # per-stage fingerprint / seconds / cached?
+"""
+
+from repro.pipeline.cache import CacheStats, StageCache, config_cache_safe
+from repro.pipeline.context import GenerationContext
+from repro.pipeline.registry import get_stage_factory, register_stage, stage_names
+from repro.pipeline.runner import (
+    Pipeline,
+    PipelineResult,
+    StageExecution,
+    default_pipeline,
+    image_fingerprint,
+)
+from repro.pipeline.stage import PipelineError, Stage, StageWiringError
+
+__all__ = [
+    "CacheStats",
+    "GenerationContext",
+    "Pipeline",
+    "PipelineError",
+    "PipelineResult",
+    "Stage",
+    "StageCache",
+    "StageExecution",
+    "StageWiringError",
+    "config_cache_safe",
+    "default_pipeline",
+    "get_stage_factory",
+    "image_fingerprint",
+    "register_stage",
+    "stage_names",
+]

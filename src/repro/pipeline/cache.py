@@ -1,0 +1,145 @@
+"""Content-addressed on-disk cache of stage artifacts.
+
+Entries are keyed by stage fingerprint (:func:`repro.pipeline.stage.stage_fingerprint`):
+the digest covers the stage's knob values, its params, the pipeline format
+version and the whole upstream chain, so a key can only ever map to one
+semantic artifact — the cache needs no invalidation, only garbage collection.
+
+Each entry is the pickled context snapshot *after* that stage
+(:meth:`~repro.pipeline.context.GenerationContext.snapshot`).  The pipeline
+probes from the deepest generation stage backwards and resumes from the first
+hit; campaign scenarios that share generation knobs but differ only in steps
+therefore generate the image once and restore it everywhere else.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent campaign
+workers sharing one cache directory race benignly: both compute the same
+artifact and the last rename wins with identical bytes.  Corrupt or
+unreadable entries are treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+
+from repro.core.config import ImpressionsConfig
+from repro.metadata.extensions import DEFAULT_EXTENSION_MODEL
+
+__all__ = ["CacheStats", "StageCache", "config_cache_safe"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one pipeline run (or one cache lifetime)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evicted_corrupt: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evicted_corrupt": self.evicted_corrupt,
+        }
+
+
+class StageCache:
+    """A directory of fingerprint-addressed pickled stage snapshots."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.stats = CacheStats()
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(self.root, fingerprint[:2], f"{fingerprint}.pkl")
+
+    def has(self, fingerprint: str) -> bool:
+        """Whether an entry exists (no counters touched — probe only)."""
+        return os.path.exists(self._path(fingerprint))
+
+    def load(self, fingerprint: str) -> dict | None:
+        """The snapshot state for ``fingerprint``, or None on miss/corruption.
+
+        A truncated or unreadable entry counts as a miss (and is evicted)
+        rather than surfacing an exception deep inside the restore path.
+        """
+        path = self._path(fingerprint)
+        try:
+            with open(path, "rb") as handle:
+                state = pickle.load(handle)
+            if not isinstance(state, dict):
+                raise ValueError("snapshot entry is not a state dict")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            self.stats.misses += 1
+            self.stats.evicted_corrupt += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return state
+
+    def store(self, fingerprint: str, state: dict) -> None:
+        """Atomically write the snapshot ``state`` under ``fingerprint``."""
+        path = self._path(fingerprint)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.remove(temp_path)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def entry_count(self) -> int:
+        """Number of entries currently on disk (walks the directory)."""
+        count = 0
+        for _, _, files in os.walk(self.root):
+            count += sum(1 for name in files if name.endswith(".pkl"))
+        return count
+
+
+def config_cache_safe(config: ImpressionsConfig) -> bool:
+    """Whether ``config``'s identity is fully captured by its knob view.
+
+    Stage fingerprints cover :meth:`ImpressionsConfig.to_knobs` only.  A
+    config carrying model-object overrides outside that view (a custom size
+    distribution, a timestamp model, a tweaked extension or placement model)
+    would collide with the plain config sharing its knobs, so the pipeline
+    silently disables the cache for it instead of risking a wrong restore.
+    """
+    if (
+        config.file_size_model is not None
+        or config.file_size_by_bytes_model is not None
+        or config.timestamp_model is not None
+    ):
+        return False
+    if config.extension_model is not DEFAULT_EXTENSION_MODEL:
+        return False
+    defaults = ImpressionsConfig.from_knobs(config.to_knobs())
+    if config.depth_distribution != defaults.depth_distribution:
+        return False
+    if dict(config.mean_bytes_by_depth) != dict(defaults.mean_bytes_by_depth):
+        return False
+    if config.directory_file_count_model != defaults.directory_file_count_model:
+        return False
+    if tuple(config.special_directories) != tuple(defaults.special_directories):
+        return False
+    if config.content != defaults.content:
+        return False
+    return True

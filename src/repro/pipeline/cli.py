@@ -1,0 +1,134 @@
+"""``impressions pipeline`` subcommands.
+
+Two verbs::
+
+    impressions pipeline inspect --files 2000 --seed 7 [--cache-dir DIR] [--json]
+    impressions pipeline stages [--json]
+
+``inspect`` renders the stage graph for a concrete config: every stage's
+declared inputs/outputs, the config knobs it fingerprints, its chained
+SHA-256 fingerprint, and — when a cache directory is given — whether that
+fingerprint is already cached (i.e. what a run would resume from).
+``stages`` lists every registered stage, including the post-generation ones
+available to pipeline extensions and campaign steps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.pipeline.cache import StageCache, config_cache_safe
+from repro.pipeline.registry import build_stage, stage_names
+from repro.pipeline.runner import default_pipeline
+from repro.pipeline.stage import PipelineError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from repro.core.cli import add_config_arguments
+
+    parser = argparse.ArgumentParser(
+        prog="impressions pipeline",
+        description="Inspect the staged generation pipeline.",
+        epilog=f"Registered stages: {', '.join(stage_names())}.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    inspect = commands.add_parser("inspect", help="show the stage graph for a config")
+    add_config_arguments(inspect)
+    inspect.add_argument(
+        "--stages",
+        metavar="LIST",
+        default=None,
+        help="comma-separated subset of generation stages (as for plain 'impressions')",
+    )
+    inspect.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="also report whether each stage fingerprint is cached here",
+    )
+    inspect.add_argument("--json", action="store_true", help="print the graph as JSON")
+
+    stages = commands.add_parser("stages", help="list every registered stage")
+    stages.add_argument("--json", action="store_true", help="print stage rows as JSON")
+    return parser
+
+
+def _run_inspect(args: argparse.Namespace) -> int:
+    from repro.core.cli import config_from_args
+
+    config = config_from_args(args)
+    pipeline = default_pipeline()
+    if args.stages:
+        names = [name.strip() for name in args.stages.split(",") if name.strip()]
+        pipeline = pipeline.subset(names)
+    rows = pipeline.describe(config)
+
+    cache = StageCache(args.cache_dir) if args.cache_dir else None
+    cache_safe = config_cache_safe(config)
+    if cache is not None:
+        for row in rows:
+            row["cached"] = (
+                cache_safe and not row["post_generation"] and cache.has(row["fingerprint"])
+            )
+
+    if args.json:
+        payload = {
+            "config_fingerprint": config.fingerprint(),
+            "cache_safe": cache_safe,
+            "stages": rows,
+        }
+        print(json.dumps(payload, sort_keys=True, default=str))
+        return 0
+
+    print(f"pipeline for config {config.fingerprint()[:12]} ({len(rows)} stages)")
+    if not cache_safe:
+        print("note: config carries model overrides outside the knob view; cache disabled")
+    for row in rows:
+        arrow = f"{', '.join(row['requires']) or '-'} -> {', '.join(row['provides']) or '-'}"
+        flags = []
+        if row["post_generation"]:
+            flags.append("post")
+        if cache is not None and row.get("cached"):
+            flags.append("cached")
+        suffix = f"  [{','.join(flags)}]" if flags else ""
+        print(f"  {row['name']:22s} {row['fingerprint'][:12]}  {arrow}{suffix}")
+        if row["config_knobs"]:
+            print(f"  {'':22s} knobs: {', '.join(row['config_knobs'])}")
+    return 0
+
+
+def _run_stages(args: argparse.Namespace) -> int:
+    rows = []
+    for name in stage_names():
+        stage = build_stage(name)
+        rows.append(stage.describe())
+    if args.json:
+        print(json.dumps(rows, sort_keys=True))
+        return 0
+    for row in rows:
+        kind = "post-generation" if row["post_generation"] else "generation"
+        print(f"  {row['name']:22s} {kind}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``impressions pipeline ...``."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "inspect":
+            return _run_inspect(args)
+        return _run_stages(args)
+    except (PipelineError, ValueError) as error:
+        raise SystemExit(f"impressions pipeline {args.command}: error: {error}")
+    except OSError as error:
+        raise SystemExit(f"impressions pipeline {args.command}: error: {error}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,245 @@
+"""Stage registry: name → stage factory, plus the post-generation stages.
+
+The registry makes pipelines declarative — a name list is enough to build
+one — and gives the previously ad-hoc extras (trace replay, trace-driven
+aging, bench drivers) a first-class home: they are ordinary
+:class:`~repro.pipeline.stage.Stage` subclasses flagged ``post_generation``,
+so the pipeline runs them against the assembled image with the same timing,
+fingerprinting and progress treatment as the generation phases.
+
+Campaign steps (:mod:`repro.campaign.registry`) delegate to these stages via
+:func:`run_post_stage`, so both entry points share one implementation.
+
+Post-generation stages record their metrics under
+``context.metrics[label]`` where ``label`` defaults to the stage name and can
+be overridden with a ``label`` param (several instances of one stage can then
+coexist in a pipeline).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.config import ImpressionsConfig
+from repro.core.image import FileSystemImage
+from repro.pipeline.context import GenerationContext
+from repro.pipeline.stage import PipelineError, Stage
+from repro.pipeline.stages import (
+    GENERATION_STAGES,
+    require_image,
+)
+from repro.trace.aging import TraceAger
+from repro.trace.replay import ReplayResult, TraceReplayer
+from repro.trace.synthesize import (
+    ChurnSpec,
+    MetadataStormSpec,
+    ZipfMixSpec,
+    synthesize_churn,
+    synthesize_metadata_storm,
+    synthesize_zipf_mix,
+)
+
+__all__ = [
+    "register_stage",
+    "get_stage_factory",
+    "build_stage",
+    "stage_names",
+    "run_post_stage",
+    "replay_metrics",
+    "synthesize_trace",
+    "TraceReplayStage",
+    "TraceAgingStage",
+    "BenchStage",
+]
+
+StageFactory = Callable[[Mapping[str, object] | None], Stage]
+
+_REGISTRY: dict[str, StageFactory] = {}
+
+
+def register_stage(stage_class: type[Stage]) -> type[Stage]:
+    """Class decorator registering ``stage_class`` under its ``name``."""
+    name = stage_class.name
+    if not name:
+        raise ValueError(f"stage class {stage_class.__name__} declares no name")
+    if name in _REGISTRY:
+        raise ValueError(f"stage {name!r} is already registered")
+    _REGISTRY[name] = stage_class
+    return stage_class
+
+
+def get_stage_factory(name: str) -> StageFactory:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown stage {name!r}; registered stages: {stage_names()}"
+        ) from None
+
+
+def build_stage(name: str, params: Mapping[str, object] | None = None) -> Stage:
+    """Instantiate the registered stage called ``name`` with ``params``."""
+    return get_stage_factory(name)(params)
+
+
+def stage_names() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+for _stage_class in GENERATION_STAGES:
+    register_stage(_stage_class)
+
+
+# Post-generation stages -------------------------------------------------------
+
+
+def synthesize_trace(kind: str, image: FileSystemImage, ops: int, seed: int, batch_size: int):
+    """Build one synthetic trace of ``kind`` against ``image`` (shared helper)."""
+    if kind == "zipf":
+        return synthesize_zipf_mix(image, ZipfMixSpec(num_ops=ops, batch_size=batch_size), seed=seed)
+    if kind == "churn":
+        return synthesize_churn(ChurnSpec(num_ops=ops, batch_size=batch_size), seed=seed)
+    if kind == "storm":
+        return synthesize_metadata_storm(
+            MetadataStormSpec(num_dirs=10, files_per_dir=max(1, ops // 40), batch_size=batch_size),
+            seed=seed,
+        )
+    raise ValueError(f"unknown trace kind {kind!r}; expected zipf, churn, or storm")
+
+
+def replay_metrics(result: ReplayResult) -> dict:
+    """Flatten a :class:`ReplayResult` into the shared scalar metric set."""
+    return {
+        "executed": result.executed,
+        "skipped": result.skipped,
+        "simulated_ms": result.simulated_ms,
+        "cache_hit_ratio": result.cache_hit_ratio,
+        "simulated_throughput_ops_s": result.simulated_throughput_ops_s,
+    }
+
+
+class PostGenerationStage(Stage):
+    """Base for stages that run against the finished image."""
+
+    post_generation = True
+    cacheable = False
+    requires = ("image",)
+
+    @property
+    def label(self) -> str:
+        return str(self.params.get("label", self.name))
+
+    def run(self, context: GenerationContext) -> None:
+        require_image(context)
+        assert context.image is not None
+        metrics = self.execute(context.image, context.config)
+        context.metrics[self.label] = dict(metrics)
+
+    def execute(self, image: FileSystemImage, config: ImpressionsConfig) -> Mapping[str, object]:
+        raise NotImplementedError
+
+
+@register_stage
+class TraceReplayStage(PostGenerationStage):
+    """Synthesize a trace and replay it against the image.
+
+    Params: ``kind`` ∈ zipf|churn|storm, ``ops``, ``seed_offset``,
+    ``batch_size``, ``warm_cache``, ``label``.
+    """
+
+    name = "trace_replay"
+    provides = ("replay_stats",)
+
+    def execute(self, image: FileSystemImage, config: ImpressionsConfig) -> dict:
+        params = self.params
+        kind = str(params.get("kind", "zipf"))
+        ops = int(params.get("ops", 5_000))
+        seed = config.seed + int(params.get("seed_offset", 0))
+        trace = synthesize_trace(kind, image, ops, seed, int(params.get("batch_size", 64)))
+        replayer = TraceReplayer(image)
+        if params.get("warm_cache"):
+            replayer.warm_cache()
+        return replay_metrics(replayer.replay(trace))
+
+
+@register_stage
+class TraceAgingStage(PostGenerationStage):
+    """Trace-driven aging of the image to a target layout score.
+
+    Params: ``target_score`` (required), ``seed_offset``, ``label``.
+    """
+
+    name = "trace_aging"
+    provides = ("aging_stats",)
+
+    def execute(self, image: FileSystemImage, config: ImpressionsConfig) -> dict:
+        target = self.params.get("target_score")
+        if target is None:
+            raise PipelineError("trace_aging stage requires a 'target_score' param")
+        seed = config.seed + int(self.params.get("seed_offset", 0))
+        ager = TraceAger(image, float(target), np.random.default_rng(seed))
+        result = ager.age()
+        return {
+            "initial_score": result.initial_score,
+            "achieved_score": result.achieved_score,
+            "target_score": result.target_score,
+            "score_error": result.error,
+            "files_rewritten": result.files_rewritten,
+            "operations": len(result.trace),
+        }
+
+
+@register_stage
+class BenchStage(PostGenerationStage):
+    """Run a :mod:`repro.bench` driver's ``run()`` and report its scalars.
+
+    Params: ``driver`` (module name in ``repro.bench``) plus the driver's own
+    keyword arguments, and ``label``.  Bench drivers generate their own
+    images; the surrounding image is context only.
+    """
+
+    name = "bench"
+    provides = ("bench_stats",)
+
+    def execute(self, image: FileSystemImage, config: ImpressionsConfig) -> dict:
+        params = dict(self.params)
+        params.pop("label", None)
+        driver_name = params.pop("driver", None)
+        if not driver_name or not isinstance(driver_name, str) or "." in driver_name:
+            raise PipelineError("bench stage requires a 'driver' module name from repro.bench")
+        module = importlib.import_module(f"repro.bench.{driver_name}")
+        run = getattr(module, "run", None)
+        if run is None:
+            raise PipelineError(f"bench driver {driver_name!r} has no run() function")
+        result = run(**params)
+        metrics: dict[str, object] = {}
+        for key, value in result.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            metrics[key] = value
+        if not metrics:
+            metrics["completed"] = 1
+        return metrics
+
+
+def run_post_stage(
+    name: str,
+    image: FileSystemImage,
+    config: ImpressionsConfig,
+    params: Mapping[str, object] | None = None,
+) -> dict:
+    """Run one registered post-generation stage against an existing image.
+
+    This is the bridge the campaign step registry uses: it wraps ``image`` in
+    a context, executes the stage, and returns its recorded metrics.
+    """
+    stage = build_stage(name, params)
+    if not stage.post_generation:
+        raise PipelineError(f"stage {name!r} is a generation stage, not a post-generation one")
+    context = GenerationContext.for_image(image, config)
+    stage.run(context)
+    assert isinstance(stage, PostGenerationStage)
+    return dict(context.metrics[stage.label])

@@ -65,6 +65,28 @@ class TestPipelineBasics:
         assert set(timings.as_dict()) >= {"directory_structure", "on_disk_creation", "total"}
 
 
+class TestGenerationTimingsDict:
+    def test_extras_merge_into_as_dict(self):
+        timings = GenerationTimings(extras={"trace_replay": 1.5})
+        assert timings.as_dict()["trace_replay"] == 1.5
+
+    def test_extras_cannot_shadow_core_phase_keys(self):
+        timings = GenerationTimings(
+            directory_structure=2.0, extras={"directory_structure": 0.1}
+        )
+        with pytest.raises(ValueError, match="shadow"):
+            timings.as_dict()
+
+    def test_extras_cannot_shadow_the_total(self):
+        timings = GenerationTimings(extras={"total": 99.0})
+        with pytest.raises(ValueError, match="total"):
+            timings.as_dict()
+
+    def test_total_excludes_extras(self):
+        timings = GenerationTimings(file_sizes=1.0, extras={"trace_replay": 5.0})
+        assert timings.total == 1.0
+
+
 class TestReproducibility:
     def test_same_seed_same_image(self):
         config = ImpressionsConfig(fs_size_bytes=None, num_files=300, num_directories=60, seed=5)

@@ -1,0 +1,96 @@
+"""CLI surface of the pipeline: --stages, --cache-dir, pipeline inspect."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.cli import main as impressions_main
+from repro.pipeline.cli import main as pipeline_main
+
+SMALL = ["--files", "120", "--dirs", "24", "--seed", "5"]
+
+
+class TestGenerateFlags:
+    def test_cache_dir_round_trip(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert impressions_main(SMALL + ["--quiet", "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+        assert "6 miss(es)" in first
+        assert impressions_main(SMALL + ["--quiet", "--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr().out
+        assert "6 hit(s)" in second
+
+    def test_json_payload_includes_pipeline_section(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert impressions_main(SMALL + ["--json", "--cache-dir", cache_dir]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        stages = payload["pipeline"]["stages"]
+        assert [stage["name"] for stage in stages] == [
+            "directory_structure",
+            "file_sizes",
+            "extensions",
+            "depth_and_placement",
+            "content",
+            "on_disk_creation",
+        ]
+        assert payload["pipeline"]["cache"]["enabled"] is True
+        assert all(len(stage["fingerprint"]) == 64 for stage in stages)
+
+    def test_stages_subset_skips_the_disk(self, capsys):
+        args = SMALL + [
+            "--json",
+            "--stages",
+            "directory_structure,file_sizes,extensions,depth_and_placement",
+        ]
+        assert impressions_main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["pipeline"]["stages"]) == 4
+        assert payload["summary"]["layout_score"] == 1.0
+
+    def test_invalid_stage_subset_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            impressions_main(SMALL + ["--stages", "depth_and_placement"])
+
+
+class TestPipelineSubcommand:
+    def test_inspect_text_lists_all_stages(self, capsys):
+        assert pipeline_main(["inspect"] + SMALL) == 0
+        out = capsys.readouterr().out
+        for name in ("directory_structure", "on_disk_creation"):
+            assert name in out
+        assert "6 stages" in out
+
+    def test_inspect_json_reports_cache_state(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert pipeline_main(["inspect"] + SMALL + ["--cache-dir", cache_dir, "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert all(stage["cached"] is False for stage in cold["stages"])
+        assert cold["cache_safe"] is True
+
+        assert impressions_main(SMALL + ["--quiet", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert pipeline_main(["inspect"] + SMALL + ["--cache-dir", cache_dir, "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert all(stage["cached"] is True for stage in warm["stages"])
+
+    def test_inspect_fingerprints_match_generate_fingerprints(self, capsys):
+        assert pipeline_main(["inspect"] + SMALL + ["--json"]) == 0
+        inspected = json.loads(capsys.readouterr().out)
+        assert impressions_main(SMALL + ["--json"]) == 0
+        generated = json.loads(capsys.readouterr().out)
+        assert [stage["fingerprint"] for stage in inspected["stages"]] == [
+            stage["fingerprint"] for stage in generated["pipeline"]["stages"]
+        ]
+        assert inspected["config_fingerprint"] == generated["config_fingerprint"]
+
+    def test_stages_verb_lists_post_generation_stages(self, capsys):
+        assert pipeline_main(["stages"]) == 0
+        out = capsys.readouterr().out
+        assert "trace_replay" in out
+        assert "post-generation" in out
+
+    def test_dispatch_through_top_level_cli(self, capsys):
+        assert impressions_main(["pipeline", "stages"]) == 0
+        assert "bench" in capsys.readouterr().out
