@@ -10,13 +10,25 @@ the experimental results themselves.
 
 Scale: benchmarks default to scaled-down images so the whole suite finishes in
 minutes.  Set ``IMPRESSIONS_BENCH_SCALE=1.0`` to run paper-sized experiments.
+
+Perf baselines: pass ``--bench-json DIR`` (or set
+``IMPRESSIONS_BENCH_JSON=DIR``) and instrumented benchmarks write
+``BENCH_<name>.json`` files — machine-readable ops/sec and per-phase timings —
+into DIR, so the performance trajectory can be tracked across PRs (CI uploads
+them as artifacts).
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 
 import pytest
+
+# --bench-json itself is registered in the repo-root conftest.py: pytest only
+# honours pytest_addoption from initial conftests, and this file is not one
+# when the suite is invoked from the repo root.
 
 
 def bench_scale(default: float) -> float:
@@ -37,3 +49,32 @@ def print_result():
         print(table)
 
     return _print
+
+
+@pytest.fixture(scope="session")
+def bench_json(request):
+    """Writer for ``BENCH_<name>.json`` perf-baseline files.
+
+    Returns a callable ``(name, payload) -> path | None``.  A no-op (returns
+    None) unless ``--bench-json`` / ``IMPRESSIONS_BENCH_JSON`` names a target
+    directory.  Payloads are augmented with the platform and python version so
+    baselines from different machines are not compared blindly.
+    """
+    directory = request.config.getoption("--bench-json")
+
+    def _write(name: str, payload: dict) -> str | None:
+        if not directory:
+            return None
+        os.makedirs(directory, exist_ok=True)
+        document = {
+            "benchmark": name,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            **payload,
+        }
+        path = os.path.join(directory, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True, default=str)
+        return path
+
+    return _write

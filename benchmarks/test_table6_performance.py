@@ -5,7 +5,7 @@ from conftest import bench_scale
 from repro.bench import table6_performance
 
 
-def test_table6_image_creation_performance(benchmark, print_result):
+def test_table6_image_creation_performance(benchmark, print_result, bench_json):
     scale = bench_scale(0.05)
     result = benchmark.pedantic(
         lambda: table6_performance.run(scale=scale, seed=42, include_content_row=True),
@@ -13,6 +13,15 @@ def test_table6_image_creation_performance(benchmark, print_result):
         rounds=1,
     )
     print_result("Table 6: generation time breakdown", table6_performance.format_table(result))
+    bench_json(
+        "table6",
+        {
+            "scale": result["scale"],
+            "image1_timings_s": result["image1"]["timings_s"],
+            "image2_timings_s": result["image2"]["timings_s"],
+            "extra": result["extra"],
+        },
+    )
 
     timings1 = result["image1"]["timings_s"]
     timings2 = result["image2"]["timings_s"]

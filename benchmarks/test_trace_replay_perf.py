@@ -4,8 +4,13 @@ from conftest import bench_scale
 
 from repro.bench import trace_replay
 
+#: Acceptance bar for the 50k-op Zipf mix.  Raised from 100k to 250k ops/sec
+#: by the extent-based layout engine (O(1) run counts and layout scoring in
+#: the replay hot path instead of per-block re-scans).
+ZIPF_OPS_PER_SECOND_BAR = 250_000
 
-def test_trace_replay_throughput(benchmark, print_result):
+
+def test_trace_replay_throughput(benchmark, print_result, bench_json):
     scale = bench_scale(0.05)
     result = benchmark.pedantic(
         lambda: trace_replay.run(scale=scale, num_ops=50_000, seed=42),
@@ -13,9 +18,27 @@ def test_trace_replay_throughput(benchmark, print_result):
         rounds=1,
     )
     print_result("Trace replay performance", trace_replay.format_table(result))
+    bench_json(
+        "trace_replay",
+        {
+            "scale": result["scale"],
+            "num_ops": result["num_ops"],
+            "image_files": result["image_files"],
+            "ops_per_second": {
+                name: entry["ops_per_second"] for name, entry in result["results"].items()
+            },
+            "wall_seconds": {
+                name: entry["wall_seconds"] for name, entry in result["results"].items()
+            },
+            "simulated_ms": {
+                name: entry["simulated_ms"] for name, entry in result["results"].items()
+            },
+            "warm_speedup_simulated": result["warm_speedup_simulated"],
+            "ops_per_second_bar": ZIPF_OPS_PER_SECOND_BAR,
+        },
+    )
 
     zipf = result["results"]["zipf_cold"]
-    # Acceptance bar: >= 100k ops/sec replaying the 50k-op Zipf mix.
-    assert zipf["ops_per_second"] >= 100_000
+    assert zipf["ops_per_second"] >= ZIPF_OPS_PER_SECOND_BAR
     # A warm cache must make the simulated replay cheaper.
     assert result["warm_speedup_simulated"] > 1.0

@@ -1,0 +1,24 @@
+"""Repo-root pytest configuration.
+
+Registers command-line options shared across the test and benchmark suites.
+Options must be added from an *initial* conftest, and only directories on the
+invocation path qualify — defining ``--bench-json`` in
+``benchmarks/conftest.py`` alone would make ``pytest --bench-json DIR`` fail
+with "unrecognized arguments" when run from the repo root.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default=os.environ.get("IMPRESSIONS_BENCH_JSON"),
+        metavar="DIR",
+        help="Directory to write BENCH_<name>.json perf-baseline files into "
+        "(default: $IMPRESSIONS_BENCH_JSON; unset disables emission). "
+        "Consumed by the benchmarks/ suite.",
+    )

@@ -122,8 +122,8 @@ def _reshaped_image(reference: FileSystemImage, tree: FileSystemTree, seed: int)
     disk = SimulatedDisk(num_blocks=int(total_blocks * 1.4))
     fragmenter = Fragmenter(disk=disk, target_score=1.0, rng=rng)
     for file_node in tree.files:
-        blocks = fragmenter.allocate_regular_file(file_node.path(), file_node.size)
-        file_node.block_list = blocks
-        file_node.first_block = blocks[0] if blocks else None
+        extents = fragmenter.allocate_regular_file(file_node.path(), file_node.size)
+        file_node.extents = extents
+        file_node.first_block = extents[0][0] if extents else None
     fragmenter.finish()
     return FileSystemImage(tree=tree, disk=disk)

@@ -1,4 +1,4 @@
-"""Simulated block device and allocator.
+"""Simulated block device and allocator, stored as extents.
 
 A :class:`SimulatedDisk` stands in for the real Ext2/Ext3 partition the paper
 uses.  It models the single property the layout experiments depend on: which
@@ -8,6 +8,20 @@ which is close enough to ext2's block allocator for the create/delete
 fragmentation trick to behave the same way (deleting a temporary file leaves a
 hole that splits the next allocation).
 
+Per-file allocations are stored as *extents* — ``(start, length)`` runs of
+contiguous blocks in logical (file offset) order — rather than one Python int
+per block.  Consecutive extents that happen to be contiguous on disk are
+merged on append, so ``len(extents)`` *is* the file's contiguous-run count and
+a file's optimally-placed block count (the layout-score numerator) is simply
+``blocks - runs``.  A paper-scale Image2 (~3M blocks) therefore costs memory
+proportional to its fragmentation, not its size.
+
+On top of the per-file caches the disk maintains two running aggregates —
+total candidate blocks (non-first blocks over all files) and total optimally
+placed blocks — updated on every allocate/extend/delete, which makes the
+whole-image Smith & Seltzer layout score an O(1) lookup
+(:meth:`SimulatedDisk.layout_score`) instead of an O(total blocks) re-scan.
+
 The disk also exposes a simple cost model (seek + rotational + transfer time
 per contiguous run) used by the ``find``/``grep`` workload simulators.
 """
@@ -15,9 +29,15 @@ per contiguous run) used by the ``find``/``grep`` workload simulators.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-__all__ = ["SimulatedDisk", "AllocationError", "DoubleFreeError", "DiskGeometry"]
+__all__ = [
+    "SimulatedDisk",
+    "AllocationError",
+    "DoubleFreeError",
+    "DiskGeometry",
+    "expand_extents",
+]
 
 
 class AllocationError(RuntimeError):
@@ -59,7 +79,7 @@ class DiskGeometry:
 
 
 class SimulatedDisk:
-    """First-fit block allocator over a fixed number of blocks."""
+    """First-fit extent allocator over a fixed number of blocks."""
 
     def __init__(self, num_blocks: int, geometry: DiskGeometry | None = None) -> None:
         if num_blocks <= 0:
@@ -69,7 +89,15 @@ class SimulatedDisk:
         # Free extents as sorted, non-overlapping, non-adjacent [start, length] pairs.
         self._free_starts: list[int] = [0]
         self._free_lengths: list[int] = [num_blocks]
-        self._allocations: dict[str, list[int]] = {}
+        self._free_blocks = num_blocks
+        # Per-file extents in logical order; contiguous neighbours are merged
+        # on append, so len(extents) == the file's contiguous-run count.
+        self._extents: dict[str, list[tuple[int, int]]] = {}
+        self._block_counts: dict[str, int] = {}
+        # Layout-score aggregates over all files, maintained incrementally:
+        # candidates = sum(max(blocks - 1, 0)), optimal = sum(blocks - runs).
+        self._agg_candidates = 0
+        self._agg_optimal = 0
 
     # Introspection ----------------------------------------------------------
 
@@ -83,37 +111,104 @@ class SimulatedDisk:
 
     @property
     def free_blocks(self) -> int:
-        return sum(self._free_lengths)
+        return self._free_blocks
 
     @property
     def used_blocks(self) -> int:
-        return self._num_blocks - self.free_blocks
+        return self._num_blocks - self._free_blocks
 
     @property
     def num_files(self) -> int:
-        return len(self._allocations)
+        return len(self._extents)
+
+    @property
+    def total_extents(self) -> int:
+        """Extent count over all files (the image's layout memory footprint)."""
+        return sum(len(extents) for extents in self._extents.values())
+
+    def extents_of(self, name: str) -> list[tuple[int, int]]:
+        """``(start, length)`` runs owned by ``name`` in logical order."""
+        extents = self._extents.get(name)
+        if extents is None:
+            raise KeyError(f"unknown file {name!r}")
+        return list(extents)
 
     def blocks_of(self, name: str) -> list[int]:
-        """Block numbers owned by ``name`` in logical (file offset) order."""
-        if name not in self._allocations:
+        """Block numbers owned by ``name`` in logical (file offset) order.
+
+        Compatibility expansion of :meth:`extents_of`: materialises one int
+        per block, so prefer the extent/count accessors on large files.
+        """
+        extents = self._extents.get(name)
+        if extents is None:
             raise KeyError(f"unknown file {name!r}")
-        return list(self._allocations[name])
+        return expand_extents(extents)
+
+    def block_count(self, name: str) -> int:
+        """Number of blocks owned by ``name`` (O(1))."""
+        count = self._block_counts.get(name)
+        if count is None:
+            raise KeyError(f"unknown file {name!r}")
+        return count
+
+    def run_count(self, name: str) -> int:
+        """Number of contiguous runs ``name`` occupies (O(1); 0 for empty files)."""
+        extents = self._extents.get(name)
+        if extents is None:
+            raise KeyError(f"unknown file {name!r}")
+        return len(extents)
+
+    def first_block_of(self, name: str) -> int | None:
+        """First (logical offset 0) block of ``name``, or None for empty files."""
+        extents = self._extents.get(name)
+        if extents is None:
+            raise KeyError(f"unknown file {name!r}")
+        return extents[0][0] if extents else None
 
     def file_names(self) -> list[str]:
-        """Names of every file currently allocated on the disk."""
-        return list(self._allocations.keys())
+        """Names of every allocated file, in insertion order."""
+        return list(self._extents.keys())
 
     def has_file(self, name: str) -> bool:
-        return name in self._allocations
+        return name in self._extents
+
+    def free_extents(self) -> list[tuple[int, int]]:
+        """The free list as sorted, non-adjacent ``(start, length)`` pairs."""
+        return list(zip(self._free_starts, self._free_lengths))
 
     def blocks_needed(self, size_bytes: int) -> int:
         block_size = self._geometry.block_size
         return max(1, (size_bytes + block_size - 1) // block_size) if size_bytes > 0 else 0
 
+    # Layout score -------------------------------------------------------------
+
+    @property
+    def layout_aggregates(self) -> tuple[int, int]:
+        """``(optimal, candidates)`` over all files, maintained incrementally."""
+        return self._agg_optimal, self._agg_candidates
+
+    def layout_score(self) -> float:
+        """Aggregate Smith & Seltzer layout score of every file on the disk.
+
+        O(1): the fraction of non-first blocks contiguous with their logical
+        predecessor, read off the maintained aggregates.  1.0 when no file
+        has more than one block.
+        """
+        if self._agg_candidates == 0:
+            return 1.0
+        return self._agg_optimal / self._agg_candidates
+
     # Allocation --------------------------------------------------------------
 
     def allocate(self, name: str, size_bytes: int) -> list[int]:
-        """Allocate blocks for a file of ``size_bytes`` and record them.
+        """Allocate blocks for a file of ``size_bytes``; returns them expanded.
+
+        Compatibility wrapper over :meth:`allocate_extents`.
+        """
+        return expand_extents(self.allocate_extents(name, size_bytes))
+
+    def allocate_extents(self, name: str, size_bytes: int) -> list[tuple[int, int]]:
+        """Allocate extents for a file of ``size_bytes`` and record them.
 
         Allocation fills free extents in address order (lowest block first),
         the way ext2 fills holes near the front of a block group.  A file that
@@ -122,62 +217,75 @@ class SimulatedDisk:
         Zero-byte files own no blocks but are still tracked so they can be
         deleted symmetrically.
         """
-        if name in self._allocations:
+        if name in self._extents:
             raise ValueError(f"file {name!r} already allocated")
         needed = self.blocks_needed(size_bytes)
-        if needed > self.free_blocks:
+        if needed > self._free_blocks:
             raise AllocationError(
-                f"cannot allocate {needed} blocks for {name!r}: only {self.free_blocks} free"
+                f"cannot allocate {needed} blocks for {name!r}: only {self._free_blocks} free"
             )
-        blocks: list[int] = []
-        remaining = needed
-        while remaining > 0:
-            start = self._free_starts[0]
-            length = self._free_lengths[0]
-            take = min(length, remaining)
-            blocks.extend(range(start, start + take))
-            if take == length:
-                del self._free_starts[0]
-                del self._free_lengths[0]
-            else:
-                self._free_starts[0] = start + take
-                self._free_lengths[0] = length - take
-            remaining -= take
-        self._allocations[name] = blocks
-        return list(blocks)
+        extents = self._take(needed)
+        self._extents[name] = extents
+        self._block_counts[name] = needed
+        if needed:
+            self._agg_candidates += needed - 1
+            self._agg_optimal += needed - len(extents)
+        return list(extents)
 
     def extend(self, name: str, size_bytes: int) -> list[int]:
-        """Append blocks for ``size_bytes`` more data to an existing file.
+        """Append blocks for ``size_bytes`` more data; returns only the new blocks.
 
-        Returns only the newly added blocks.  Like :meth:`allocate`, the new
-        blocks come from the lowest-address free extents, so extending a file
-        after something else was allocated (or a hole was left) splits it.
+        Compatibility wrapper over :meth:`extend_extents`.
         """
-        if name not in self._allocations:
+        return expand_extents(self.extend_extents(name, size_bytes))
+
+    def extend_extents(self, name: str, size_bytes: int) -> list[tuple[int, int]]:
+        """Append extents for ``size_bytes`` more data to an existing file.
+
+        Returns only the newly allocated extents (before any merge with the
+        file's previous tail).  Like :meth:`allocate_extents`, new space comes
+        from the lowest-address free extents, so extending a file after
+        something else was allocated (or a hole was left) splits it.  The
+        file keeps its position in :meth:`file_names` insertion order.
+        """
+        extents = self._extents.get(name)
+        if extents is None:
             raise KeyError(f"unknown file {name!r}")
         needed = self.blocks_needed(size_bytes)
         if needed == 0:
             return []
-        if needed > self.free_blocks:
+        if needed > self._free_blocks:
             raise AllocationError(
-                f"cannot extend {name!r} by {needed} blocks: only {self.free_blocks} free"
+                f"cannot extend {name!r} by {needed} blocks: only {self._free_blocks} free"
             )
-        existing = self._allocations.pop(name)
-        try:
-            new_blocks = self.allocate(name, size_bytes)
-        finally:
-            # Re-attach whatever the nested allocate recorded to the original
-            # allocation, keeping logical block order.
-            added = self._allocations.pop(name, [])
-            self._allocations[name] = existing + added
-        return new_blocks
+        old_blocks = self._block_counts[name]
+        old_runs = len(extents)
+        pieces = self._take(needed)
+        # Merge the first new piece into the file's tail when contiguous, so
+        # len(extents) stays equal to the contiguous-run count.
+        if extents and extents[-1][0] + extents[-1][1] == pieces[0][0]:
+            tail_start, tail_length = extents[-1]
+            extents[-1] = (tail_start, tail_length + pieces[0][1])
+            extents.extend(pieces[1:])
+        else:
+            extents.extend(pieces)
+        new_blocks = old_blocks + needed
+        self._block_counts[name] = new_blocks
+        self._agg_candidates += (new_blocks - 1) - (old_blocks - 1 if old_blocks else 0)
+        self._agg_optimal += (new_blocks - len(extents)) - (old_blocks - old_runs)
+        return pieces
 
     def delete(self, name: str) -> None:
         """Free all blocks owned by ``name``."""
-        if name not in self._allocations:
+        extents = self._extents.pop(name, None)
+        if extents is None:
             raise KeyError(f"unknown file {name!r}")
-        blocks = self._allocations.pop(name)
-        for start, length in _runs(sorted(blocks)):
+        blocks = self._block_counts.pop(name)
+        if blocks:
+            self._agg_candidates -= blocks - 1
+            self._agg_optimal -= blocks - len(extents)
+        self._free_blocks += blocks
+        for start, length in extents:
             self._release_extent(start, length)
 
     def free(self, name: str) -> int:
@@ -188,9 +296,9 @@ class SimulatedDisk:
         the file is not currently allocated — the unambiguous signal a trace
         replayer needs for a delete of an already-deleted file.
         """
-        if name not in self._allocations:
+        if name not in self._extents:
             raise DoubleFreeError(f"double free: {name!r} is not currently allocated")
-        freed = len(self._allocations[name])
+        freed = self._block_counts[name]
         self.delete(name)
         return freed
 
@@ -203,18 +311,53 @@ class SimulatedDisk:
         and :class:`AllocationError` (with the file left deallocated) when the
         new size does not fit.
         """
-        if name not in self._allocations:
+        if name not in self._extents:
             raise DoubleFreeError(f"cannot reallocate {name!r}: not currently allocated")
         self.free(name)
         return self.allocate(name, size_bytes)
 
     def rename(self, old_name: str, new_name: str) -> None:
         """Transfer ``old_name``'s allocation to ``new_name`` (blocks unchanged)."""
-        if old_name not in self._allocations:
+        if old_name not in self._extents:
             raise KeyError(f"unknown file {old_name!r}")
-        if new_name in self._allocations:
+        if new_name in self._extents:
             raise ValueError(f"file {new_name!r} already allocated")
-        self._allocations[new_name] = self._allocations.pop(old_name)
+        self._extents[new_name] = self._extents.pop(old_name)
+        self._block_counts[new_name] = self._block_counts.pop(old_name)
+
+    # Free-list internals ------------------------------------------------------
+
+    def _take(self, needed: int) -> list[tuple[int, int]]:
+        """Carve ``needed`` blocks off the front of the free list, first-fit.
+
+        Returns the pieces as extents.  Pieces from different free extents are
+        never contiguous (the free list keeps adjacent extents coalesced), so
+        the result is already in canonical run form.
+        """
+        if needed == 0:
+            return []
+        starts = self._free_starts
+        lengths = self._free_lengths
+        pieces: list[tuple[int, int]] = []
+        consumed = 0
+        remaining = needed
+        while remaining > 0:
+            start = starts[consumed]
+            length = lengths[consumed]
+            if length <= remaining:
+                pieces.append((start, length))
+                remaining -= length
+                consumed += 1
+            else:
+                pieces.append((start, remaining))
+                starts[consumed] = start + remaining
+                lengths[consumed] = length - remaining
+                remaining = 0
+        if consumed:
+            del starts[:consumed]
+            del lengths[:consumed]
+        self._free_blocks -= needed
+        return pieces
 
     def _release_extent(self, start: int, length: int) -> None:
         index = bisect.bisect_left(self._free_starts, start)
@@ -242,18 +385,14 @@ class SimulatedDisk:
 
     def contiguous_runs(self, name: str) -> int:
         """Number of contiguous block runs a file occupies (1 = perfectly laid out)."""
-        blocks = self.blocks_of(name)
-        if not blocks:
-            return 0
-        return len(list(_runs(sorted(blocks))))
+        return self.run_count(name)
 
     def read_time_ms(self, name: str) -> float:
-        """Simulated time to read a whole file from disk."""
-        blocks = self.blocks_of(name)
+        """Simulated time to read a whole file from disk (O(1) per file)."""
+        blocks = self.block_count(name)
         if not blocks:
             return 0.0
-        runs = self.contiguous_runs(name)
-        return self._geometry.access_time_ms(runs, len(blocks))
+        return self._geometry.access_time_ms(len(self._extents[name]), blocks)
 
     def metadata_read_time_ms(self) -> float:
         """Simulated cost of one metadata (inode/directory block) read."""
@@ -263,23 +402,17 @@ class SimulatedDisk:
         return {
             "num_blocks": self._num_blocks,
             "used_blocks": self.used_blocks,
-            "free_blocks": self.free_blocks,
+            "free_blocks": self._free_blocks,
             "files": self.num_files,
             "free_extents": len(self._free_starts),
+            "file_extents": self.total_extents,
+            "layout_score": self.layout_score(),
         }
 
 
-def _runs(sorted_blocks: list[int]):
-    """Yield (start, length) contiguous runs from a sorted block list."""
-    if not sorted_blocks:
-        return
-    run_start = sorted_blocks[0]
-    run_length = 1
-    for block in sorted_blocks[1:]:
-        if block == run_start + run_length:
-            run_length += 1
-        else:
-            yield run_start, run_length
-            run_start = block
-            run_length = 1
-    yield run_start, run_length
+def expand_extents(extents: list[tuple[int, int]]) -> list[int]:
+    """Materialise extents into the individual block numbers they cover."""
+    blocks: list[int] = []
+    for start, length in extents:
+        blocks.extend(range(start, start + length))
+    return blocks

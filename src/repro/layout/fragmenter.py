@@ -90,17 +90,22 @@ class Fragmenter:
     def temporary_operations(self) -> int:
         return self._temp_operations
 
-    def allocate_regular_file(self, name: str, size_bytes: int) -> list[int]:
-        """Allocate one regular file, fragmenting it as the target requires."""
+    def allocate_regular_file(self, name: str, size_bytes: int) -> list[tuple[int, int]]:
+        """Allocate one regular file, fragmenting it as the target requires.
+
+        Returns the file's ``(start, length)`` extents in logical order (use
+        ``disk.blocks_of(name)`` for the expanded block list).
+        """
         needed_blocks = self._disk.blocks_needed(size_bytes)
         planned_splits = self._planned_splits(needed_blocks)
         if planned_splits == 0:
-            blocks = self._disk.allocate(name, size_bytes)
+            self._disk.allocate_extents(name, size_bytes)
         else:
-            blocks = self._allocate_fragmented(name, size_bytes, needed_blocks, planned_splits)
+            self._allocate_fragmented(name, size_bytes, needed_blocks, planned_splits)
         self._regular_names.append(name)
-        self._account(blocks)
-        return blocks
+        extents = self._disk.extents_of(name)
+        self._account(needed_blocks, len(extents))
+        return extents
 
     def finish(self) -> FragmentationReport:
         """Report the final score (no temporaries outlive their file)."""
@@ -137,33 +142,31 @@ class Fragmenter:
 
     def _allocate_fragmented(
         self, name: str, size_bytes: int, needed_blocks: int, splits: int
-    ) -> list[int]:
+    ) -> None:
         """Create ``name`` in ``splits + 1`` chunks separated by temporary files."""
         block_size = self._disk.geometry.block_size
         chunk_sizes = self._chunk_blocks(needed_blocks, splits + 1)
         temps: list[str] = []
-        blocks: list[int] = []
         remaining_bytes = size_bytes
         try:
             for index, chunk in enumerate(chunk_sizes):
                 chunk_bytes = min(chunk * block_size, remaining_bytes)
                 remaining_bytes -= chunk_bytes
                 if index == 0:
-                    blocks.extend(self._disk.allocate(name, chunk_bytes))
+                    self._disk.allocate_extents(name, chunk_bytes)
                 else:
                     temp_name = self._next_temp_name()
                     try:
-                        self._disk.allocate(temp_name, self._temp_blocks * block_size)
+                        self._disk.allocate_extents(temp_name, self._temp_blocks * block_size)
                         temps.append(temp_name)
                         self._temp_operations += 1
                     except AllocationError:
                         pass
-                    blocks.extend(self._disk.extend(name, chunk_bytes))
+                    self._disk.extend_extents(name, chunk_bytes)
         finally:
             for temp_name in temps:
                 self._disk.delete(temp_name)
                 self._temp_operations += 1
-        return blocks
 
     def _chunk_blocks(self, needed_blocks: int, num_chunks: int) -> list[int]:
         """Split ``needed_blocks`` into ``num_chunks`` roughly equal positive parts."""
@@ -177,10 +180,8 @@ class Fragmenter:
         self._temp_counter += 1
         return name
 
-    def _account(self, blocks: list[int]) -> None:
-        if len(blocks) <= 1:
+    def _account(self, blocks: int, runs: int) -> None:
+        if blocks <= 1:
             return
-        self._candidate_blocks += len(blocks) - 1
-        self._optimal_blocks += sum(
-            1 for prev, cur in zip(blocks[:-1], blocks[1:]) if cur == prev + 1
-        )
+        self._candidate_blocks += blocks - 1
+        self._optimal_blocks += blocks - runs

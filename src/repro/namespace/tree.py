@@ -14,6 +14,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from repro.layout.disk import expand_extents
+
 __all__ = ["FileNode", "DirectoryNode", "FileSystemTree"]
 
 
@@ -35,7 +37,9 @@ class FileNode:
             image's lifetime; used to seed per-file content).
         first_block: first block number assigned by the layout stage, or None
             before layout.
-        block_list: block numbers assigned on the simulated disk.
+        extents: ``(start, length)`` runs of contiguous blocks assigned on the
+            simulated disk, in logical (file offset) order.  The expanded
+            per-block view remains available as the ``block_list`` property.
     """
 
     name: str
@@ -46,10 +50,30 @@ class FileNode:
     content_kind: str = "binary"
     file_id: int = -1
     first_block: int | None = None
-    block_list: list[int] = field(default_factory=list)
+    extents: list[tuple[int, int]] = field(default_factory=list)
     #: optional (created, modified, accessed) POSIX timestamps assigned by the
     #: timestamp model; None when timestamps were not requested.
     timestamps: object | None = None
+
+    @property
+    def block_list(self) -> list[int]:
+        """Block numbers on the simulated disk, expanded from :attr:`extents`."""
+        return expand_extents(self.extents)
+
+    @block_list.setter
+    def block_list(self, blocks: list[int]) -> None:
+        extents: list[tuple[int, int]] = []
+        for block in blocks:
+            if extents and extents[-1][0] + extents[-1][1] == block:
+                extents[-1] = (extents[-1][0], extents[-1][1] + 1)
+            else:
+                extents.append((block, 1))
+        self.extents = extents
+
+    @property
+    def block_count(self) -> int:
+        """Number of blocks assigned on the simulated disk (O(1) in extents)."""
+        return sum(length for _, length in self.extents)
 
     def path(self) -> str:
         """Full path from the root, ``/`` separated."""

@@ -40,7 +40,9 @@ __all__ = [
 
 #: Bumped when the stage fingerprint recipe (or any stage's semantics)
 #: changes incompatibly, so stale cache entries can never satisfy new code.
-PIPELINE_FORMAT_VERSION = 1
+#: 2: extent-based SimulatedDisk / FileNode.extents — snapshots pickled by
+#: the block-list representation cannot restore into the new classes.
+PIPELINE_FORMAT_VERSION = 2
 
 
 class PipelineError(RuntimeError):

@@ -232,9 +232,9 @@ class OnDiskCreationStage(Stage):
         disk = SimulatedDisk(num_blocks=capacity_blocks)
         fragmenter = Fragmenter(disk=disk, target_score=config.layout_score, rng=context.rng)
         for file_node in tree.files:
-            blocks = fragmenter.allocate_regular_file(file_node.path(), file_node.size)
-            file_node.block_list = blocks
-            file_node.first_block = blocks[0] if blocks else None
+            extents = fragmenter.allocate_regular_file(file_node.path(), file_node.size)
+            file_node.extents = extents
+            file_node.first_block = extents[0][0] if extents else None
         fragmenter.finish()
         context.disk = disk
 

@@ -12,7 +12,8 @@ rewritten file and seed fragmentation for later rewrites, exactly the
 create/delete trick of Section 3.7, but expressed as a replayable trace.
 
 A deficit controller measures the aggregate layout score from the disk's
-actual block maps after every rewritten file, so the loop stops as soon as
+per-file extent caches (block and run counts, O(1) per file — no block map
+is ever expanded) after every rewritten file, so the loop stops as soon as
 the score crosses the target; accuracy is limited only by the contribution of
 a single file (far inside the ±0.05 the acceptance bar asks for).  The full
 operation stream is returned as an :class:`~repro.trace.ops.OperationTrace`,
@@ -28,7 +29,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.image import FileSystemImage
-from repro.layout.layout_score import layout_score_from_blockmaps
 from repro.trace.ops import Operation, OperationTrace
 from repro.trace.replay import ReplayResult, TraceReplayer
 
@@ -101,12 +101,18 @@ class TraceAger:
 
         files = [node for node in image.tree.files if node.size > 0]
         names = [node.path() for node in files]
-        blockmaps = {name: disk.blocks_of(name) for name in names if disk.has_file(name)}
-        initial = layout_score_from_blockmaps(blockmaps.values())
+        # Per-file (blocks, runs) straight off the disk's extent caches: no
+        # block list is ever expanded during aging.
+        counts = {
+            name: (disk.block_count(name), disk.run_count(name))
+            for name in names
+            if disk.has_file(name)
+        }
+        initial = _score_from_counts(counts.values())
 
         # Aggregate bookkeeping over non-first blocks, maintained exactly.
-        candidates = sum(len(blocks) - 1 for blocks in blockmaps.values() if len(blocks) > 1)
-        optimal = sum(_optimal_blocks(blocks) for blocks in blockmaps.values())
+        candidates = sum(blocks - 1 for blocks, _ in counts.values() if blocks > 1)
+        optimal = sum(blocks - runs for blocks, runs in counts.values() if blocks > 0)
 
         trace = OperationTrace(
             metadata={
@@ -130,16 +136,17 @@ class TraceAger:
                 order = self._rng.permutation(len(names))
                 for index in order:
                     name = names[int(index)]
-                    blocks = blockmaps.get(name)
-                    if blocks is None or len(blocks) <= 1:
+                    entry = counts.get(name)
+                    if entry is None or entry[0] <= 1:
                         continue
+                    file_blocks, file_runs = entry
                     current_score = optimal / candidates if candidates else 1.0
                     deficit = (1.0 - self._target) * candidates - (candidates - optimal)
                     if deficit < 1.0 or current_score <= self._target:
                         done = True
                         break
-                    n1 = len(blocks) - 1
-                    file_non_optimal = n1 - _optimal_blocks(blocks)
+                    n1 = file_blocks - 1
+                    file_non_optimal = file_runs - 1
                     if pass_number == 0:
                         planned_total = math.ceil((1.0 - self._target) * n1) + 8
                     else:
@@ -151,8 +158,8 @@ class TraceAger:
                     # The disk knows blocks, not bytes; block count * block
                     # size is the allocation-equivalent size a rewrite must
                     # preserve.
-                    size_bytes = len(blocks) * block_size
-                    needed_free = len(blocks) + (splits + 2) * self._temp_blocks
+                    size_bytes = file_blocks * block_size
+                    needed_free = file_blocks + (splits + 2) * self._temp_blocks
                     if disk.free_blocks < needed_free:
                         self._flush_temps(replayer, trace, batch)
                         if disk.free_blocks < needed_free:
@@ -160,21 +167,24 @@ class TraceAger:
                             # not fit whole; a partial rewrite loses blocks, so
                             # leave this victim alone.
                             continue
-                    old_optimal = _optimal_blocks(blocks)
+                    old_optimal = file_blocks - file_runs
                     self._rewrite_fragmented(replayer, trace, name, size_bytes, splits, batch)
                     batch += 1
                     rewritten += 1
                     progressed = True
-                    new_blocks = disk.blocks_of(name)
-                    blockmaps[name] = new_blocks
-                    optimal += _optimal_blocks(new_blocks) - old_optimal
-                    candidates += (len(new_blocks) - 1) - (len(blocks) - 1)
+                    new_blocks = disk.block_count(name)
+                    new_runs = disk.run_count(name)
+                    counts[name] = (new_blocks, new_runs)
+                    optimal += (new_blocks - new_runs) - old_optimal
+                    candidates += (new_blocks - 1) - (file_blocks - 1)
                 if done or not progressed:
                     break
         self._flush_temps(replayer, trace, batch)
 
-        achieved = layout_score_from_blockmaps(
-            disk.blocks_of(name) for name in names if disk.has_file(name)
+        achieved = _score_from_counts(
+            (disk.block_count(name), disk.run_count(name))
+            for name in names
+            if disk.has_file(name)
         )
         self._sync_tree_blocklists(files)
         replay_result = replayer.result()
@@ -255,8 +265,8 @@ class TraceAger:
         for node in files:
             name = node.path()
             if disk.has_file(name):
-                node.block_list = disk.blocks_of(name)
-                node.first_block = node.block_list[0] if node.block_list else None
+                node.extents = disk.extents_of(name)
+                node.first_block = node.extents[0][0] if node.extents else None
 
 
 def age_image_to_score(
@@ -270,10 +280,18 @@ def age_image_to_score(
     return TraceAger(image, target_score, rng, **kwargs).age()
 
 
-def _optimal_blocks(blocks: list[int]) -> int:
-    if len(blocks) <= 1:
-        return 0
-    return sum(1 for prev, cur in zip(blocks[:-1], blocks[1:]) if cur == prev + 1)
+def _score_from_counts(counts) -> float:
+    """Aggregate layout score from per-file ``(blocks, runs)`` pairs."""
+    optimal = 0
+    candidates = 0
+    for blocks, runs in counts:
+        if blocks <= 1:
+            continue
+        candidates += blocks - 1
+        optimal += blocks - runs
+    if candidates == 0:
+        return 1.0
+    return optimal / candidates
 
 
 def _chunk_blocks(needed_blocks: int, num_chunks: int) -> list[int]:

@@ -209,7 +209,7 @@ class TraceReplayer:
         items: dict[str, int] = {}
         for name in self._disk.file_names():
             items["meta:" + name] = 256
-            items["data:" + name] = len(self._disk.blocks_of(name)) * block_size
+            items["data:" + name] = self._disk.block_count(name) * block_size
         self._cache.warm(items)
 
     # Replay -----------------------------------------------------------------
@@ -268,13 +268,13 @@ class TraceReplayer:
             if disk.has_file(path):
                 if operation.append:
                     try:
-                        new_blocks = disk.extend(path, size)
+                        new_extents = disk.extend_extents(path, size)
                     except AllocationError:
                         skipped = True
                         self._fail_if_strict(operation, "disk full")
                     else:
-                        latency = self._write_latency(new_blocks)
-                        self._bump_run_stats(path, new_blocks)
+                        latency = self._write_latency(new_extents)
+                        self._refresh_run_stats(path)
                         cache.discard("data:" + path)
                 else:
                     # In-place overwrite of the first `size` bytes; only the
@@ -286,11 +286,13 @@ class TraceReplayer:
                     overflow = needed - blocks
                     if overflow > 0:
                         try:
-                            new_blocks = disk.extend(path, overflow * geometry.block_size)
+                            new_extents = disk.extend_extents(
+                                path, overflow * geometry.block_size
+                            )
                         except AllocationError:
-                            new_blocks = []
-                        self._bump_run_stats(path, new_blocks)
-                        covered += len(new_blocks)
+                            new_extents = []
+                        self._refresh_run_stats(path)
+                        covered += sum(length for _, length in new_extents)
                     if covered:
                         covered_runs = max(1, round(runs * covered / blocks)) if blocks else 1
                         latency = geometry.access_time_ms(covered_runs, covered)
@@ -304,7 +306,13 @@ class TraceReplayer:
                 if skipped:
                     self._fail_if_strict(operation, "disk full")
                 else:
-                    latency = self._write_latency(disk.blocks_of(path)) + (
+                    runs, blocks = self._run_stats[path]
+                    write_cost = (
+                        geometry.access_time_ms(runs, blocks)
+                        if blocks
+                        else costs.namespace_update_cpu_ms
+                    )
+                    latency = write_cost + (
                         geometry.access_time_ms(1, 1) + costs.namespace_update_cpu_ms
                     )
         elif kind == "create":
@@ -412,37 +420,35 @@ class TraceReplayer:
 
     def _create(self, path: str, size: int) -> bool:
         try:
-            blocks = self._disk.allocate(path, size)
+            extents = self._disk.allocate_extents(path, size)
         except AllocationError:
             return False
-        runs = _count_runs(blocks)
-        self._run_stats[path] = (runs, len(blocks))
+        self._run_stats[path] = (
+            len(extents),
+            sum(length for _, length in extents),
+        )
         self._cache.access("meta:" + path, 256)
         return True
 
-    def _write_latency(self, new_blocks: list[int]) -> float:
-        if not new_blocks:
+    def _write_latency(self, new_extents: list[tuple[int, int]]) -> float:
+        if not new_extents:
             return self._costs.namespace_update_cpu_ms
-        return self._geometry.access_time_ms(_count_runs(new_blocks), len(new_blocks))
+        blocks = sum(length for _, length in new_extents)
+        return self._geometry.access_time_ms(len(new_extents), blocks)
 
     def _compute_run_stats(self, path: str) -> tuple[int, int] | None:
         if not self._disk.has_file(path):
             return None
-        blocks = self._disk.blocks_of(path)
-        stats = (_count_runs(blocks), len(blocks))
+        stats = (self._disk.run_count(path), self._disk.block_count(path))
         self._run_stats[path] = stats
         return stats
 
-    def _bump_run_stats(self, path: str, new_blocks: list[int]) -> None:
-        stats = self._run_stats.get(path)
-        if stats is None:
-            self._compute_run_stats(path)
-            return
-        runs, blocks = stats
-        # Appended blocks form their own runs unless the first one extends the
-        # file's previous tail; recomputing exactly would be O(file), so treat
-        # the appended extent as new runs (an upper bound on fragmentation).
-        self._run_stats[path] = (runs + _count_runs(new_blocks), blocks + len(new_blocks))
+    def _refresh_run_stats(self, path: str) -> None:
+        # The disk caches (runs, blocks) per file, so an exact refresh after
+        # an extend is O(1) — the historical approximation (count appended
+        # extents as fresh runs even when one merged with the file's tail) is
+        # no longer needed.
+        self._run_stats[path] = (self._disk.run_count(path), self._disk.block_count(path))
 
     def _fail_if_strict(self, operation: Operation, reason: str) -> None:
         if self._strict:
@@ -471,16 +477,3 @@ def _stats_from_row(row: list) -> OpClassStats:
         max_ms=row[_MAX],
         bytes_moved=row[_BYTES],
     )
-
-
-def _count_runs(blocks: list[int]) -> int:
-    """Contiguous runs in a logically ordered block list."""
-    if not blocks:
-        return 0
-    runs = 1
-    previous = blocks[0]
-    for block in blocks[1:]:
-        if block != previous + 1:
-            runs += 1
-        previous = block
-    return runs

@@ -231,6 +231,158 @@ class TestFreeAndReallocate:
             disk.rename("a", "b")
 
 
+class TestExtentRepresentation:
+    def test_contiguous_allocation_is_one_extent(self):
+        disk = SimulatedDisk(num_blocks=100)
+        extents = disk.allocate_extents("a", 10 * 4096)
+        assert extents == [(0, 10)]
+        assert disk.extents_of("a") == [(0, 10)]
+        assert disk.run_count("a") == 1
+        assert disk.block_count("a") == 10
+        assert disk.first_block_of("a") == 0
+
+    def test_fragmented_allocation_yields_multiple_extents(self):
+        disk = SimulatedDisk(num_blocks=100)
+        disk.allocate("a", 4 * 4096)
+        disk.allocate("hole", 2 * 4096)
+        disk.allocate("b", 4 * 4096)
+        disk.delete("hole")
+        extents = disk.allocate_extents("c", 4 * 4096)
+        assert extents == [(4, 2), (10, 2)]
+        assert disk.blocks_of("c") == [4, 5, 10, 11]
+
+    def test_extend_merges_with_contiguous_tail(self):
+        disk = SimulatedDisk(num_blocks=100)
+        disk.allocate("f", 3 * 4096)
+        pieces = disk.extend_extents("f", 2 * 4096)
+        # The new piece is reported separately but merged into the tail run.
+        assert pieces == [(3, 2)]
+        assert disk.extents_of("f") == [(0, 5)]
+        assert disk.run_count("f") == 1
+
+    def test_extend_after_blocker_keeps_separate_extent(self):
+        disk = SimulatedDisk(num_blocks=100)
+        disk.allocate("f", 3 * 4096)
+        disk.allocate("blocker", 4096)
+        disk.extend_extents("f", 2 * 4096)
+        assert disk.extents_of("f") == [(0, 3), (4, 2)]
+
+    def test_empty_file_has_no_extents(self):
+        disk = SimulatedDisk(num_blocks=10)
+        disk.allocate("empty", 0)
+        assert disk.extents_of("empty") == []
+        assert disk.run_count("empty") == 0
+        assert disk.block_count("empty") == 0
+        assert disk.first_block_of("empty") is None
+
+    def test_extent_accessors_raise_for_unknown_files(self):
+        disk = SimulatedDisk(num_blocks=10)
+        for accessor in (
+            disk.extents_of,
+            disk.run_count,
+            disk.block_count,
+            disk.first_block_of,
+        ):
+            with pytest.raises(KeyError):
+                accessor("missing")
+
+    def test_free_extents_listing(self):
+        disk = SimulatedDisk(num_blocks=20)
+        disk.allocate("a", 5 * 4096)
+        disk.allocate("b", 5 * 4096)
+        disk.delete("a")
+        assert disk.free_extents() == [(0, 5), (10, 10)]
+
+    def test_summary_reports_extent_counts_and_score(self):
+        disk = SimulatedDisk(num_blocks=100)
+        disk.allocate("a", 4 * 4096)
+        disk.allocate("hole", 4096)
+        disk.allocate("b", 4 * 4096)
+        disk.delete("hole")
+        disk.allocate("c", 3 * 4096)  # splits across the hole
+        summary = disk.summary()
+        assert summary["file_extents"] == disk.total_extents == 4
+        assert summary["layout_score"] == disk.layout_score()
+
+
+class TestIncrementalLayoutScore:
+    """The disk's O(1) aggregates must match a full recomputation."""
+
+    def _recomputed(self, disk: SimulatedDisk) -> float:
+        from repro.layout.layout_score import layout_score_from_blockmaps
+
+        return layout_score_from_blockmaps(
+            [disk.blocks_of(name) for name in disk.file_names()]
+        )
+
+    def test_perfect_layout_scores_one(self):
+        disk = SimulatedDisk(num_blocks=100)
+        disk.allocate("a", 10 * 4096)
+        disk.allocate("b", 5 * 4096)
+        assert disk.layout_score() == 1.0
+        assert disk.layout_aggregates == (13, 13)
+
+    def test_empty_disk_scores_one(self):
+        disk = SimulatedDisk(num_blocks=100)
+        assert disk.layout_score() == 1.0
+        assert disk.layout_aggregates == (0, 0)
+
+    def test_aggregates_track_mutations(self):
+        rng = np.random.default_rng(99)
+        disk = SimulatedDisk(num_blocks=4096)
+        live: list[str] = []
+        counter = 0
+        for _ in range(400):
+            action = rng.random()
+            if live and action < 0.3:
+                disk.free(live.pop(int(rng.integers(len(live)))))
+            elif live and action < 0.45:
+                name = live[int(rng.integers(len(live)))]
+                size = int(rng.integers(1, 8)) * 4096
+                if disk.blocks_needed(size) <= disk.free_blocks:
+                    disk.extend(name, size)
+            elif live and action < 0.55:
+                name = live[int(rng.integers(len(live)))]
+                size = int(rng.integers(1, 8)) * 4096
+                if disk.blocks_needed(size) <= disk.free_blocks:
+                    disk.reallocate(name, size)
+            else:
+                name = f"f{counter}"
+                counter += 1
+                size = int(rng.integers(0, 12)) * 4096
+                if disk.blocks_needed(size) <= disk.free_blocks:
+                    disk.allocate(name, size)
+                    live.append(name)
+            assert disk.layout_score() == pytest.approx(self._recomputed(disk), abs=1e-12)
+
+
+class TestExtendPreservesInsertionOrder:
+    """Regression: extend() must not move the file to the end of file_names().
+
+    The historical implementation popped and re-inserted the allocation dict
+    entry, silently reordering iteration (and anything keyed off it) after
+    every extend.
+    """
+
+    def test_extend_keeps_file_names_order(self):
+        disk = SimulatedDisk(num_blocks=1000)
+        for name in ("a", "b", "c", "d"):
+            disk.allocate(name, 2 * 4096)
+        disk.extend("b", 4096)
+        assert disk.file_names() == ["a", "b", "c", "d"]
+        disk.extend("a", 4096)
+        disk.extend("d", 4096)
+        assert disk.file_names() == ["a", "b", "c", "d"]
+
+    def test_failed_extend_keeps_order_too(self):
+        disk = SimulatedDisk(num_blocks=10)
+        disk.allocate("a", 2 * 4096)
+        disk.allocate("b", 2 * 4096)
+        with pytest.raises(AllocationError):
+            disk.extend("a", 100 * 4096)
+        assert disk.file_names() == ["a", "b"]
+
+
 class TestCoalescingUnderChurn:
     """Free-extent invariants while files churn through free()/allocate."""
 

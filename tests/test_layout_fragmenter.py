@@ -92,10 +92,12 @@ class TestTargetScores:
         # All files are single-block: the layout score is 1.0 by definition.
         assert report.achieved_score == 1.0
 
-    def test_blocks_returned_in_logical_order(self, rng):
+    def test_extents_returned_in_logical_order(self, rng):
         disk = SimulatedDisk(num_blocks=100_000)
         fragmenter = Fragmenter(disk, target_score=0.6, rng=rng)
-        blocks = fragmenter.allocate_regular_file("f", 50 * 4096)
+        extents = fragmenter.allocate_regular_file("f", 50 * 4096)
+        assert extents == disk.extents_of("f")
+        blocks = [b for start, length in extents for b in range(start, start + length)]
         assert len(blocks) == 50
         assert len(set(blocks)) == 50
         assert blocks == disk.blocks_of("f")

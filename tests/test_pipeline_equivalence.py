@@ -112,9 +112,9 @@ def _monolithic_generate(config: ImpressionsConfig) -> FileSystemImage:
     disk = SimulatedDisk(num_blocks=capacity_blocks)
     fragmenter = Fragmenter(disk=disk, target_score=config.layout_score, rng=rng)
     for file_node in tree.files:
-        blocks = fragmenter.allocate_regular_file(file_node.path(), file_node.size)
-        file_node.block_list = blocks
-        file_node.first_block = blocks[0] if blocks else None
+        extents = fragmenter.allocate_regular_file(file_node.path(), file_node.size)
+        file_node.extents = extents
+        file_node.first_block = extents[0][0] if extents else None
     fragmenter.finish()
 
     report.record_derived("file_count", tree.file_count)
