@@ -1,0 +1,98 @@
+"""Parallel materialization speedup (the repro.materialize acceptance bar).
+
+``DirectorySink(jobs=4)`` must materialize a content-bearing Image2
+(scale 0.25 by default — ~13 000 files) at least 2× faster than the serial
+writer.  Parallel writes are embarrassingly parallel by construction: every
+file's bytes are a pure function of (content seed, file id), so worker
+processes generate and write independent batches, and the combined content
+digest is order-independent — asserted here against the serial run.
+
+Requires ≥4 CPUs to be meaningful; the test skips itself elsewhere.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import time
+
+import pytest
+
+from conftest import bench_scale
+
+from repro.content.generators import ContentPolicy
+from repro.core.config import GIB, ImpressionsConfig
+from repro.core.impressions import Impressions
+from repro.materialize import DirectorySink, materialize_image
+
+#: Acceptance bar: 4 writer processes must at least halve the wall-clock.
+PARALLEL_SPEEDUP_BAR = 2.0
+JOBS = 4
+
+pytestmark = pytest.mark.skipif(
+    (os.cpu_count() or 1) < JOBS,
+    reason=f"parallel materialization bar needs >= {JOBS} CPUs",
+)
+
+
+def _image2_content_config(scale: float, seed: int = 42) -> ImpressionsConfig:
+    return ImpressionsConfig(
+        fs_size_bytes=max(int(12.0 * GIB * scale), 8 * 1024 * 1024),
+        num_files=max(int(52_000 * scale), 100),
+        num_directories=max(int(4_000 * scale), 20),
+        seed=seed,
+        generate_content=True,
+        content=ContentPolicy(text_model="hybrid"),
+    )
+
+
+def test_directory_sink_parallel_speedup(tmp_path, print_result, bench_json):
+    scale = bench_scale(0.25)
+    image = Impressions(_image2_content_config(scale)).generate()
+
+    serial_root = str(tmp_path / "serial")
+    start = time.perf_counter()
+    serial = materialize_image(image, DirectorySink(serial_root))
+    serial_seconds = time.perf_counter() - start
+
+    parallel_root = str(tmp_path / "parallel")
+    start = time.perf_counter()
+    parallel = materialize_image(image, DirectorySink(parallel_root, jobs=JOBS))
+    parallel_seconds = time.perf_counter() - start
+    shutil.rmtree(parallel_root, ignore_errors=True)
+    shutil.rmtree(serial_root, ignore_errors=True)
+
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    print_result(
+        "Parallel materialization",
+        "\n".join(
+            [
+                f"image: {image.file_count} files, {image.total_bytes / 1e6:.0f} MB "
+                f"(Image2 scale {scale:g}, hybrid content)",
+                f"serial:      {serial_seconds:8.2f} s",
+                f"jobs={JOBS}:    {parallel_seconds:8.2f} s",
+                f"speedup:     {speedup:8.2f}x (bar: {PARALLEL_SPEEDUP_BAR:.1f}x)",
+            ]
+        ),
+    )
+    bench_json(
+        "materialize_parallel",
+        {
+            "scale": scale,
+            "files": image.file_count,
+            "total_bytes": image.total_bytes,
+            "jobs": JOBS,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+            "speedup_bar": PARALLEL_SPEEDUP_BAR,
+        },
+    )
+
+    # Parallelism must not change what lands on disk.
+    assert parallel.content_digest == serial.content_digest
+    assert parallel.files == serial.files == image.file_count
+    assert speedup >= PARALLEL_SPEEDUP_BAR, (
+        f"DirectorySink(jobs={JOBS}) only {speedup:.2f}x faster than serial "
+        f"({serial_seconds:.2f}s -> {parallel_seconds:.2f}s)"
+    )

@@ -8,7 +8,10 @@ realistic, reproducible state.
 Beyond static images, :mod:`repro.trace` supplies the dynamic side of
 benchmarking: synthetic operation traces (metadata storms, Zipf access mixes,
 create/delete churn), a replay engine with a disk cost model, and
-trace-driven aging to a target layout score.
+trace-driven aging to a target layout score.  :mod:`repro.materialize`
+exports images through pluggable sinks — parallel directory writes,
+deterministic tar archives, JSONL manifests, digest-only verification —
+with round-trip distribution checks against the generating config.
 
 The top-level package re-exports the most frequently used entry points so that
 a quickstart is just::
@@ -32,15 +35,27 @@ stage cache use the pipeline API::
 from repro.core.config import ImpressionsConfig
 from repro.core.image import FileSystemImage
 from repro.core.impressions import Impressions
+from repro.materialize import (
+    DirectorySink,
+    ManifestSink,
+    NullSink,
+    TarSink,
+    materialize_image,
+)
 from repro.pipeline import Pipeline, StageCache, default_pipeline
 
 __all__ = [
+    "DirectorySink",
     "Impressions",
     "ImpressionsConfig",
     "FileSystemImage",
+    "ManifestSink",
+    "NullSink",
     "Pipeline",
     "StageCache",
+    "TarSink",
     "default_pipeline",
+    "materialize_image",
     "__version__",
 ]
 

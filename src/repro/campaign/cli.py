@@ -6,6 +6,7 @@ Four verbs::
     impressions campaign list sweep.json --store results.jsonl
     impressions campaign report --store results.jsonl --metric find.elapsed_ms
     impressions campaign compare baseline.jsonl results.jsonl --tolerance 0.1
+    impressions campaign compare results.jsonl --against-git main
 
 ``run`` expands the spec, executes pending scenarios across a worker pool,
 and appends result rows to the store (scenarios whose fingerprint is already
@@ -13,7 +14,11 @@ stored are skipped — re-running a finished campaign is free).  ``list`` shows
 the expanded grid with fingerprints and completion state.  ``report`` renders
 per-metric tables across the sweep axes.  ``compare`` diffs two stores and
 exits nonzero when it finds metric regressions beyond the tolerance, so it
-can gate CI.  Every verb accepts ``--json`` for machine-readable output.
+can gate CI; ``--against-git REV`` resolves the baseline store from a git
+revision instead of a second path — extracting the committed artifact with
+``git show``, or (with ``--spec``) regenerating it from that revision's code
+in a temporary worktree.  Every verb accepts ``--json`` for machine-readable
+output.
 """
 
 from __future__ import annotations
@@ -91,8 +96,43 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_parser = commands.add_parser(
         "compare", help="diff two result stores and flag regressions"
     )
-    cmp_parser.add_argument("baseline", help="baseline result store (JSONL)")
-    cmp_parser.add_argument("candidate", help="candidate result store (JSONL)")
+    cmp_parser.add_argument(
+        "stores",
+        nargs="+",
+        metavar="STORE",
+        help=(
+            "BASELINE CANDIDATE store paths (JSONL); with --against-git, just "
+            "CANDIDATE — the baseline is resolved from the revision"
+        ),
+    )
+    cmp_parser.add_argument(
+        "--against-git",
+        metavar="REV",
+        default=None,
+        help=(
+            "resolve the baseline from a git revision: extract the store "
+            "committed at REV (git show), or regenerate it from REV's code "
+            "in a temporary worktree when --spec is given"
+        ),
+    )
+    cmp_parser.add_argument(
+        "--git-path",
+        metavar="PATH",
+        default=None,
+        help=(
+            "store path to look up at the revision (default: the candidate "
+            "store's path)"
+        ),
+    )
+    cmp_parser.add_argument(
+        "--spec",
+        metavar="PATH",
+        default=None,
+        help="campaign spec for regenerating a baseline missing at the revision",
+    )
+    cmp_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes for a regeneration run"
+    )
     cmp_parser.add_argument(
         "--tolerance",
         type=float,
@@ -177,8 +217,37 @@ def _run_report(args: argparse.Namespace) -> int:
 
 
 def _run_compare(args: argparse.Namespace) -> int:
-    baseline = ResultStore(args.baseline)
-    candidate = ResultStore(args.candidate)
+    if args.against_git:
+        if len(args.stores) != 1:
+            raise SystemExit(
+                "impressions campaign compare: error: --against-git takes exactly "
+                "one CANDIDATE store (the baseline comes from the revision)"
+            )
+        import tempfile
+
+        from repro.campaign.gitstore import resolve_store_from_git
+
+        candidate_path = args.stores[0]
+        with tempfile.TemporaryDirectory(prefix="impressions-git-baseline-") as scratch:
+            baseline_path = resolve_store_from_git(
+                args.against_git,
+                args.git_path or candidate_path,
+                spec_path=args.spec,
+                workers=args.workers,
+                target_dir=scratch,
+            )
+            return _compare_stores(args, baseline_path, candidate_path)
+    if len(args.stores) != 2:
+        raise SystemExit(
+            "impressions campaign compare: error: expected BASELINE and "
+            "CANDIDATE store paths (or --against-git REV with one store)"
+        )
+    return _compare_stores(args, *args.stores)
+
+
+def _compare_stores(args: argparse.Namespace, baseline_path: str, candidate_path: str) -> int:
+    baseline = ResultStore(baseline_path)
+    candidate = ResultStore(candidate_path)
     for store in (baseline, candidate):
         if not store.exists():
             raise SystemExit(

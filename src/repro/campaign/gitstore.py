@@ -1,0 +1,181 @@
+"""Resolve a baseline result store from a git revision.
+
+``impressions campaign compare`` gates CI on metric regressions between two
+stores.  Requiring both stores as explicit paths makes the common case —
+"compare my working tree against what ``main`` produced" — needlessly
+manual.  :func:`resolve_store_from_git` automates it:
+
+1. **Committed artifact**: if the store file exists at the revision, extract
+   it with ``git show REV:path`` into a temporary file.
+2. **Regenerate**: otherwise, when a campaign spec is given, check the
+   revision out into a temporary ``git worktree`` and run *that revision's
+   code* (``PYTHONPATH=<worktree>/src``) over the spec, producing a fresh
+   baseline store.  The worktree is always removed afterwards.
+
+Only ``git`` itself is shelled out to; no external dependencies.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+from repro.campaign.store import StoreError
+
+__all__ = ["GitStoreError", "resolve_store_from_git"]
+
+
+class GitStoreError(StoreError):
+    """Raised when a revision's store artifact cannot be resolved."""
+
+
+def _run_git(args: list[str], cwd: str) -> subprocess.CompletedProcess:
+    try:
+        return subprocess.run(
+            ["git", *args], cwd=cwd, capture_output=True, text=False, check=False
+        )
+    except FileNotFoundError as error:  # pragma: no cover - git always in CI
+        raise GitStoreError("git executable not found on PATH") from error
+
+
+def _repo_toplevel(repo_dir: str) -> str:
+    result = _run_git(["rev-parse", "--show-toplevel"], cwd=repo_dir)
+    if result.returncode != 0:
+        raise GitStoreError(
+            f"{os.path.abspath(repo_dir)!r} is not inside a git repository "
+            f"({result.stderr.decode(errors='replace').strip()})"
+        )
+    return result.stdout.decode().strip()
+
+
+def _rev_relative_path(toplevel: str, store_path: str) -> str:
+    absolute = os.path.abspath(store_path)
+    relative = os.path.relpath(absolute, toplevel)
+    if relative.startswith(".."):
+        raise GitStoreError(
+            f"store path {store_path!r} lies outside the git repository {toplevel!r}"
+        )
+    return relative.replace(os.sep, "/")
+
+
+def _extract_committed_store(
+    toplevel: str, revision: str, relative: str, target_dir: str
+) -> str | None:
+    """``git show REV:path`` into ``target_dir``; None when absent at REV."""
+    result = _run_git(["show", f"{revision}:{relative}"], cwd=toplevel)
+    if result.returncode != 0:
+        return None
+    path = os.path.join(target_dir, "baseline.jsonl")
+    with open(path, "wb") as handle:
+        handle.write(result.stdout)
+    return path
+
+
+def _regenerate_store(
+    toplevel: str, revision: str, spec_path: str, target_dir: str, workers: int
+) -> str:
+    """Run ``REV``'s code over ``spec_path`` in a temporary worktree."""
+    worktree = os.path.join(target_dir, "worktree")
+    added = _run_git(["worktree", "add", "--detach", worktree, revision], cwd=toplevel)
+    if added.returncode != 0:
+        raise GitStoreError(
+            f"cannot create a worktree for {revision!r}: "
+            f"{added.stderr.decode(errors='replace').strip()}"
+        )
+    store_path = os.path.join(target_dir, "baseline.jsonl")
+    try:
+        source = os.path.join(worktree, "src")
+        if not os.path.isdir(source):
+            raise GitStoreError(f"revision {revision!r} has no src/ layout to run")
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = source + (
+            os.pathsep + environment["PYTHONPATH"] if environment.get("PYTHONPATH") else ""
+        )
+        command = [
+            sys.executable,
+            "-m",
+            "repro.core.cli",
+            "campaign",
+            "run",
+            os.path.abspath(spec_path),
+            "--store",
+            store_path,
+            "--workers",
+            str(workers),
+            "--quiet",
+        ]
+        completed = subprocess.run(
+            command, cwd=worktree, env=environment, capture_output=True, text=True
+        )
+        if completed.returncode != 0:
+            raise GitStoreError(
+                f"regenerating the baseline at {revision!r} failed "
+                f"(exit {completed.returncode}): {completed.stderr.strip()[-2000:]}"
+            )
+    finally:
+        _run_git(["worktree", "remove", "--force", worktree], cwd=toplevel)
+    return store_path
+
+
+def resolve_store_from_git(
+    revision: str,
+    store_path: str,
+    *,
+    repo_dir: str = ".",
+    spec_path: str | None = None,
+    workers: int = 1,
+    target_dir: str | None = None,
+) -> str:
+    """Materialize the baseline store of ``revision`` and return its path.
+
+    Args:
+        revision: any git revision expression (``main``, ``HEAD~3``, a sha).
+        store_path: the store's path — looked up *at the revision* first
+            (relative to the repository root), so a committed
+            ``campaign-results.jsonl`` works with zero setup.
+        repo_dir: directory inside the repository to resolve against.
+        spec_path: campaign spec used to *regenerate* the baseline in a
+            temporary worktree when the store is not committed at the
+            revision; without it, a missing artifact is an error.
+        workers: worker processes for a regeneration run.
+        target_dir: directory receiving the resolved store (a fresh
+            temporary directory by default).  On success the caller owns
+            cleanup — the returned path lives inside it; a self-created
+            scratch directory is removed when resolution fails.
+
+    Raises:
+        GitStoreError: unknown revision, path outside the repository,
+            missing artifact without a spec, or a failed regeneration run.
+    """
+    toplevel = _repo_toplevel(repo_dir)
+    verify = _run_git(["rev-parse", "--verify", f"{revision}^{{commit}}"], cwd=toplevel)
+    if verify.returncode != 0:
+        raise GitStoreError(
+            f"unknown git revision {revision!r}: "
+            f"{verify.stderr.decode(errors='replace').strip()}"
+        )
+    owns_target = target_dir is None
+    if target_dir is None:
+        target_dir = tempfile.mkdtemp(prefix="impressions-git-baseline-")
+    else:
+        os.makedirs(target_dir, exist_ok=True)
+    try:
+        relative = _rev_relative_path(toplevel, store_path)
+        extracted = _extract_committed_store(toplevel, revision, relative, target_dir)
+        if extracted is not None:
+            return extracted
+        if spec_path is None:
+            raise GitStoreError(
+                f"{relative!r} does not exist at revision {revision!r}; commit the store "
+                "or pass --spec to regenerate the baseline from that revision's code"
+            )
+        return _regenerate_store(toplevel, revision, spec_path, target_dir, workers)
+    except BaseException:
+        # A self-created scratch directory must not outlive a failed resolve
+        # (the caller never learns its path to clean it up).
+        if owns_target:
+            shutil.rmtree(target_dir, ignore_errors=True)
+        raise

@@ -42,6 +42,12 @@ Built-in steps:
 ``bench``
     Run a :mod:`repro.bench` driver's ``run()`` (params: ``driver`` plus the
     driver's keyword arguments) and report its scalar results.
+``materialize``
+    Export the image through a materialization sink (params: ``sink`` ∈
+    dir|tar|manifest|null, ``path``, ``jobs``, ``order``, ``verify``) and
+    report entry counts, the order-independent content digest and the
+    round-trip verification outcome.  The default ``null`` sink is the one
+    to sweep with: digest-only, no per-scenario paths to manage.
 """
 
 from __future__ import annotations
@@ -172,3 +178,8 @@ def _step_age(image: FileSystemImage, config: ImpressionsConfig, params: dict) -
 @register_step("bench")
 def _step_bench(image: FileSystemImage, config: ImpressionsConfig, params: dict) -> dict:
     return run_post_stage("bench", image, config, params)
+
+
+@register_step("materialize")
+def _step_materialize(image: FileSystemImage, config: ImpressionsConfig, params: dict) -> dict:
+    return run_post_stage("materialize", image, config, params)

@@ -32,6 +32,13 @@ stage graph::
     impressions --files 2000 --cache-dir ~/.cache/impressions   # resumes free
     impressions --files 2000 --stages directory_structure,file_sizes,extensions,depth_and_placement
     impressions pipeline inspect --files 2000 --seed 7
+
+Image export through pluggable sinks (directory trees with parallel writes,
+deterministic tar archives, JSONL manifests, digest-only verification) lives
+under the ``materialize`` subcommand (:mod:`repro.materialize.cli`)::
+
+    impressions materialize --files 2000 --sink dir --out /tmp/img --jobs 4
+    impressions materialize --files 2000 --sink tar --out img.tar.gz --verify
 """
 
 from __future__ import annotations
@@ -86,7 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             "Operation traces: 'impressions trace synth|replay|age --help'. "
             "Scenario sweeps: 'impressions campaign run|list|report|compare --help'. "
-            "Stage graph: 'impressions pipeline inspect --help'."
+            "Stage graph: 'impressions pipeline inspect --help'. "
+            "Sinks and archives: 'impressions materialize --help'."
         ),
     )
     add_config_arguments(parser)
@@ -174,6 +182,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.pipeline.cli import main as pipeline_main
 
         return pipeline_main(list(argv[1:]))
+    if argv and argv[0] == "materialize":
+        from repro.materialize.cli import main as materialize_main
+
+        return materialize_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

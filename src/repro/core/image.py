@@ -14,7 +14,6 @@ content policy, per-phase timings and the reproducibility report.  It can
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
@@ -115,47 +114,40 @@ class FileSystemImage:
 
     # Materialisation ------------------------------------------------------------
 
-    def materialize(self, root_path: str, write_content: bool | None = None) -> int:
+    def materialize(
+        self,
+        root_path: str,
+        write_content: bool | None = None,
+        jobs: int = 1,
+        order: str = "namespace",
+    ) -> int:
         """Write the image to ``root_path`` on the host file system.
 
-        Creates every directory and file; file contents are written when
-        ``write_content`` is True (default: only if the image has a content
-        generator).  Returns the number of files written.  Materialisation is
-        intended for modest images (tests, examples); the in-memory image plus
-        the simulated disk is the primary artefact for experiments.
+        Thin facade over :class:`repro.materialize.DirectorySink`: creates
+        every directory and file (content when ``write_content`` is True,
+        sparse files of the right apparent size otherwise), applies file and
+        derived directory timestamps, and returns the number of files
+        written.  ``jobs`` parallelizes content generation + writes across
+        worker processes; ``order`` picks the streaming order (``namespace``
+        or disk-``extent``).  The serial namespace-order output is
+        byte-identical to the historical monolithic implementation.
+
+        For archives, manifests, digest-only runs, phase timings and
+        round-trip verification use :func:`repro.materialize.materialize_image`
+        directly.
         """
-        if write_content is None:
-            write_content = self.content_generator is not None
-        if write_content and self.content_generator is None:
-            raise RuntimeError("cannot write content: image has no content generator")
+        from repro.materialize import DirectorySink, MaterializeError, materialize_image
 
-        os.makedirs(root_path, exist_ok=True)
-        for directory in self.tree.walk_depth_first():
-            path = os.path.join(root_path, directory.path().lstrip("/"))
-            os.makedirs(path, exist_ok=True)
-
-        written = 0
-        for file_node in self.tree.files:
-            path = os.path.join(root_path, file_node.path().lstrip("/"))
-            if write_content:
-                rng = np.random.default_rng((self.content_seed, self._file_index(file_node)))
-                assert self.content_generator is not None
-                with open(path, "wb") as handle:
-                    for chunk in self.content_generator.iter_chunks(
-                        file_node.size, file_node.extension, rng
-                    ):
-                        handle.write(chunk)
-            else:
-                # Metadata-only materialisation: create sparse files of the
-                # right size so directory structure and sizes are faithful.
-                with open(path, "wb") as handle:
-                    if file_node.size:
-                        handle.seek(file_node.size - 1)
-                        handle.write(b"\0")
-            if file_node.timestamps is not None:
-                os.utime(path, (file_node.timestamps.accessed, file_node.timestamps.modified))
-            written += 1
-        return written
+        try:
+            result = materialize_image(
+                self,
+                DirectorySink(root_path, jobs=jobs),
+                order=order,
+                write_content=write_content,
+            )
+        except MaterializeError as error:
+            raise RuntimeError(str(error)) from error
+        return result.files
 
     # Internal helpers -------------------------------------------------------------
 

@@ -1,0 +1,79 @@
+"""Pluggable materialization sinks — image export as a first-class subsystem.
+
+The paper's point is producing *real* file-system images benchmarks can run
+against; this package turns the previously monolithic, serial
+``FileSystemImage.materialize()`` into a redesigned export path:
+
+* :mod:`repro.materialize.base` — the :class:`MaterializationSink` protocol
+  (``begin`` / ``add_directory`` / ``add_file`` / ``finalize``), the typed
+  :class:`MaterializeResult` (counts, per-phase timings, order-independent
+  content digest), namespace / disk-extent ordering policies, and the
+  :func:`materialize_image` driver.
+* :mod:`repro.materialize.sinks` — :class:`DirectorySink` (host tree, with a
+  ``jobs`` process pool and derived directory timestamps),
+  :class:`TarSink` (deterministic streaming archives),
+  :class:`ManifestSink` (JSONL path/size/timestamp/extent manifests) and
+  :class:`NullSink` (digest-only).
+* :mod:`repro.materialize.verify` — round-trip verification: materialize →
+  re-import with the dataset importer → KS / chi-square / MDCC distribution
+  checks against the generating image and config.
+* :mod:`repro.materialize.cli` — ``impressions materialize``.
+
+Quickstart::
+
+    from repro.materialize import DirectorySink, TarSink, materialize_image
+
+    result = materialize_image(image, DirectorySink("/tmp/img", jobs=4), order="extent")
+    result.verify(config).passed      # round-trip distribution checks
+    materialize_image(image, TarSink("img.tar.gz")).extras["archive_sha256"]
+"""
+
+from repro.materialize.base import (
+    MATERIALIZE_FORMAT_VERSION,
+    ORDER_EXTENT,
+    ORDER_NAMESPACE,
+    ORDERS,
+    FileStream,
+    MaterializationPlan,
+    MaterializationSink,
+    MaterializeError,
+    MaterializeResult,
+    VerificationCheck,
+    VerificationResult,
+    derived_directory_times,
+    materialize_image,
+    ordered_files,
+)
+from repro.materialize.sinks import (
+    SINK_NAMES,
+    DirectorySink,
+    ManifestSink,
+    NullSink,
+    TarSink,
+    build_sink,
+)
+from repro.materialize.verify import verify_round_trip
+
+__all__ = [
+    "MATERIALIZE_FORMAT_VERSION",
+    "ORDERS",
+    "ORDER_EXTENT",
+    "ORDER_NAMESPACE",
+    "SINK_NAMES",
+    "DirectorySink",
+    "FileStream",
+    "ManifestSink",
+    "MaterializationPlan",
+    "MaterializationSink",
+    "MaterializeError",
+    "MaterializeResult",
+    "NullSink",
+    "TarSink",
+    "VerificationCheck",
+    "VerificationResult",
+    "build_sink",
+    "derived_directory_times",
+    "materialize_image",
+    "ordered_files",
+    "verify_round_trip",
+]

@@ -1,0 +1,429 @@
+"""The four built-in materialization sinks.
+
+* :class:`DirectorySink` — a real directory tree on the host file system
+  (the historical ``FileSystemImage.materialize`` behaviour, extracted and
+  extended with a ``jobs`` process pool that parallelizes content
+  generation + writes, and with derived directory timestamps applied in
+  reverse depth order after all children exist).
+* :class:`TarSink` — a deterministic streaming ``.tar`` / ``.tar.gz``
+  archive that never touches the host tree.
+* :class:`ManifestSink` — a JSONL manifest of paths / sizes / timestamps /
+  extents, cheap enough for huge images.
+* :class:`NullSink` — writes nothing; the driver's content digest is the
+  artifact (verification and CI determinism gates).
+
+All sinks are driven by :func:`repro.materialize.base.materialize_image`;
+:func:`build_sink` maps the CLI / stage-param spelling to an instance.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import io
+import json
+import os
+import pickle
+import tarfile
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Iterator
+
+from repro.materialize.base import (
+    FileStream,
+    MaterializationPlan,
+    MaterializationSink,
+    MaterializeError,
+    derived_directory_times,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.image import FileSystemImage
+    from repro.namespace.tree import DirectoryNode
+
+__all__ = ["DirectorySink", "TarSink", "ManifestSink", "NullSink", "build_sink", "SINK_NAMES"]
+
+
+# Directory sink ---------------------------------------------------------------
+
+
+def _write_file_entry(root_path: str, stream: FileStream) -> None:
+    """Write one file under ``root_path`` exactly as the legacy materializer.
+
+    Content mode streams the generator's chunks; metadata-only mode creates a
+    sparse file of the right apparent size.  File timestamps are applied
+    immediately — the containing directory's mtime is fixed up later, in
+    reverse depth order, once all children exist.
+    """
+    node = stream.node
+    path = os.path.join(root_path, stream.relpath)
+    if stream.write_content:
+        with open(path, "wb") as handle:
+            for chunk in stream.chunks():
+                handle.write(chunk)
+    else:
+        stream.ensure_digest()
+        with open(path, "wb") as handle:
+            if node.size:
+                handle.seek(node.size - 1)
+                handle.write(b"\0")
+    if node.timestamps is not None:
+        os.utime(path, (node.timestamps.accessed, node.timestamps.modified))
+
+
+# Worker-process state for DirectorySink(jobs=N) — set once per worker by the
+# pool initializer so each batch task ships only a list of file ids.
+_WORKER: dict = {}
+
+
+def _directory_worker_init(payload: bytes) -> None:
+    _WORKER["image"], _WORKER["root"], _WORKER["write_content"] = pickle.loads(payload)
+
+
+def _directory_worker_batch(file_ids: list[int]) -> list[tuple[int, str]]:
+    """Write one batch of files in a worker; return their entry digests."""
+    image: "FileSystemImage" = _WORKER["image"]
+    root: str = _WORKER["root"]
+    write_content: bool = _WORKER["write_content"]
+    out: list[tuple[int, str]] = []
+    files = image.tree.files
+    for file_id in file_ids:
+        node = files[file_id]
+        stream = FileStream(image, node, node.path().lstrip("/"), write_content)
+        _write_file_entry(root, stream)
+        out.append((file_id, stream.ensure_digest()))
+    return out
+
+
+class DirectorySink(MaterializationSink):
+    """Materialize into a real directory tree on the host file system.
+
+    Args:
+        root_path: target directory (created if missing).
+        jobs: worker processes for content generation + writes; ``1`` keeps
+            the serial path (byte-identical to the legacy
+            ``FileSystemImage.materialize``).  Parallel writes are safe
+            because every file's bytes are a pure function of the image's
+            content seed and the file's id, and the combined digest is
+            order-independent.
+        apply_directory_times: derive directory atime/mtime from the subtree's
+            file timestamps and apply them (reverse depth order) after all
+            children exist; no-op for images without timestamps.
+    """
+
+    name = "dir"
+
+    def __init__(self, root_path: str, jobs: int = 1, apply_directory_times: bool = True) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.root_path = root_path
+        self.jobs = jobs
+        self.apply_directory_times = apply_directory_times
+        self._image: "FileSystemImage | None" = None
+        self._plan: MaterializationPlan | None = None
+        self._pending: list[FileStream] = []
+
+    def begin(self, image: "FileSystemImage", plan: MaterializationPlan) -> None:
+        self._image = image
+        self._plan = plan
+        self._pending = []
+        os.makedirs(self.root_path, exist_ok=True)
+
+    def add_directory(self, directory: "DirectoryNode", relpath: str) -> None:
+        os.makedirs(os.path.join(self.root_path, relpath), exist_ok=True)
+
+    def add_file(self, stream: FileStream) -> None:
+        if self.jobs > 1:
+            # Batched into the process pool at finalize so batch sizes can be
+            # balanced over the full file count.
+            self._pending.append(stream)
+        else:
+            _write_file_entry(self.root_path, stream)
+
+    def finalize(self) -> dict:
+        assert self._image is not None and self._plan is not None
+        workers_used = 1
+        if self._pending:
+            workers_used = self._write_parallel(self._pending)
+        if self.apply_directory_times:
+            for _, dirpath, (accessed, modified) in derived_directory_times(self._image.tree):
+                os.utime(
+                    os.path.join(self.root_path, dirpath.lstrip("/") or "."),
+                    (accessed, modified),
+                )
+        return {"path": self.root_path, "jobs": workers_used}
+
+    def _write_parallel(self, streams: list[FileStream]) -> int:
+        workers = min(self.jobs, max(1, len(streams)))
+        payload = pickle.dumps(
+            (self._image, self.root_path, bool(self._plan and self._plan.write_content))
+        )
+        # ~8 batches per worker amortizes pool IPC while keeping the pool busy
+        # when file sizes are skewed.
+        batch_size = max(1, (len(streams) + workers * 8 - 1) // (workers * 8))
+        by_id = {stream.node.file_id: stream for stream in streams}
+        ids = [stream.node.file_id for stream in streams]
+        batches = [ids[i : i + batch_size] for i in range(0, len(ids), batch_size)]
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_directory_worker_init, initargs=(payload,)
+        ) as pool:
+            for results in pool.map(_directory_worker_batch, batches):
+                for file_id, hexdigest in results:
+                    by_id[file_id].set_digest(hexdigest)
+        return workers
+
+
+# Tar sink ---------------------------------------------------------------------
+
+
+class _ChunkReader(io.RawIOBase):
+    """File-like view over an iterator of byte chunks (for ``tarfile.addfile``)."""
+
+    def __init__(self, chunks: Iterator[bytes]) -> None:
+        self._chunks = chunks
+        self._buffer = b""
+
+    def readable(self) -> bool:  # pragma: no cover - io protocol
+        return True
+
+    def read(self, size: int = -1) -> bytes:
+        if size is None or size < 0:
+            parts = [self._buffer, *self._chunks]
+            self._buffer = b""
+            return b"".join(parts)
+        while len(self._buffer) < size:
+            chunk = next(self._chunks, None)
+            if chunk is None:
+                break
+            self._buffer += chunk
+        out, self._buffer = self._buffer[:size], self._buffer[size:]
+        return out
+
+
+def _zero_chunks(size: int, chunk_size: int = 1 << 20) -> Iterator[bytes]:
+    while size > 0:
+        piece = min(size, chunk_size)
+        yield b"\0" * piece
+        size -= piece
+
+
+class TarSink(MaterializationSink):
+    """Stream the image into a deterministic ``.tar`` / ``.tar.gz`` archive.
+
+    Determinism: entries appear in stream order (directories first), owners
+    are fixed to 0/"", modes to 0o755 (dirs) / 0o644 (files), mtimes come
+    from the image's timestamp model (0 when absent), the GNU tar format is
+    used throughout, and gzip compression embeds no timestamp — so one seeded
+    image always produces byte-identical archive bytes, which CI pins.
+
+    Metadata-only images are archived with zero-filled payloads of the right
+    size (tar has no portable sparse representation).
+    """
+
+    name = "tar"
+
+    def __init__(self, archive_path: str, compress: bool | None = None) -> None:
+        self.archive_path = archive_path
+        if compress is None:
+            compress = archive_path.endswith((".tar.gz", ".tgz"))
+        self.compress = bool(compress)
+        self._raw = None
+        self._gzip = None
+        self._tar: tarfile.TarFile | None = None
+        self._directory_times: dict[str, float] = {}
+
+    def begin(self, image: "FileSystemImage", plan: MaterializationPlan) -> None:
+        directory = os.path.dirname(self.archive_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._raw = open(self.archive_path, "wb")
+        stream = self._raw
+        if self.compress:
+            # mtime=0 and an empty filename keep the gzip header constant.
+            self._gzip = gzip.GzipFile(
+                filename="", mode="wb", fileobj=self._raw, mtime=0, compresslevel=6
+            )
+            stream = self._gzip
+        self._tar = tarfile.open(fileobj=stream, mode="w", format=tarfile.GNU_FORMAT)
+        self._directory_times = {
+            path.lstrip("/") or ".": modified
+            for _, path, (_, modified) in derived_directory_times(image.tree)
+        }
+
+    def add_directory(self, directory: "DirectoryNode", relpath: str) -> None:
+        assert self._tar is not None
+        if relpath == ".":
+            return  # the archive root is implicit
+        info = tarfile.TarInfo(name=relpath + "/")
+        info.type = tarfile.DIRTYPE
+        info.mode = 0o755
+        info.mtime = int(self._directory_times.get(relpath, 0))
+        self._tar.addfile(info)
+
+    def add_file(self, stream: FileStream) -> None:
+        assert self._tar is not None
+        node = stream.node
+        info = tarfile.TarInfo(name=stream.relpath)
+        info.type = tarfile.REGTYPE
+        info.size = node.size
+        info.mode = 0o644
+        info.mtime = int(node.timestamps.modified) if node.timestamps is not None else 0
+        if stream.write_content:
+            chunks = stream.chunks()
+            self._tar.addfile(info, _ChunkReader(chunks))
+            for _ in chunks:  # finish the generator so its digest finalizes
+                raise MaterializeError(
+                    f"content for {stream.relpath!r} exceeded its declared size"
+                )
+        else:
+            stream.ensure_digest()
+            self._tar.addfile(info, _ChunkReader(_zero_chunks(node.size)))
+
+    def finalize(self) -> dict:
+        assert self._tar is not None and self._raw is not None
+        self._tar.close()
+        if self._gzip is not None:
+            self._gzip.close()
+        self._raw.close()
+        digest = hashlib.sha256()
+        with open(self.archive_path, "rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+        return {
+            "path": self.archive_path,
+            "archive_bytes": os.path.getsize(self.archive_path),
+            "archive_sha256": digest.hexdigest(),
+            "compressed": self.compress,
+        }
+
+
+# Manifest sink ----------------------------------------------------------------
+
+
+class ManifestSink(MaterializationSink):
+    """Write a JSONL manifest of the image — one line per entry.
+
+    The first line is a header (format version, order, image shape, content
+    seed); every following line describes one directory or file, including
+    per-file timestamps and disk extents.  Content bytes are never generated
+    (``writes_content`` is False), so manifesting a huge image costs seconds,
+    not hours — the manifest plus the config is enough to rebuild or audit
+    the image elsewhere.
+    """
+
+    name = "manifest"
+    writes_content = False
+
+    def __init__(self, manifest_path: str) -> None:
+        self.manifest_path = manifest_path
+        self._handle = None
+        self._lines = 0
+
+    def _write(self, document: dict) -> None:
+        assert self._handle is not None
+        self._handle.write(json.dumps(document, sort_keys=True, separators=(",", ":")))
+        self._handle.write("\n")
+        self._lines += 1
+
+    def begin(self, image: "FileSystemImage", plan: MaterializationPlan) -> None:
+        directory = os.path.dirname(self.manifest_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(self.manifest_path, "w", encoding="utf-8")
+        self._lines = 0
+        self._write(
+            {
+                "type": "header",
+                "format": 1,
+                "kind": "impressions-manifest",
+                "order": plan.order,
+                "files": plan.files,
+                "directories": plan.directories,
+                "total_bytes": plan.total_bytes,
+                "content_seed": image.content_seed,
+                "layout_score": image.achieved_layout_score(),
+            }
+        )
+
+    def add_directory(self, directory: "DirectoryNode", relpath: str) -> None:
+        self._write({"type": "dir", "path": relpath, "depth": directory.depth})
+
+    def add_file(self, stream: FileStream) -> None:
+        node = stream.node
+        stamps = node.timestamps
+        self._write(
+            {
+                "type": "file",
+                "path": stream.relpath,
+                "size": node.size,
+                "extension": node.extension,
+                "depth": node.depth,
+                "file_id": node.file_id,
+                "content_kind": node.content_kind,
+                "timestamps": (
+                    [stamps.created, stamps.modified, stamps.accessed]
+                    if stamps is not None
+                    else None
+                ),
+                "extents": [list(extent) for extent in node.extents],
+                "digest": stream.ensure_digest(),
+            }
+        )
+
+    def finalize(self) -> dict:
+        assert self._handle is not None
+        self._handle.close()
+        return {
+            "path": self.manifest_path,
+            "manifest_bytes": os.path.getsize(self.manifest_path),
+            "lines": self._lines,
+        }
+
+
+# Null sink --------------------------------------------------------------------
+
+
+class NullSink(MaterializationSink):
+    """Materialize nothing; the driver's content digest is the artifact.
+
+    With content enabled every file's bytes are still generated and hashed,
+    so two runs (or two machines) can assert that they would materialize the
+    identical image without writing a single byte — the cheapest possible
+    determinism gate for CI.
+    """
+
+    name = "null"
+
+    def begin(self, image: "FileSystemImage", plan: MaterializationPlan) -> None:
+        pass
+
+    def add_directory(self, directory: "DirectoryNode", relpath: str) -> None:
+        pass
+
+    def add_file(self, stream: FileStream) -> None:
+        pass
+
+    def finalize(self) -> dict:
+        return {}
+
+
+#: CLI / stage-param sink spellings.
+SINK_NAMES = ("dir", "tar", "manifest", "null")
+
+
+def build_sink(kind: str, path: str | None = None, jobs: int = 1) -> MaterializationSink:
+    """Instantiate a sink from its CLI spelling.
+
+    ``dir`` / ``tar`` / ``manifest`` need a target ``path``; ``null`` takes
+    none.  ``jobs`` only affects :class:`DirectorySink`.
+    """
+    if kind == "null":
+        return NullSink()
+    if path is None:
+        raise MaterializeError(f"sink {kind!r} needs a target path")
+    if kind == "dir":
+        return DirectorySink(path, jobs=jobs)
+    if kind == "tar":
+        return TarSink(path)
+    if kind == "manifest":
+        return ManifestSink(path)
+    raise MaterializeError(f"unknown sink {kind!r}; expected one of {SINK_NAMES}")

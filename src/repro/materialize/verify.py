@@ -1,0 +1,189 @@
+"""Round-trip verification of materialized images.
+
+The loop the paper's evaluation implies but never automates: generate an
+image, materialize it, crawl the result back in with the dataset importer,
+and check that what landed on the host file system still matches what the
+framework generated — exact entry counts, a two-sample KS test on file
+sizes, chi-square tests on the files-by-depth and extension histograms, and
+(when the generating config is available) an MDCC check of the observed
+sizes against the config's file-size model, the paper's Table 3 accuracy
+metric.
+
+Sinks that produce no host tree (tar, manifest, null) are verified against
+the image itself: the structural checks then assert the image's internal
+consistency and the model check still ties the materialized data back to the
+generating configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.materialize.base import MaterializeResult, VerificationCheck, VerificationResult
+from repro.stats.goodness_of_fit import chi_square_test, ks_test_two_sample, mdcc
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import ImpressionsConfig
+    from repro.core.image import FileSystemImage
+
+__all__ = ["verify_round_trip"]
+
+#: extensions beyond the most popular N are pooled into one chi-square bin.
+_TOP_EXTENSIONS = 20
+
+
+def _aligned_counts(observed: dict, expected: dict) -> tuple[list[float], list[float]]:
+    keys = sorted(set(observed) | set(expected), key=str)
+    return (
+        [float(observed.get(key, 0)) for key in keys],
+        [float(expected.get(key, 0)) for key in keys],
+    )
+
+
+def _pooled_extension_counts(counts: dict[str, int], top: list[str]) -> dict[str, float]:
+    pooled = {key: float(counts.get(key, 0)) for key in top}
+    pooled["(other)"] = float(sum(value for key, value in counts.items() if key not in top))
+    return pooled
+
+
+def verify_round_trip(
+    image: "FileSystemImage",
+    result: MaterializeResult,
+    *,
+    config: "ImpressionsConfig | None" = None,
+    significance: float = 0.01,
+    size_mdcc_tolerance: float = 0.2,
+) -> VerificationResult:
+    """Verify ``result`` against its generating image (and optionally config).
+
+    Args:
+        image: the image the result was materialized from.
+        result: the materialization to verify.
+        config: the generating configuration; when given, the observed sizes
+            are additionally MDCC-checked against a fresh sample from its
+            file-size model.
+        significance: significance level of the KS / chi-square checks.
+        size_mdcc_tolerance: allowed MDCC between observed sizes and the
+            config model sample (generated sizes are a finite sample, and
+            constraint-resolved images deliberately shift it, so this gate
+            is intentionally loose).
+    """
+    tree = image.tree
+    checks: list[VerificationCheck] = []
+
+    if result.sink == "dir" and result.path is not None and os.path.isdir(result.path):
+        from repro.dataset.importer import import_directory_tree
+
+        snapshot = import_directory_tree(result.path)
+        source = "imported"
+        observed_sizes = [float(record.size) for record in snapshot.files]
+        observed_depths: dict[int, int] = {}
+        observed_extensions: dict[str, int] = {}
+        for record in snapshot.files:
+            observed_depths[record.depth] = observed_depths.get(record.depth, 0) + 1
+            key = record.extension or "null"
+            observed_extensions[key] = observed_extensions.get(key, 0) + 1
+        files_observed = len(snapshot.files)
+        directories_observed = len(snapshot.directories)
+    else:
+        source = "image"
+        observed_sizes = [float(size) for size in tree.file_sizes()]
+        observed_depths = dict(tree.files_by_depth())
+        observed_extensions = dict(tree.extension_counts())
+        files_observed = tree.file_count
+        directories_observed = tree.directory_count
+
+    checks.append(
+        VerificationCheck(
+            name="file_count",
+            passed=files_observed == tree.file_count,
+            statistic=float(files_observed - tree.file_count),
+            detail=f"observed {files_observed}, generated {tree.file_count}",
+        )
+    )
+    checks.append(
+        VerificationCheck(
+            name="directory_count",
+            passed=directories_observed == tree.directory_count,
+            statistic=float(directories_observed - tree.directory_count),
+            detail=f"observed {directories_observed}, generated {tree.directory_count}",
+        )
+    )
+
+    generated_sizes = [float(size) for size in tree.file_sizes()]
+    if observed_sizes and generated_sizes:
+        ks = ks_test_two_sample(observed_sizes, generated_sizes, significance=significance)
+        checks.append(
+            VerificationCheck(
+                name="size_ks",
+                passed=ks.passed,
+                statistic=ks.statistic,
+                p_value=ks.p_value,
+            )
+        )
+
+    observed_depth_counts, expected_depth_counts = _aligned_counts(
+        observed_depths, tree.files_by_depth()
+    )
+    if any(expected_depth_counts):
+        chi = chi_square_test(
+            observed_depth_counts, expected_depth_counts, significance=significance
+        )
+        checks.append(
+            VerificationCheck(
+                name="depth_chi2", passed=chi.passed, statistic=chi.statistic, p_value=chi.p_value
+            )
+        )
+
+    generated_extensions = tree.extension_counts()
+    top = [
+        key
+        for key, _ in sorted(generated_extensions.items(), key=lambda item: (-item[1], item[0]))[
+            :_TOP_EXTENSIONS
+        ]
+    ]
+    if top:
+        observed_pooled, expected_pooled = _aligned_counts(
+            _pooled_extension_counts(observed_extensions, top),
+            _pooled_extension_counts(generated_extensions, top),
+        )
+        chi = chi_square_test(observed_pooled, expected_pooled, significance=significance)
+        checks.append(
+            VerificationCheck(
+                name="extension_chi2",
+                passed=chi.passed,
+                statistic=chi.statistic,
+                p_value=chi.p_value,
+            )
+        )
+
+    if config is not None and observed_sizes:
+        model = config.resolved_size_model()
+        sample = np.maximum(
+            np.round(
+                np.asarray(
+                    model.sample(np.random.default_rng(config.seed), len(observed_sizes)),
+                    dtype=float,
+                )
+            ),
+            0.0,
+        )
+        displacement = mdcc(observed_sizes, sample)
+        checks.append(
+            VerificationCheck(
+                name="size_model_mdcc",
+                passed=displacement <= size_mdcc_tolerance,
+                statistic=displacement,
+                detail=f"tolerance {size_mdcc_tolerance:g} vs {type(model).__name__}",
+            )
+        )
+
+    return VerificationResult(
+        source=source,
+        files_observed=files_observed,
+        directories_observed=directories_observed,
+        checks=checks,
+    )

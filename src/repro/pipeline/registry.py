@@ -53,6 +53,7 @@ __all__ = [
     "TraceReplayStage",
     "TraceAgingStage",
     "BenchStage",
+    "MaterializeStage",
 ]
 
 StageFactory = Callable[[Mapping[str, object] | None], Stage]
@@ -222,6 +223,64 @@ class BenchStage(PostGenerationStage):
             metrics[key] = value
         if not metrics:
             metrics["completed"] = 1
+        return metrics
+
+
+@register_stage
+class MaterializeStage(PostGenerationStage):
+    """Materialize the finished image through a pluggable sink.
+
+    Params: ``sink`` ∈ dir|tar|manifest|null (default ``null``), ``path``
+    (required for every sink but ``null``), ``jobs`` (DirectorySink worker
+    processes), ``order`` ∈ namespace|extent, ``write_content`` (tri-state;
+    default: only if the image carries a content generator), ``verify``
+    (round-trip verification, on by default), and ``label``.
+
+    Reported metrics are deterministic (entry counts, the order-independent
+    content digest, verification outcomes); wall-clock phase timings stay on
+    the :class:`~repro.materialize.MaterializeResult` and out of campaign
+    result rows, which must be byte-comparable across runs.
+    """
+
+    name = "materialize"
+    provides = ("materialize_stats",)
+
+    def execute(self, image: FileSystemImage, config: ImpressionsConfig) -> dict:
+        from repro.materialize import MaterializeError, build_sink, materialize_image
+
+        params = self.params
+        kind = str(params.get("sink", "null"))
+        path = params.get("path")
+        order = str(params.get("order", "namespace"))
+        write_content = params.get("write_content")
+        try:
+            sink = build_sink(kind, str(path) if path is not None else None,
+                              jobs=int(params.get("jobs", 1)))
+            result = materialize_image(
+                image,
+                sink,
+                order=order,
+                write_content=None if write_content is None else bool(write_content),
+            )
+        except MaterializeError as error:
+            raise PipelineError(str(error)) from error
+        metrics: dict[str, object] = {
+            "files": result.files,
+            "directories": result.directories,
+            "total_bytes": result.total_bytes,
+            "content_digest": result.content_digest,
+            "order": result.order,
+            "write_content": int(result.write_content),
+        }
+        for key in ("archive_bytes", "archive_sha256", "manifest_bytes", "lines"):
+            if key in result.extras:
+                metrics[key] = result.extras[key]
+        if params.get("verify", True):
+            verification = result.verify(config=config)
+            metrics["verify_passed"] = int(verification.passed)
+            metrics["verify_source"] = verification.source
+            for check in verification.checks:
+                metrics[f"verify_{check.name}"] = check.statistic
         return metrics
 
 

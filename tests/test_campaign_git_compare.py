@@ -1,0 +1,185 @@
+"""``campaign compare --against-git``: baselines resolved from git revisions."""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+
+import pytest
+
+from repro.campaign.cli import main
+from repro.campaign.gitstore import GitStoreError, resolve_store_from_git
+
+pytestmark = pytest.mark.skipif(shutil.which("git") is None, reason="git not available")
+
+
+def _git(repo: str, *args: str) -> str:
+    return subprocess.run(
+        ["git", *args], cwd=repo, check=True, capture_output=True, text=True
+    ).stdout
+
+
+def _store_row(scenario: str, elapsed: float) -> str:
+    return (
+        json.dumps(
+            {
+                "campaign": "demo",
+                "scenario": scenario,
+                "fingerprint": scenario,
+                "params": {},
+                "metrics": {"find.elapsed_ms": elapsed},
+                "wall": {"generate_seconds": 0.1},
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        + "\n"
+    )
+
+
+@pytest.fixture
+def git_repo(tmp_path):
+    """A tiny repo with a committed store at HEAD~1 and a changed one at HEAD."""
+    repo = str(tmp_path / "repo")
+    os.makedirs(repo)
+    _git(repo, "init", "-q")
+    _git(repo, "config", "user.email", "test@example.com")
+    _git(repo, "config", "user.name", "Test")
+    store = os.path.join(repo, "results.jsonl")
+    with open(store, "w", encoding="utf-8") as handle:
+        handle.write(_store_row("demo[a]", 100.0))
+    _git(repo, "add", "results.jsonl")
+    _git(repo, "commit", "-q", "-m", "baseline store")
+    with open(store, "w", encoding="utf-8") as handle:
+        handle.write(_store_row("demo[a]", 250.0))
+    _git(repo, "add", "results.jsonl")
+    _git(repo, "commit", "-q", "-m", "regressed store")
+    return repo
+
+
+class TestResolveStoreFromGit:
+    def test_extracts_committed_store(self, git_repo, tmp_path):
+        resolved = resolve_store_from_git(
+            "HEAD~1",
+            os.path.join(git_repo, "results.jsonl"),
+            repo_dir=git_repo,
+            target_dir=str(tmp_path / "out"),
+        )
+        with open(resolved, "r", encoding="utf-8") as handle:
+            row = json.loads(handle.readline())
+        assert row["metrics"]["find.elapsed_ms"] == 100.0
+
+    def test_unknown_revision(self, git_repo):
+        with pytest.raises(GitStoreError, match="unknown git revision"):
+            resolve_store_from_git(
+                "no-such-rev", os.path.join(git_repo, "results.jsonl"), repo_dir=git_repo
+            )
+
+    def test_missing_artifact_without_spec(self, git_repo):
+        with pytest.raises(GitStoreError, match="does not exist at revision"):
+            resolve_store_from_git(
+                "HEAD", os.path.join(git_repo, "absent.jsonl"), repo_dir=git_repo
+            )
+
+    def test_path_outside_repository(self, git_repo, tmp_path):
+        outside = str(tmp_path / "elsewhere.jsonl")
+        with pytest.raises(GitStoreError, match="outside the git repository"):
+            resolve_store_from_git("HEAD", outside, repo_dir=git_repo)
+
+    def test_not_a_repository(self, tmp_path):
+        plain = str(tmp_path / "plain")
+        os.makedirs(plain)
+        with pytest.raises(GitStoreError, match="not inside a git repository"):
+            resolve_store_from_git("HEAD", os.path.join(plain, "x.jsonl"), repo_dir=plain)
+
+
+class TestCompareAgainstGitCli:
+    def test_regression_detected_against_revision(self, git_repo, monkeypatch, capsys):
+        monkeypatch.chdir(git_repo)
+        code = main(["compare", "results.jsonl", "--against-git", "HEAD~1"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSION" in out
+        assert "find.elapsed_ms" in out
+
+    def test_same_revision_compares_clean(self, git_repo, monkeypatch, capsys):
+        monkeypatch.chdir(git_repo)
+        assert main(["compare", "results.jsonl", "--against-git", "HEAD"]) == 0
+        assert "no metric changes beyond tolerance" in capsys.readouterr().out
+
+    def test_git_path_overrides_lookup(self, git_repo, monkeypatch, tmp_path, capsys):
+        monkeypatch.chdir(git_repo)
+        candidate = os.path.join(git_repo, "fresh.jsonl")
+        with open(candidate, "w", encoding="utf-8") as handle:
+            handle.write(_store_row("demo[a]", 100.0))
+        code = main(
+            ["compare", "fresh.jsonl", "--against-git", "HEAD~1", "--git-path", "results.jsonl"]
+        )
+        assert code == 0
+
+    def test_against_git_takes_exactly_one_store(self, git_repo, monkeypatch):
+        monkeypatch.chdir(git_repo)
+        with pytest.raises(SystemExit, match="exactly"):
+            main(["compare", "a.jsonl", "b.jsonl", "--against-git", "HEAD"])
+
+    def test_two_positional_stores_still_work(self, git_repo, monkeypatch, capsys):
+        monkeypatch.chdir(git_repo)
+        shutil.copy("results.jsonl", "copy.jsonl")
+        assert main(["compare", "results.jsonl", "copy.jsonl"]) == 0
+
+    def test_unknown_revision_is_cli_error(self, git_repo, monkeypatch):
+        monkeypatch.chdir(git_repo)
+        with pytest.raises(SystemExit, match="unknown git revision"):
+            main(["compare", "results.jsonl", "--against-git", "bogus-rev"])
+
+
+class TestRegenerateFromWorktree:
+    def test_regenerates_baseline_from_revisions_code(self, tmp_path):
+        """A store absent at REV is regenerated by running REV's code.
+
+        The fixture repo commits a minimal ``src/repro`` package whose
+        campaign CLI writes a known store row — we only assert the worktree
+        plumbing here, not this repository's own generator (which would take
+        minutes per revision).
+        """
+        repo = str(tmp_path / "repo")
+        package = os.path.join(repo, "src", "repro", "core")
+        os.makedirs(package)
+        open(os.path.join(repo, "src", "repro", "__init__.py"), "w").close()
+        open(os.path.join(package, "__init__.py"), "w").close()
+        with open(os.path.join(package, "cli.py"), "w", encoding="utf-8") as handle:
+            handle.write(
+                "import json, sys\n"
+                "def main(argv=None):\n"
+                "    argv = sys.argv[1:] if argv is None else argv\n"
+                "    store = argv[argv.index('--store') + 1]\n"
+                "    row = {'scenario': 'demo[a]', 'fingerprint': 'f',"
+                " 'metrics': {'find.elapsed_ms': 100.0}}\n"
+                "    open(store, 'w').write(json.dumps(row) + '\\n')\n"
+                "    return 0\n"
+                "if __name__ == '__main__':\n"
+                "    sys.exit(main())\n"
+            )
+        _git(repo, "init", "-q")
+        _git(repo, "config", "user.email", "test@example.com")
+        _git(repo, "config", "user.name", "Test")
+        _git(repo, "add", "-A")
+        _git(repo, "commit", "-q", "-m", "fake generator")
+
+        spec = str(tmp_path / "spec.json")
+        with open(spec, "w", encoding="utf-8") as handle:
+            json.dump({"name": "demo"}, handle)
+        resolved = resolve_store_from_git(
+            "HEAD",
+            os.path.join(repo, "results.jsonl"),
+            repo_dir=repo,
+            spec_path=spec,
+            target_dir=str(tmp_path / "out"),
+        )
+        with open(resolved, "r", encoding="utf-8") as handle:
+            row = json.loads(handle.readline())
+        assert row["metrics"]["find.elapsed_ms"] == 100.0
+        # The temporary worktree is cleaned up afterwards.
+        assert _git(repo, "worktree", "list").strip().count("\n") == 0

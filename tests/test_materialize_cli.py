@@ -1,0 +1,93 @@
+"""The ``impressions materialize`` subcommand."""
+
+from __future__ import annotations
+
+import json
+import os
+import tarfile
+
+import pytest
+
+from repro.core.cli import main
+
+
+BASE = ["--files", "40", "--dirs", "10", "--seed", "13", "--size-bytes", str(2 << 20)]
+
+
+class TestMaterializeCli:
+    def test_dir_sink(self, tmp_path, capsys):
+        target = str(tmp_path / "img")
+        code = main(["materialize", *BASE, "--sink", "dir", "--out", target, "--quiet"])
+        assert code == 0
+        assert os.path.isdir(target)
+        out = capsys.readouterr().out
+        assert "materialized 40 files" in out
+        assert "via dir sink" in out
+
+    def test_null_sink_with_verify(self, capsys):
+        code = main(["materialize", *BASE, "--sink", "null", "--verify"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "round-trip verification (image): PASSED" in out
+        assert "content digest:" in out
+
+    def test_dir_sink_verify_imported(self, tmp_path, capsys):
+        target = str(tmp_path / "img")
+        code = main(
+            ["materialize", *BASE, "--sink", "dir", "--out", target, "--verify", "--quiet"]
+        )
+        assert code == 0
+        assert "round-trip verification (imported): PASSED" in capsys.readouterr().out
+
+    def test_tar_sink_json(self, tmp_path, capsys):
+        archive = str(tmp_path / "img.tar.gz")
+        code = main(
+            ["materialize", *BASE, "--sink", "tar", "--out", archive, "--order", "extent", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"]["sink"] == "tar"
+        assert payload["result"]["order"] == "extent"
+        assert payload["result"]["files"] == 40
+        assert payload["result"]["extras"]["archive_sha256"]
+        with tarfile.open(archive) as tar:
+            assert len([m for m in tar.getmembers() if m.isfile()]) == 40
+
+    def test_manifest_sink(self, tmp_path):
+        manifest = str(tmp_path / "img.jsonl")
+        assert main(["materialize", *BASE, "--sink", "manifest", "--out", manifest, "--quiet"]) == 0
+        with open(manifest, "r", encoding="utf-8") as handle:
+            header = json.loads(handle.readline())
+        assert header["kind"] == "impressions-manifest"
+        assert header["files"] == 40
+
+    def test_out_required_for_non_null(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["materialize", *BASE, "--sink", "tar"])
+
+    def test_jobs_and_content(self, tmp_path, capsys):
+        target = str(tmp_path / "img")
+        code = main(
+            ["materialize", *BASE, "--content", "hybrid", "--sink", "dir",
+             "--out", target, "--jobs", "2", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"]["write_content"] is True
+        assert payload["result"]["extras"]["jobs"] == 2
+
+    def test_no_content_flag(self, tmp_path, capsys):
+        code = main(
+            ["materialize", *BASE, "--content", "hybrid", "--sink", "null",
+             "--no-content", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"]["write_content"] is False
+
+    def test_digest_deterministic_across_runs(self, capsys):
+        digests = []
+        for _ in range(2):
+            assert main(["materialize", *BASE, "--sink", "null", "--json"]) == 0
+            digests.append(json.loads(capsys.readouterr().out)["result"]["content_digest"])
+        assert digests[0] == digests[1]

@@ -1,0 +1,139 @@
+"""Round-trip verification tests: materialize → import → distribution checks."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import ImpressionsConfig
+from repro.dataset.importer import import_directory_tree
+from repro.materialize import (
+    DirectorySink,
+    MaterializeError,
+    NullSink,
+    TarSink,
+    materialize_image,
+    verify_round_trip,
+)
+
+
+class TestDirectoryRoundTrip:
+    def test_full_round_trip_passes(self, small_image, small_config, tmp_path):
+        result = materialize_image(small_image, DirectorySink(str(tmp_path / "img")))
+        verification = result.verify(config=small_config, record=False)
+        assert verification.source == "imported"
+        assert verification.passed, verification.render_text()
+        names = {check.name for check in verification.checks}
+        assert {
+            "file_count",
+            "directory_count",
+            "size_ks",
+            "depth_chi2",
+            "extension_chi2",
+            "size_model_mdcc",
+        } <= names
+
+    def test_imported_distributions_match_exactly(self, small_image, tmp_path):
+        """The KS / chi-square statistics are 0 for a faithful round trip."""
+        result = materialize_image(small_image, DirectorySink(str(tmp_path / "img")))
+        verification = result.verify(record=False)
+        by_name = {check.name: check for check in verification.checks}
+        assert by_name["size_ks"].statistic == pytest.approx(0.0)
+        assert by_name["depth_chi2"].statistic == pytest.approx(0.0)
+        assert by_name["extension_chi2"].statistic == pytest.approx(0.0)
+
+    def test_content_round_trip(self, content_image, tmp_path):
+        result = materialize_image(content_image, DirectorySink(str(tmp_path / "img")))
+        assert result.verify(record=False).passed
+
+    def test_tampered_tree_fails(self, small_image, tmp_path):
+        result = materialize_image(small_image, DirectorySink(str(tmp_path / "img")))
+        victim = os.path.join(str(tmp_path / "img"), small_image.tree.files[0].path().lstrip("/"))
+        os.remove(victim)
+        verification = result.verify(record=False)
+        assert not verification.passed
+        failed = {check.name for check in verification.checks if not check.passed}
+        assert "file_count" in failed
+
+    def test_truncated_sizes_detected(self, small_image, tmp_path):
+        """Rewriting files to zero length flips the size KS check."""
+        result = materialize_image(small_image, DirectorySink(str(tmp_path / "img")))
+        for node in small_image.tree.files[: small_image.file_count // 2]:
+            path = os.path.join(str(tmp_path / "img"), node.path().lstrip("/"))
+            with open(path, "wb"):
+                pass
+        verification = result.verify(record=False)
+        by_name = {check.name: check for check in verification.checks}
+        assert not by_name["size_ks"].passed
+
+    def test_verification_recorded_in_report(self, small_config, tmp_path):
+        from repro.core.impressions import Impressions
+
+        image = Impressions(small_config).generate()
+        result = materialize_image(image, DirectorySink(str(tmp_path / "img")))
+        verification = result.verify(config=small_config)
+        recorded = image.report.derived["materialize_verification"]
+        assert recorded["passed"] is verification.passed
+        assert recorded["sink"] == "dir"
+        assert recorded["source"] == "imported"
+        assert recorded["checks"]["size_ks"] is True
+
+    def test_importer_sees_apparent_sizes(self, small_image, tmp_path):
+        """Sparse metadata-only files still round-trip their logical sizes."""
+        materialize_image(small_image, DirectorySink(str(tmp_path / "img")))
+        snapshot = import_directory_tree(str(tmp_path / "img"))
+        assert sorted(record.size for record in snapshot.files) == sorted(
+            small_image.tree.file_sizes()
+        )
+
+
+class TestNonDirectoryVerification:
+    def test_null_sink_verifies_against_image(self, small_image, small_config):
+        verification = materialize_image(small_image, NullSink()).verify(
+            config=small_config, record=False
+        )
+        assert verification.source == "image"
+        assert verification.passed
+
+    def test_tar_sink_verifies_against_image(self, small_image, small_config, tmp_path):
+        result = materialize_image(small_image, TarSink(str(tmp_path / "img.tar")))
+        verification = result.verify(config=small_config, record=False)
+        assert verification.source == "image"
+        assert verification.passed
+
+    def test_size_model_check_needs_config(self, small_image):
+        verification = materialize_image(small_image, NullSink()).verify(record=False)
+        assert "size_model_mdcc" not in {check.name for check in verification.checks}
+
+    def test_size_model_mdcc_tolerance_enforced(self, small_image, small_config):
+        result = materialize_image(small_image, NullSink())
+        strict = verify_round_trip(
+            small_image, result, config=small_config, size_mdcc_tolerance=1e-9
+        )
+        by_name = {check.name: check for check in strict.checks}
+        assert not by_name["size_model_mdcc"].passed
+
+    def test_result_without_image_rejected(self, small_image):
+        result = materialize_image(small_image, NullSink())
+        result._image = None
+        with pytest.raises(MaterializeError):
+            result.verify()
+
+
+class TestConstrainedImageRoundTrip:
+    def test_enforced_size_image_still_verifies(self, tmp_path):
+        """Constraint-resolved sizes stay within the (loose) MDCC gate."""
+        from repro.core.impressions import Impressions
+
+        config = ImpressionsConfig(
+            fs_size_bytes=16 * 1024 * 1024,
+            num_files=200,
+            num_directories=40,
+            seed=9,
+            enforce_fs_size=True,
+        )
+        image = Impressions(config).generate()
+        result = materialize_image(image, DirectorySink(str(tmp_path / "img")))
+        verification = result.verify(config=config, record=False)
+        assert verification.passed, verification.render_text()
