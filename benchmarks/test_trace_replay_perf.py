@@ -9,6 +9,12 @@ from repro.bench import trace_replay
 #: the replay hot path instead of per-block re-scans).
 ZIPF_OPS_PER_SECOND_BAR = 250_000
 
+#: A telemetry-enabled replay may cost at most this fraction of cold
+#: throughput (the obs hot path buffers latencies in plain lists and buckets
+#: them once at the end).  Single-round timing is noisy, so the ratio bar
+#: carries headroom beyond the documented 3% budget.
+OBS_OVERHEAD_RATIO_BAR = 1.25
+
 
 def test_trace_replay_throughput(benchmark, print_result, bench_json):
     scale = bench_scale(0.05)
@@ -34,6 +40,7 @@ def test_trace_replay_throughput(benchmark, print_result, bench_json):
                 name: entry["simulated_ms"] for name, entry in result["results"].items()
             },
             "warm_speedup_simulated": result["warm_speedup_simulated"],
+            "obs_overhead_ratio": result["obs_overhead_ratio"],
             "ops_per_second_bar": ZIPF_OPS_PER_SECOND_BAR,
         },
     )
@@ -42,3 +49,7 @@ def test_trace_replay_throughput(benchmark, print_result, bench_json):
     assert zipf["ops_per_second"] >= ZIPF_OPS_PER_SECOND_BAR
     # A warm cache must make the simulated replay cheaper.
     assert result["warm_speedup_simulated"] > 1.0
+    # Telemetry must not knock the instrumented replay below the same bar.
+    obs = result["results"]["zipf_cold_obs"]
+    assert obs["ops_per_second"] >= ZIPF_OPS_PER_SECOND_BAR
+    assert result["obs_overhead_ratio"] <= OBS_OVERHEAD_RATIO_BAR

@@ -70,7 +70,25 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument("--json", action="store_true", help="print a JSON summary")
-    run.add_argument("--quiet", action="store_true", help="suppress per-scenario progress")
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress per-scenario progress and heartbeats"
+    )
+    run.add_argument(
+        "--obs-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "observe the whole sweep: every scenario runs under telemetry, "
+            "per-worker snapshots merge into one parent snapshot written here"
+        ),
+    )
+    run.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between live progress beats on stderr (default: %(default)s)",
+    )
 
     lst = commands.add_parser("list", help="show a spec's expanded scenarios")
     lst.add_argument("spec", help="campaign spec (JSON file)")
@@ -147,6 +165,15 @@ def build_parser() -> argparse.ArgumentParser:
             "(by default an incomplete candidate fails the gate)"
         ),
     )
+    cmp_parser.add_argument(
+        "--obs",
+        action="store_true",
+        help=(
+            "treat STORE paths as telemetry artifacts (--obs-dir directories "
+            "or events.jsonl files) and diff their metric snapshots instead "
+            "of result stores"
+        ),
+    )
     cmp_parser.add_argument("--json", action="store_true", help="print the diff as JSON")
     return parser
 
@@ -154,6 +181,17 @@ def build_parser() -> argparse.ArgumentParser:
 def _run_run(args: argparse.Namespace) -> int:
     spec = CampaignSpec.load(args.spec)
     progress = None if (args.quiet or args.json) else lambda line: print(line)
+    # Live progress goes to stderr so --json keeps stdout machine-readable.
+    heartbeat = (
+        None
+        if args.quiet
+        else lambda event: print(event.render(), file=sys.stderr, flush=True)
+    )
+    telemetry = None
+    if args.obs_dir:
+        from repro import obs
+
+        telemetry = obs.Telemetry(run_id=f"campaign-{spec.name}")
     result = run_campaign(
         spec,
         args.store,
@@ -161,15 +199,28 @@ def _run_run(args: argparse.Namespace) -> int:
         force=args.force,
         cache_dir=args.cache_dir,
         progress=progress,
+        telemetry=telemetry,
+        heartbeat=heartbeat,
+        heartbeat_interval=args.heartbeat_interval,
     )
+    obs_paths = None
+    if telemetry is not None:
+        from repro import obs
+
+        obs_paths = obs.save(telemetry, args.obs_dir)
     if args.json:
-        print(json.dumps(result.as_dict(), sort_keys=True))
+        payload = result.as_dict()
+        if obs_paths is not None:
+            payload["obs"] = {"dir": args.obs_dir, "artifacts": obs_paths}
+        print(json.dumps(payload, sort_keys=True))
     else:
         print(
             f"campaign {result.campaign}: {len(result.executed)} scenario(s) executed, "
             f"{len(result.skipped)} skipped (already in {result.store_path}), "
             f"{result.wall_seconds:.2f} s"
         )
+        if obs_paths is not None:
+            print(f"telemetry written to {args.obs_dir} ({', '.join(sorted(obs_paths))})")
     return 0
 
 
@@ -216,7 +267,37 @@ def _run_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _compare_obs(args: argparse.Namespace, baseline_path: str, candidate_path: str) -> int:
+    """Diff two telemetry snapshots with the campaign comparison machinery."""
+    from repro.obs.export import compare_rows, read_events_jsonl, resolve_events_path
+
+    rows = []
+    for path in (baseline_path, candidate_path):
+        telemetry = read_events_jsonl(resolve_events_path(path))
+        rows.append(compare_rows(telemetry))
+    result = compare(rows[0], rows[1], tolerance=args.tolerance)
+    if args.json:
+        payload = result.as_dict()
+        payload["failed"] = result.has_regressions
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(result.render_text())
+    return 1 if result.has_regressions else 0
+
+
 def _run_compare(args: argparse.Namespace) -> int:
+    if args.obs:
+        if args.against_git:
+            raise SystemExit(
+                "impressions campaign compare: error: --obs cannot be combined "
+                "with --against-git (telemetry artifacts are not stored in git)"
+            )
+        if len(args.stores) != 2:
+            raise SystemExit(
+                "impressions campaign compare: error: --obs expects BASELINE "
+                "and CANDIDATE telemetry paths (obs dirs or events.jsonl files)"
+            )
+        return _compare_obs(args, *args.stores)
     if args.against_git:
         if len(args.stores) != 1:
             raise SystemExit(

@@ -44,6 +44,7 @@ under the ``materialize`` subcommand (:mod:`repro.materialize.cli`)::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import Sequence
@@ -52,6 +53,15 @@ from repro.content.generators import ContentPolicy
 from repro.core.config import GIB, ImpressionsConfig
 
 __all__ = ["main", "build_parser", "config_from_args", "add_config_arguments"]
+
+
+def obs_use_scope(telemetry):
+    """``obs.use(telemetry)`` or a no-op scope when telemetry is off."""
+    if telemetry is None:
+        return contextlib.nullcontext()
+    from repro import obs
+
+    return obs.use(telemetry)
 
 
 def add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -129,6 +139,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a machine-readable JSON summary instead of the text report",
     )
+    parser.add_argument(
+        "--obs-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "observe the run and write telemetry artifacts here: JSONL event "
+            "log, Chrome trace, Prometheus snapshot, text summary "
+            "(inspect with 'impressions obs summarize|export')"
+        ),
+    )
     return parser
 
 
@@ -186,6 +206,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.materialize.cli import main as materialize_main
 
         return materialize_main(list(argv[1:]))
+    if argv and argv[0] == "obs":
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -205,13 +229,29 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error(str(error))
             return 2  # pragma: no cover - parser.error raises SystemExit
     cache = StageCache(args.cache_dir) if args.cache_dir else None
-    result = pipeline.run(config, cache=cache)
-    image = result.image
-    summary = image.summary()
 
-    written: int | None = None
-    if args.materialize:
-        written = image.materialize(args.materialize)
+    telemetry = None
+    if args.obs_dir:
+        from repro import obs
+
+        telemetry = obs.Telemetry(run_id=f"generate-{config.fingerprint()[:12]}")
+    scope = obs_use_scope(telemetry)
+    with scope:
+        result = pipeline.run(config, cache=cache)
+        image = result.image
+        summary = image.summary()
+
+        written: int | None = None
+        if args.materialize:
+            written = image.materialize(args.materialize)
+
+    obs_paths: dict[str, str] | None = None
+    if telemetry is not None:
+        from repro import obs
+
+        if image.report is not None:
+            image.report.record_telemetry(obs.summary_dict(telemetry))
+        obs_paths = obs.save(telemetry, args.obs_dir)
 
     if args.json:
         # Machine-readable mode: one JSON document on stdout, nothing else —
@@ -230,6 +270,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             payload["report"] = image.report.to_dict()
         if written is not None:
             payload["materialized"] = {"path": args.materialize, "files": written}
+        if obs_paths is not None:
+            payload["obs"] = {"dir": args.obs_dir, "artifacts": obs_paths}
         print(json.dumps(payload, sort_keys=True, default=str))
         if args.report and image.report is not None:
             with open(args.report, "w", encoding="utf-8") as handle:
@@ -259,6 +301,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if written is not None:
         print(f"materialized {written} files under {args.materialize}")
+
+    if obs_paths is not None:
+        print(f"telemetry written to {args.obs_dir} ({', '.join(sorted(obs_paths))})")
 
     return 0
 

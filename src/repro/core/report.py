@@ -31,6 +31,8 @@ class ReproducibilityReport:
         phase_timings: seconds spent per generation phase (Table 6 rows).
         traces: per-trace replay statistics recorded against this image
             (op counts, simulated latencies, cache behaviour).
+        telemetry: the run's :mod:`repro.obs` summary (span totals and metric
+            series), when the run was observed.
     """
 
     seed: int
@@ -39,6 +41,7 @@ class ReproducibilityReport:
     derived: dict = field(default_factory=dict)
     phase_timings: dict = field(default_factory=dict)
     traces: dict = field(default_factory=dict)
+    telemetry: dict = field(default_factory=dict)
 
     def record_derived(self, key: str, value) -> None:
         self.derived[key] = value
@@ -50,6 +53,15 @@ class ReproducibilityReport:
         """Attach the replay statistics of one trace run to the report."""
         self.traces[name] = dict(stats)
 
+    def record_telemetry(self, summary: Mapping) -> None:
+        """Attach (or replace) the run's telemetry summary.
+
+        ``summary`` is the :func:`repro.obs.summary_dict` view — JSON-safe,
+        so the report still serialises cleanly.  Each call replaces the whole
+        section: callers fold the summary in once the run is complete.
+        """
+        self.telemetry = dict(summary)
+
     def to_dict(self) -> dict:
         out = {
             "seed": self.seed,
@@ -60,6 +72,8 @@ class ReproducibilityReport:
         }
         if self.traces:
             out["traces"] = {name: dict(stats) for name, stats in self.traces.items()}
+        if self.telemetry:
+            out["telemetry"] = dict(self.telemetry)
         return out
 
     def to_json(self, indent: int = 2) -> str:
@@ -94,4 +108,27 @@ class ReproducibilityReport:
                 operations = stats.get("operations", "?")
                 simulated = stats.get("simulated_ms", 0.0)
                 lines.append(f"  {name}: {operations} ops, {simulated:.1f} simulated ms")
+        if self.telemetry:
+            lines.append("")
+            lines.append("Telemetry:")
+            spans = self.telemetry.get("spans", {})
+            for name, stats in spans.items():
+                count = stats.get("count", 0)
+                wall = stats.get("wall_seconds", 0.0)
+                errors = stats.get("errors", 0)
+                suffix = f", {errors} error(s)" if errors else ""
+                lines.append(f"  span {name}: {count}x, {wall:.3f}s wall{suffix}")
+            metrics = self.telemetry.get("metrics", {})
+            for name, info in metrics.items():
+                for label_key, value in info.get("series", {}).items():
+                    label_part = "" if label_key == "{}" else label_key
+                    if info.get("kind") == "histogram":
+                        rendered = (
+                            f"count={value.get('count', 0)} "
+                            f"mean={value.get('mean', 0.0):.4g} "
+                            f"p95={value.get('p95', 0.0):.4g}"
+                        )
+                    else:
+                        rendered = f"{value}"
+                    lines.append(f"  {name}{label_part}: {rendered}")
         return "\n".join(lines)

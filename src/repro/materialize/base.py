@@ -30,6 +30,7 @@ generating config's size model (KS, chi-square and MDCC checks).
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import time
@@ -38,6 +39,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
+
+from repro.obs import core as obs_core
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.image import FileSystemImage
@@ -464,6 +467,7 @@ def materialize_image(
     *,
     order: str = ORDER_NAMESPACE,
     write_content: bool | None = None,
+    telemetry: "obs_core.Telemetry | None" = None,
 ) -> MaterializeResult:
     """Stream ``image`` through ``sink`` and return the typed result.
 
@@ -474,11 +478,22 @@ def materialize_image(
         write_content: generate content bytes (default: only if the image has
             a content generator).  Forced off for sinks that cannot persist
             content (:attr:`MaterializationSink.writes_content`).
+        telemetry: optional :class:`repro.obs.Telemetry`; defaults to the
+            context-bound one (:func:`repro.obs.current`).  When set, each
+            phase (begin / directories / files / finalize) becomes a span and
+            entry/byte/per-job write counters are recorded.
 
     Raises:
         MaterializeError: content requested without a content generator, or
             an unknown / unsupported ordering.
     """
+    tele = telemetry if telemetry is not None else obs_core.current()
+
+    def phase_span(phase: str):
+        if tele is None:
+            return contextlib.nullcontext()
+        return tele.span(f"materialize.{phase}", sink=sink.name, phase=phase)
+
     if write_content is None:
         write_content = image.content_generator is not None
     if write_content and image.content_generator is None:
@@ -496,48 +511,58 @@ def materialize_image(
         total_bytes=tree.total_bytes,
     )
 
-    phase_seconds: dict[str, float] = {}
-    start = time.perf_counter()
-    sink.begin(image, plan)
-    phase_seconds["begin"] = time.perf_counter() - start
+    root_span = (
+        tele.span("materialize", sink=sink.name, order=order)
+        if tele is not None
+        else contextlib.nullcontext()
+    )
+    with root_span:
+        phase_seconds: dict[str, float] = {}
+        start = time.perf_counter()
+        with phase_span("begin"):
+            sink.begin(image, plan)
+        phase_seconds["begin"] = time.perf_counter() - start
 
-    start = time.perf_counter()
-    directory_digests: list[bytes] = []
-    for directory in directories:
-        relpath = _relpath(directory.path())
-        sink.add_directory(directory, relpath)
-        directory_digests.append(
-            hashlib.sha256(
-                json.dumps(
-                    {"format": MATERIALIZE_FORMAT_VERSION, "dir": relpath},
-                    sort_keys=True,
-                    separators=(",", ":"),
-                ).encode("utf-8")
-            ).digest()
-        )
-    phase_seconds["directories"] = time.perf_counter() - start
+        start = time.perf_counter()
+        directory_digests: list[bytes] = []
+        with phase_span("directories"):
+            for directory in directories:
+                relpath = _relpath(directory.path())
+                sink.add_directory(directory, relpath)
+                directory_digests.append(
+                    hashlib.sha256(
+                        json.dumps(
+                            {"format": MATERIALIZE_FORMAT_VERSION, "dir": relpath},
+                            sort_keys=True,
+                            separators=(",", ":"),
+                        ).encode("utf-8")
+                    ).digest()
+                )
+        phase_seconds["directories"] = time.perf_counter() - start
 
-    start = time.perf_counter()
-    streams = [
-        FileStream(image, node, _relpath(node.path()), effective_content) for node in files
-    ]
-    for stream in streams:
-        sink.add_file(stream)
-    phase_seconds["files"] = time.perf_counter() - start
+        start = time.perf_counter()
+        streams = [
+            FileStream(image, node, _relpath(node.path()), effective_content) for node in files
+        ]
+        with phase_span("files"):
+            for stream in streams:
+                sink.add_file(stream)
+        phase_seconds["files"] = time.perf_counter() - start
 
-    start = time.perf_counter()
-    extras = sink.finalize() or {}
-    # Combine per-entry digests in file_id order — independent of the stream
-    # order and of any write parallelism inside the sink, so every sink (and
-    # every --jobs setting) reports the same digest for the same image+mode.
-    combined = hashlib.sha256()
-    for digest in directory_digests:
-        combined.update(digest)
-    for stream in sorted(streams, key=lambda s: s.node.file_id):
-        combined.update(bytes.fromhex(stream.ensure_digest()))
-    phase_seconds["finalize"] = time.perf_counter() - start
+        start = time.perf_counter()
+        with phase_span("finalize"):
+            extras = sink.finalize() or {}
+        # Combine per-entry digests in file_id order — independent of the stream
+        # order and of any write parallelism inside the sink, so every sink (and
+        # every --jobs setting) reports the same digest for the same image+mode.
+        combined = hashlib.sha256()
+        for digest in directory_digests:
+            combined.update(digest)
+        for stream in sorted(streams, key=lambda s: s.node.file_id):
+            combined.update(bytes.fromhex(stream.ensure_digest()))
+        phase_seconds["finalize"] = time.perf_counter() - start
 
-    return MaterializeResult(
+    result = MaterializeResult(
         sink=sink.name,
         path=extras.pop("path", None),
         order=order,
@@ -550,3 +575,33 @@ def materialize_image(
         extras=extras,
         _image=image,
     )
+    if tele is not None:
+        _record_materialize_telemetry(tele, result)
+    return result
+
+
+def _record_materialize_telemetry(
+    tele: "obs_core.Telemetry", result: MaterializeResult
+) -> None:
+    entries = tele.counter(
+        "materialize_entries_total",
+        "entries streamed through a materialization sink",
+        labels=("sink", "kind"),
+    )
+    entries.inc(result.files, sink=result.sink, kind="file")
+    entries.inc(result.directories, sink=result.sink, kind="directory")
+    tele.counter(
+        "materialize_bytes_total",
+        "logical bytes over all streamed files",
+        labels=("sink",),
+    ).inc(result.total_bytes, sink=result.sink)
+    per_job = result.extras.get("per_job_files")
+    if not isinstance(per_job, dict):
+        per_job = {"0": result.files} if result.files else {}
+    job_files = tele.counter(
+        "materialize_job_files_total",
+        "files written per sink worker job",
+        labels=("sink", "job"),
+    )
+    for job, count in sorted(per_job.items()):
+        job_files.inc(int(count), sink=result.sink, job=str(job))

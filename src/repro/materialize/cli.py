@@ -85,6 +85,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--json", action="store_true", help="print a machine-readable summary")
     parser.add_argument("--quiet", action="store_true", help="only print the result line")
+    parser.add_argument(
+        "--obs-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "observe generation + materialization and write telemetry "
+            "artifacts into this directory"
+        ),
+    )
     return parser
 
 
@@ -104,18 +113,36 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2  # pragma: no cover - parser.error raises SystemExit
 
     cache = StageCache(args.cache_dir) if args.cache_dir else None
-    image = default_pipeline().run(config, cache=cache).image
 
-    try:
-        sink = build_sink(args.sink, args.out, jobs=args.jobs)
-        result = materialize_image(
-            image,
-            sink,
-            order=args.order,
-            write_content=False if args.no_content else None,
-        )
-    except MaterializeError as error:
-        raise SystemExit(f"impressions materialize: error: {error}")
+    from repro.core.cli import obs_use_scope
+
+    telemetry = None
+    if args.obs_dir:
+        from repro import obs
+
+        telemetry = obs.Telemetry(run_id=f"materialize-{config.fingerprint()[:12]}")
+
+    with obs_use_scope(telemetry):
+        image = default_pipeline().run(config, cache=cache).image
+
+        try:
+            sink = build_sink(args.sink, args.out, jobs=args.jobs)
+            result = materialize_image(
+                image,
+                sink,
+                order=args.order,
+                write_content=False if args.no_content else None,
+            )
+        except MaterializeError as error:
+            raise SystemExit(f"impressions materialize: error: {error}")
+
+    obs_paths = None
+    if telemetry is not None:
+        from repro import obs
+
+        if image.report is not None:
+            image.report.record_telemetry(obs.summary_dict(telemetry))
+        obs_paths = obs.save(telemetry, args.obs_dir)
 
     verification = result.verify(config=config) if args.verify else None
 
@@ -126,6 +153,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         }
         if verification is not None:
             payload["verification"] = verification.as_dict()
+        if obs_paths is not None:
+            payload["obs"] = {"dir": args.obs_dir, "artifacts": obs_paths}
         print(json.dumps(payload, sort_keys=True, default=str))
     else:
         target = f" -> {result.path}" if result.path else ""
@@ -142,6 +171,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"{name}={seconds:.3f}s" for name, seconds in result.phase_seconds.items()
             )
             print(f"phases: {phases}")
+        if obs_paths is not None:
+            print(f"telemetry written to {args.obs_dir} ({', '.join(sorted(obs_paths))})")
         if verification is not None:
             print(verification.render_text())
     return 0 if verification is None or verification.passed else 1

@@ -79,8 +79,8 @@ def _directory_worker_init(payload: bytes) -> None:
     _WORKER["image"], _WORKER["root"], _WORKER["write_content"] = pickle.loads(payload)
 
 
-def _directory_worker_batch(file_ids: list[int]) -> list[tuple[int, str]]:
-    """Write one batch of files in a worker; return their entry digests."""
+def _directory_worker_batch(file_ids: list[int]) -> tuple[int, list[tuple[int, str]]]:
+    """Write one batch of files in a worker; return (worker pid, entry digests)."""
     image: "FileSystemImage" = _WORKER["image"]
     root: str = _WORKER["root"]
     write_content: bool = _WORKER["write_content"]
@@ -91,7 +91,7 @@ def _directory_worker_batch(file_ids: list[int]) -> list[tuple[int, str]]:
         stream = FileStream(image, node, node.path().lstrip("/"), write_content)
         _write_file_entry(root, stream)
         out.append((file_id, stream.ensure_digest()))
-    return out
+    return os.getpid(), out
 
 
 class DirectorySink(MaterializationSink):
@@ -121,11 +121,15 @@ class DirectorySink(MaterializationSink):
         self._image: "FileSystemImage | None" = None
         self._plan: MaterializationPlan | None = None
         self._pending: list[FileStream] = []
+        self._serial_files = 0
+        self._per_job_files: dict[str, int] = {}
 
     def begin(self, image: "FileSystemImage", plan: MaterializationPlan) -> None:
         self._image = image
         self._plan = plan
         self._pending = []
+        self._serial_files = 0
+        self._per_job_files = {}
         os.makedirs(self.root_path, exist_ok=True)
 
     def add_directory(self, directory: "DirectoryNode", relpath: str) -> None:
@@ -138,6 +142,7 @@ class DirectorySink(MaterializationSink):
             self._pending.append(stream)
         else:
             _write_file_entry(self.root_path, stream)
+            self._serial_files += 1
 
     def finalize(self) -> dict:
         assert self._image is not None and self._plan is not None
@@ -150,7 +155,13 @@ class DirectorySink(MaterializationSink):
                     os.path.join(self.root_path, dirpath.lstrip("/") or "."),
                     (accessed, modified),
                 )
-        return {"path": self.root_path, "jobs": workers_used}
+        per_job = self._per_job_files or (
+            {"0": self._serial_files} if self._serial_files else {}
+        )
+        extras = {"path": self.root_path, "jobs": workers_used}
+        if per_job:
+            extras["per_job_files"] = per_job
+        return extras
 
     def _write_parallel(self, streams: list[FileStream]) -> int:
         workers = min(self.jobs, max(1, len(streams)))
@@ -163,12 +174,19 @@ class DirectorySink(MaterializationSink):
         by_id = {stream.node.file_id: stream for stream in streams}
         ids = [stream.node.file_id for stream in streams]
         batches = [ids[i : i + batch_size] for i in range(0, len(ids), batch_size)]
+        files_by_pid: dict[int, int] = {}
         with ProcessPoolExecutor(
             max_workers=workers, initializer=_directory_worker_init, initargs=(payload,)
         ) as pool:
-            for results in pool.map(_directory_worker_batch, batches):
+            for pid, results in pool.map(_directory_worker_batch, batches):
+                files_by_pid[pid] = files_by_pid.get(pid, 0) + len(results)
                 for file_id, hexdigest in results:
                     by_id[file_id].set_digest(hexdigest)
+        # Stable job indices (sorted pid order) so two runs with the same
+        # worker count produce comparable label sets.
+        self._per_job_files = {
+            str(index): files_by_pid[pid] for index, pid in enumerate(sorted(files_by_pid))
+        }
         return workers
 
 

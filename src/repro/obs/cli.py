@@ -1,0 +1,156 @@
+"""``impressions obs`` — inspect, re-export and diff telemetry artifacts.
+
+Works on the canonical JSONL event log an ``--obs-dir`` run wrote (a
+directory containing ``events.jsonl`` or the file itself)::
+
+    impressions obs summarize out/obs
+    impressions obs export out/obs --format chrome --out trace.json
+    impressions obs export out/obs --format prom
+    impressions obs compare baseline/obs candidate/obs --tolerance 0.1
+
+``compare`` reuses the campaign comparison machinery
+(:func:`repro.campaign.report.compare`): each metric series becomes a row,
+histograms expand to count/mean/p95 leaves, and the usual suffix rules
+(``_ms`` lower-is-better, ``_ops_s`` higher-is-better, …) classify changes
+as regressions / improvements / drift.  Exit code 1 on regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.obs.core import TelemetryError
+from repro.obs.export import (
+    chrome_trace,
+    compare_rows,
+    prometheus_text,
+    read_events_jsonl,
+    render_text,
+    resolve_events_path,
+    summary_dict,
+    write_events_jsonl,
+)
+
+__all__ = ["main", "build_parser"]
+
+EXPORT_FORMATS = ("jsonl", "chrome", "prom")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="impressions obs",
+        description="Inspect, re-export and diff telemetry written by --obs-dir runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summarize = sub.add_parser(
+        "summarize", help="human or JSON summary of one telemetry event log"
+    )
+    summarize.add_argument("path", help="obs directory or events.jsonl file")
+    summarize.add_argument(
+        "--json", action="store_true", help="print the summary as a JSON document"
+    )
+
+    export = sub.add_parser(
+        "export", help="re-derive an artifact format from the event log"
+    )
+    export.add_argument("path", help="obs directory or events.jsonl file")
+    export.add_argument(
+        "--format",
+        choices=EXPORT_FORMATS,
+        default="jsonl",
+        help=(
+            "jsonl: canonical event log; chrome: trace_event JSON for "
+            "chrome://tracing / Perfetto; prom: Prometheus text exposition"
+        ),
+    )
+    export.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write here instead of stdout",
+    )
+
+    compare = sub.add_parser(
+        "compare",
+        help="diff two runs' metric snapshots (counters, gauges, histogram summaries)",
+    )
+    compare.add_argument("baseline", help="obs directory or events.jsonl of the reference run")
+    compare.add_argument("candidate", help="same, for the run under test")
+    compare.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="allowed relative change before a metric is flagged (default 0.05)",
+    )
+    compare.add_argument("--json", action="store_true", help="JSON comparison document")
+    return parser
+
+
+def _load(path: str):
+    return read_events_jsonl(resolve_events_path(path))
+
+
+def _run_summarize(args: argparse.Namespace) -> int:
+    telemetry = _load(args.path)
+    if args.json:
+        print(json.dumps(summary_dict(telemetry), sort_keys=True, default=str))
+    else:
+        print(render_text(telemetry))
+    return 0
+
+
+def _run_export(args: argparse.Namespace) -> int:
+    telemetry = _load(args.path)
+    if args.format == "jsonl":
+        if args.out:
+            write_events_jsonl(telemetry, args.out)
+        else:
+            write_events_jsonl(telemetry, sys.stdout)
+        return 0
+    if args.format == "chrome":
+        document = json.dumps(chrome_trace(telemetry), sort_keys=True)
+    else:
+        document = prometheus_text(telemetry)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(document)
+            if not document.endswith("\n"):
+                handle.write("\n")
+    else:
+        print(document)
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    from repro.campaign.report import compare
+
+    baseline = compare_rows(_load(args.baseline))
+    candidate = compare_rows(_load(args.candidate))
+    result = compare(baseline, candidate, tolerance=args.tolerance)
+    if args.json:
+        print(json.dumps(result.as_dict(), sort_keys=True, default=str))
+    else:
+        print(result.render_text())
+    return 1 if result.has_regressions else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        if args.command == "summarize":
+            return _run_summarize(args)
+        if args.command == "export":
+            return _run_export(args)
+        return _run_compare(args)
+    except (OSError, TelemetryError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -77,18 +77,31 @@ def _run_inspect(args: argparse.Namespace) -> int:
                 cache_safe and not row["post_generation"] and cache.has(row["fingerprint"])
             )
 
+    cache_info = None
+    if cache is not None:
+        cache_info = _cache_section(args.cache_dir, cache, rows, cache_safe)
+
     if args.json:
         payload = {
             "config_fingerprint": config.fingerprint(),
             "cache_safe": cache_safe,
             "stages": rows,
         }
+        if cache_info is not None:
+            payload["cache"] = cache_info
         print(json.dumps(payload, sort_keys=True, default=str))
         return 0
 
     print(f"pipeline for config {config.fingerprint()[:12]} ({len(rows)} stages)")
     if not cache_safe:
         print("note: config carries model overrides outside the knob view; cache disabled")
+    if cache_info is not None:
+        resume = cache_info["resume_from"] or "nothing cached — full run"
+        print(
+            f"cache: {cache_info['entries']} entr(y/ies) in {args.cache_dir}; "
+            f"a run would restore {cache_info['stages_restored_on_run']} stage(s) "
+            f"and execute {cache_info['stages_executed_on_run']} (resume from: {resume})"
+        )
     for row in rows:
         arrow = f"{', '.join(row['requires']) or '-'} -> {', '.join(row['provides']) or '-'}"
         flags = []
@@ -101,6 +114,53 @@ def _run_inspect(args: argparse.Namespace) -> int:
         if row["config_knobs"]:
             print(f"  {'':22s} knobs: {', '.join(row['config_knobs'])}")
     return 0
+
+
+def _cache_section(cache_dir: str, cache: StageCache, rows: list, cache_safe: bool) -> dict:
+    """Predicted cache behaviour for a run of this config.
+
+    Mirrors the runner's resume probe: fingerprints are chained, so the
+    deepest cached generation stage restores everything before it in one hit.
+    """
+    generation = [row for row in rows if not row["post_generation"]]
+    cached_names = [row["name"] for row in generation if row.get("cached")]
+    # The probe walks cacheable stages deepest-first, one load per stage
+    # until the first hit; a hit restores that stage and everything before it.
+    probe_hits = 0
+    probe_misses = 0
+    resume_from = None
+    restored = 0
+    if cache_safe:
+        for index in reversed(range(len(generation))):
+            row = generation[index]
+            if not row["cacheable"]:
+                continue
+            if row.get("cached"):
+                probe_hits = 1
+                resume_from = row["name"]
+                restored = index + 1
+                break
+            probe_misses += 1
+    executed = len(generation) - restored
+    stores = (
+        sum(1 for row in generation[restored:] if row["cacheable"]) if cache_safe else 0
+    )
+    return {
+        "dir": cache_dir,
+        "entries": cache.entry_count(),
+        "cached_stages": cached_names,
+        "resume_from": resume_from,
+        "stages_restored_on_run": restored,
+        "stages_executed_on_run": executed,
+        # Counter deltas a run of this config would record on cache.stats.
+        "predicted_stats": {
+            "hits": probe_hits,
+            "misses": probe_misses,
+            "restored_stages": restored,
+            "stores": stores,
+        },
+        "stats": cache.stats.as_dict(),
+    }
 
 
 def _run_stages(args: argparse.Namespace) -> int:

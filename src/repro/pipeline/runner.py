@@ -22,6 +22,7 @@ image (used by the golden-equivalence test and the CI cache smoke job).
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import time
@@ -30,6 +31,7 @@ from typing import Callable, Iterable, Sequence
 
 from repro.core.config import ImpressionsConfig
 from repro.core.image import FileSystemImage
+from repro.obs import core as obs_core
 from repro.pipeline.cache import StageCache, config_cache_safe
 from repro.pipeline.context import GenerationContext
 from repro.pipeline.stage import Stage, StageWiringError
@@ -224,6 +226,7 @@ class Pipeline:
         *,
         cache: StageCache | None = None,
         progress: Callable[[str], None] | None = None,
+        telemetry: "obs_core.Telemetry | None" = None,
     ) -> PipelineResult:
         """Run every stage and return the result bundle.
 
@@ -233,7 +236,50 @@ class Pipeline:
                 identity exceeds the knob view (see
                 :func:`~repro.pipeline.cache.config_cache_safe`).
             progress: optional callback receiving one line per stage.
+            telemetry: optional :class:`repro.obs.Telemetry`; defaults to the
+                context-bound one (:func:`repro.obs.current`), so a
+                ``with obs.use(...)`` around the call observes the run.  When
+                set, every stage becomes a span (``cached`` marked), cache
+                events become counters and the run binds the telemetry for
+                post stages (replay, materialize) to pick up.
         """
+        tele = telemetry if telemetry is not None else obs_core.current()
+        if tele is None:
+            return self._run(config, cache=cache, progress=progress, telemetry=None)
+        with obs_core.use(tele):
+            return self._run(config, cache=cache, progress=progress, telemetry=tele)
+
+    def _run(
+        self,
+        config: ImpressionsConfig,
+        *,
+        cache: StageCache | None,
+        progress: Callable[[str], None] | None,
+        telemetry: "obs_core.Telemetry | None",
+    ) -> PipelineResult:
+        tele = telemetry
+        if tele is None:
+            return self._run_stages(config, cache=cache, progress=progress, telemetry=None)
+        with tele.span("pipeline", stages=str(len(self.stages))):
+            result = self._run_stages(config, cache=cache, progress=progress, telemetry=tele)
+        # Fold the summary in only after the root span closed, so the report
+        # sees the pipeline span's real duration.
+        report = result.image.report
+        if report is not None:
+            from repro.obs.export import summary_dict
+
+            report.record_telemetry(summary_dict(tele))
+        return result
+
+    def _run_stages(
+        self,
+        config: ImpressionsConfig,
+        *,
+        cache: StageCache | None,
+        progress: Callable[[str], None] | None,
+        telemetry: "obs_core.Telemetry | None",
+    ) -> PipelineResult:
+        tele = telemetry
         context = GenerationContext.create(config)
         generation = [stage for stage in self.stages if not stage.post_generation]
         post = [stage for stage in self.stages if stage.post_generation]
@@ -245,16 +291,21 @@ class Pipeline:
         # Resume from the deepest cached generation stage, if any.
         stage_timings: dict[str, float] = {}
         resume_index = -1
+        cache_stats_before = dict(cache.stats.as_dict()) if use_cache else {}
         if use_cache:
             assert cache is not None
-            for index in reversed(range(len(generation))):
-                if not generation[index].cacheable:
-                    continue
-                state = cache.load(generation_fps[index])
-                if state is not None:
-                    stage_timings.update(context.restore(state))
-                    resume_index = index
-                    break
+            probe_span = (
+                tele.span("cache_probe") if tele is not None else contextlib.nullcontext()
+            )
+            with probe_span:
+                for index in reversed(range(len(generation))):
+                    if not generation[index].cacheable:
+                        continue
+                    state = cache.load(generation_fps[index])
+                    if state is not None:
+                        stage_timings.update(context.restore(state))
+                        resume_index = index
+                        break
 
         executions: list[StageExecution] = []
         stores = 0
@@ -265,23 +316,51 @@ class Pipeline:
                 executions.append(
                     StageExecution(stage.name, generation_fps[index], seconds, True, False)
                 )
+                if tele is not None:
+                    # Zero-duration marker span: the stage was restored, not run.
+                    with tele.span(stage.name, stage=stage.name, cached="true",
+                                   phase="generation"):
+                        pass
+                    tele.counter(
+                        "pipeline_stages_total",
+                        "pipeline stages by outcome",
+                        labels=("stage", "outcome"),
+                    ).inc(stage=stage.name, outcome="cached")
                 if progress:
                     progress(f"cached {stage.name} ({generation_fps[index][:12]})")
                 continue
+            stage_span = (
+                tele.span(stage.name, stage=stage.name, cached="false", phase="generation")
+                if tele is not None
+                else contextlib.nullcontext()
+            )
             start = time.perf_counter()
-            stage.run(context)
-            context.provide(*stage.provides)
+            with stage_span:
+                stage.run(context)
+                context.provide(*stage.provides)
             seconds = time.perf_counter() - start
             stage_timings[stage.name] = seconds
             self._record_timing(context, stage.name, seconds)
             executions.append(
                 StageExecution(stage.name, generation_fps[index], seconds, False, False)
             )
+            if tele is not None:
+                tele.counter(
+                    "pipeline_stages_total",
+                    "pipeline stages by outcome",
+                    labels=("stage", "outcome"),
+                ).inc(stage=stage.name, outcome="run")
             if progress:
                 progress(f"run    {stage.name} ({seconds:.3f}s)")
             if use_cache and stage.cacheable:
                 assert cache is not None
-                cache.store(generation_fps[index], context.snapshot(stage_timings))
+                store_span = (
+                    tele.span("cache_store", stage=stage.name)
+                    if tele is not None
+                    else contextlib.nullcontext()
+                )
+                with store_span:
+                    cache.store(generation_fps[index], context.snapshot(stage_timings))
                 stores += 1
 
         image = self._assemble(context, executions)
@@ -296,19 +375,71 @@ class Pipeline:
 
         for offset, stage in enumerate(post):
             fingerprint = fingerprints[len(generation) + offset]
+            stage_span = (
+                tele.span(stage.name, stage=stage.name, cached="false", phase="post")
+                if tele is not None
+                else contextlib.nullcontext()
+            )
             start = time.perf_counter()
-            stage.run(context)
+            with stage_span:
+                stage.run(context)
             seconds = time.perf_counter() - start
             executions.append(StageExecution(stage.name, fingerprint, seconds, False, True))
+            if tele is not None:
+                tele.counter(
+                    "pipeline_stages_total",
+                    "pipeline stages by outcome",
+                    labels=("stage", "outcome"),
+                ).inc(stage=stage.name, outcome="run")
             if progress:
                 progress(f"run    {stage.name} ({seconds:.3f}s)")
         if post:
             # Refresh the recorded view now that post stages added executions
             # and possibly metrics.
             image.extras["pipeline"] = result.as_dict()
+
+        if tele is not None:
+            self._record_telemetry(
+                tele, result, cache if use_cache else None, cache_stats_before
+            )
         return result
 
     # Internals ------------------------------------------------------------------
+
+    @staticmethod
+    def _record_telemetry(
+        tele: "obs_core.Telemetry",
+        result: PipelineResult,
+        cache: StageCache | None,
+        cache_stats_before: dict,
+    ) -> None:
+        """Fold run-level counters/gauges and the report summary in."""
+        events = tele.counter(
+            "pipeline_cache_events_total",
+            "stage cache events (probe hits/misses, stores, corrupt evictions)",
+            labels=("event",),
+        )
+        if cache is not None:
+            for event, value in cache.stats.as_dict().items():
+                delta = value - cache_stats_before.get(event, 0)
+                if delta > 0:
+                    events.inc(delta, event=event)
+        # Restored generation stages (the resume depth) — distinct from probe
+        # hits: one probe hit can restore several upstream stages at once.
+        if result.cache_hits:
+            events.inc(result.cache_hits, event="restored_stages")
+
+        report = result.image.report
+        derived = report.derived if report is not None else {}
+        gauges = (
+            ("image_files", "files in the generated image", "file_count"),
+            ("image_directories", "directories in the generated image", "directory_count"),
+            ("image_bytes", "total apparent bytes in the image", "total_bytes"),
+            ("image_layout_score", "achieved layout score", "layout_score"),
+        )
+        for name, help_text, key in gauges:
+            if key in derived:
+                tele.gauge(name, help_text).set(float(derived[key]))
 
     @staticmethod
     def _record_timing(context: GenerationContext, name: str, seconds: float) -> None:

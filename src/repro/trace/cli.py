@@ -98,6 +98,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="standalone disk size (blocks) when no image is requested",
     )
     replay.add_argument("--quiet", action="store_true", help="only print the summary line")
+    replay.add_argument(
+        "--obs-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "observe the replay and write telemetry artifacts (event log, "
+            "Chrome trace, Prometheus snapshot, summary) into this directory"
+        ),
+    )
     _add_image_arguments(replay)
 
     age = commands.add_parser("age", help="age an image to a target layout score")
@@ -217,15 +226,35 @@ def _run_replay(args: argparse.Namespace) -> int:
     else:
         trace = OperationTrace.load(args.trace)
 
-    image = _generate_image(args) if _image_requested(args) else None
-    replayer = TraceReplayer(image, disk_blocks=args.disk_blocks)
-    if args.warm_cache:
-        replayer.warm_cache()
-    result = replayer.replay(trace)
+    telemetry = None
+    if args.obs_dir:
+        from repro import obs
+
+        telemetry = obs.Telemetry(run_id="trace-replay")
+
+    from repro.core.cli import obs_use_scope
+
+    with obs_use_scope(telemetry):
+        image = _generate_image(args) if _image_requested(args) else None
+        replayer = TraceReplayer(image, disk_blocks=args.disk_blocks)
+        if args.warm_cache:
+            replayer.warm_cache()
+        result = replayer.replay(trace)
 
     if image is not None and image.report is not None:
         image.report.record_trace(
             trace.metadata.get("synthesizer", "trace"), result.as_dict()
+        )
+
+    if telemetry is not None:
+        from repro import obs
+
+        if image is not None and image.report is not None:
+            image.report.record_telemetry(obs.summary_dict(telemetry))
+        paths = obs.save(telemetry, args.obs_dir)
+        print(
+            f"telemetry written to {args.obs_dir} ({', '.join(sorted(paths))})",
+            file=sys.stderr,
         )
 
     print(

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 from repro.core.image import FileSystemImage
 from repro.layout.disk import AllocationError, DiskGeometry, DoubleFreeError, SimulatedDisk
+from repro.obs import core as obs_core
 from repro.trace.ops import Operation, OperationTrace
 from repro.workloads.cache import BufferCache
 
@@ -164,6 +165,12 @@ class TraceReplayer:
         disk_blocks: size of the standalone disk when ``image`` is None.
         strict: raise on inconsistent operations (create of an existing path,
             delete/read of a missing one) instead of counting them as skipped.
+        telemetry: optional :class:`repro.obs.Telemetry`; when omitted,
+            :meth:`replay` picks up the context-bound one
+            (:func:`repro.obs.current`) at call time.  Observation adds a
+            per-op-class latency histogram, op/byte/cache counters and
+            throughput gauges; with no telemetry bound the hot path is
+            untouched.
     """
 
     def __init__(
@@ -174,6 +181,7 @@ class TraceReplayer:
         cost_model: ReplayCostModel | None = None,
         disk_blocks: int = 262_144,
         strict: bool = False,
+        telemetry: "obs_core.Telemetry | None" = None,
     ) -> None:
         if image is not None and image.disk is not None:
             self._disk = image.disk
@@ -194,6 +202,7 @@ class TraceReplayer:
         self._skipped = 0
         self._simulated_ms = 0.0
         self._max_batch = -1
+        self._telemetry = telemetry
 
     @property
     def disk(self) -> SimulatedDisk:
@@ -216,18 +225,156 @@ class TraceReplayer:
 
     def replay(self, trace: OperationTrace) -> ReplayResult:
         """Execute every operation of ``trace`` and return the statistics."""
+        tele = self._telemetry if self._telemetry is not None else obs_core.current()
         score_before = self._image_layout_score()
         execute = self.execute
-        start = time.perf_counter()
-        for operation in trace:
-            execute(operation)
-        wall = time.perf_counter() - start
+        if tele is None:
+            start = time.perf_counter()
+            for operation in trace:
+                execute(operation)
+            wall = time.perf_counter() - start
+        else:
+            # Observed replay.  The timed region is a single C-level
+            # ``list(map(execute, ...))`` — the only per-op cost over the
+            # unobserved loop is building the latency list — and everything
+            # per-kind (samples, skipped counts, byte totals) is reconstructed
+            # afterwards from the latency list plus the accumulator-row deltas
+            # ``execute`` maintains anyway.  ``execute`` itself stays
+            # untouched, so the unobserved path pays nothing.
+            metadata = getattr(trace, "metadata", None) or {}
+            trace_label = str(metadata.get("synthesizer") or metadata.get("name") or "trace")
+            rows_before = {
+                kind: (row[_SKIPPED], row[_BYTES]) for kind, row in self._rows.items()
+            }
+            hits_before = self._cache.hits
+            misses_before = self._cache.misses
+            with tele.span("trace_replay", trace=trace_label):
+                start = time.perf_counter()
+                latencies = list(map(execute, trace))
+                wall = time.perf_counter() - start
+                samples, skipped_by_kind, bytes_by_kind = self._regroup_samples(
+                    trace, latencies, rows_before
+                )
         result = self.result()
         result.wall_seconds = wall
         result.layout_score_before = score_before
         result.layout_score_after = self._image_layout_score()
         self._record_image_timing(wall)
+        if tele is not None:
+            self._record_telemetry(
+                tele,
+                result,
+                samples,
+                skipped_by_kind,
+                bytes_by_kind,
+                hits=self._cache.hits - hits_before,
+                misses=self._cache.misses - misses_before,
+            )
         return result
+
+    def _regroup_samples(
+        self,
+        trace: OperationTrace,
+        latencies: list[float],
+        rows_before: dict[str, tuple[int, int]],
+    ) -> tuple[dict[str, list[float]], dict[str, int], dict[str, int]]:
+        """Split the flat latency list into executed per-kind samples.
+
+        ``execute`` returns 0.0 for (and only assigns a latency to) executed
+        operations, so the executed sample multiset for a kind is its latency
+        list minus one 0.0 entry per skipped operation — and zeros are
+        interchangeable, so dropping *any* ``skipped`` zeros is exact even if
+        a custom cost model priced some executed operation at 0.0.  Skipped
+        and byte tallies come from the accumulator-row deltas.
+        """
+        samples: dict[str, list[float]] = {}
+        for operation, latency in zip(trace, latencies):
+            kind = operation.kind
+            bucket = samples.get(kind)
+            if bucket is None:
+                bucket = samples[kind] = []
+            bucket.append(latency)
+        skipped_by_kind: dict[str, int] = {}
+        bytes_by_kind: dict[str, int] = {}
+        for kind, row in self._rows.items():
+            skipped_before, bytes_before = rows_before.get(kind, (0, 0))
+            skipped = row[_SKIPPED] - skipped_before
+            if skipped:
+                skipped_by_kind[kind] = skipped
+            moved = row[_BYTES] - bytes_before
+            if moved:
+                bytes_by_kind[kind] = moved
+        for kind, skipped in skipped_by_kind.items():
+            values = samples.get(kind)
+            if not values:
+                continue
+            kept: list[float] = []
+            to_drop = skipped
+            for value in values:
+                if to_drop and value == 0.0:
+                    to_drop -= 1
+                else:
+                    kept.append(value)
+            if kept:
+                samples[kind] = kept
+            else:
+                del samples[kind]
+        return samples, skipped_by_kind, bytes_by_kind
+
+    def _record_telemetry(
+        self,
+        tele: "obs_core.Telemetry",
+        result: ReplayResult,
+        samples: dict[str, list[float]],
+        skipped_by_kind: dict[str, int],
+        bytes_by_kind: dict[str, int],
+        *,
+        hits: int,
+        misses: int,
+    ) -> None:
+        """Fold one observed replay into the telemetry object."""
+        histogram = tele.histogram(
+            "replay_op_latency_ms",
+            "simulated per-operation latency",
+            labels=("op_class",),
+            unit="ms",
+        )
+        for kind in sorted(samples):
+            histogram.labels(op_class=kind).observe_many(samples[kind])
+        ops = tele.counter(
+            "replay_ops_total",
+            "replayed operations by class and outcome",
+            labels=("op_class", "outcome"),
+        )
+        for kind in sorted(samples):
+            ops.inc(len(samples[kind]), op_class=kind, outcome="executed")
+        for kind in sorted(skipped_by_kind):
+            ops.inc(skipped_by_kind[kind], op_class=kind, outcome="skipped")
+        moved = tele.counter(
+            "replay_bytes_total",
+            "bytes moved by executed operations",
+            labels=("op_class",),
+        )
+        for kind in sorted(bytes_by_kind):
+            moved.inc(bytes_by_kind[kind], op_class=kind)
+        cache_events = tele.counter(
+            "replay_cache_events_total",
+            "buffer cache hits/misses during replay",
+            labels=("event",),
+        )
+        if hits:
+            cache_events.inc(hits, event="hit")
+        if misses:
+            cache_events.inc(misses, event="miss")
+        tele.gauge(
+            "replay_ops_per_second", "wall-clock replay engine throughput"
+        ).set(result.ops_per_second)
+        tele.gauge(
+            "replay_simulated_throughput_ops_s", "simulated disk throughput"
+        ).set(result.simulated_throughput_ops_s)
+        tele.gauge(
+            "replay_cache_hit_ratio", "buffer cache hit ratio at snapshot time"
+        ).set(result.cache_hit_ratio)
 
     def execute(self, operation: Operation) -> float:
         """Apply one operation; returns its simulated latency in ms."""

@@ -1,0 +1,218 @@
+"""Telemetry emitters: JSONL round trip, Chrome trace schema, Prometheus text."""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.core.config import ImpressionsConfig
+from repro.obs.core import Telemetry, TelemetryError, use
+from repro.obs.export import (
+    chrome_trace,
+    compare_rows,
+    prometheus_text,
+    read_events_jsonl,
+    render_text,
+    resolve_events_path,
+    save,
+    summary_dict,
+    write_events_jsonl,
+)
+from repro.pipeline import default_pipeline
+
+
+def sample_telemetry() -> Telemetry:
+    tele = Telemetry(run_id="sample")
+    with tele.span("pipeline", stages="2"):
+        with tele.span("stage", stage="a", cached="false"):
+            pass
+    tele.counter("ops_total", "ops by kind", labels=("kind",)).inc(7, kind="read")
+    tele.gauge("files", "file count").set(1234)
+    hist = tele.histogram("lat_ms", "latency", buckets=(1.0, 10.0, 100.0), unit="ms")
+    hist.labels().observe_many([0.5, 0.5, 5.0, 50.0, 5000.0])
+    return tele
+
+
+SMALL_CONFIG = ImpressionsConfig(
+    num_files=60, num_directories=12, fs_size_bytes=32 * 1024 * 1024, seed=3
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline_telemetry() -> Telemetry:
+    """Telemetry of one real pipeline run (the Chrome-trace schema subject)."""
+    tele = Telemetry(run_id="pipeline-test")
+    with use(tele):
+        default_pipeline().run(SMALL_CONFIG)
+    return tele
+
+
+class TestJsonlRoundTrip:
+    def test_stream_round_trip(self):
+        tele = sample_telemetry()
+        buffer = io.StringIO()
+        count = write_events_jsonl(tele, buffer)
+        assert count == buffer.getvalue().count("\n")
+        buffer.seek(0)
+        rebuilt = read_events_jsonl(buffer)
+        assert rebuilt.to_events() == tele.to_events()
+
+    def test_file_round_trip_via_dir(self, tmp_path):
+        tele = sample_telemetry()
+        paths = save(tele, str(tmp_path / "obs"))
+        assert resolve_events_path(str(tmp_path / "obs")) == paths["events"]
+        rebuilt = read_events_jsonl(str(tmp_path / "obs"))
+        assert rebuilt.to_events() == tele.to_events()
+
+    def test_every_line_is_json(self, tmp_path):
+        paths = save(sample_telemetry(), str(tmp_path / "obs"))
+        with open(paths["events"], encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert lines
+        for line in lines:
+            event = json.loads(line)
+            assert event["type"] in {"meta", "span", "metric"}
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(TelemetryError):
+            read_events_jsonl(io.StringIO('{"type": "meta", "format": 1}\nnot json\n'))
+
+    def test_save_writes_all_four_artifacts(self, tmp_path):
+        paths = save(sample_telemetry(), str(tmp_path / "obs"))
+        assert set(paths) == {"events", "chrome_trace", "prometheus", "summary"}
+        import os
+
+        for path in paths.values():
+            assert os.path.getsize(path) > 0
+
+
+class TestChromeTrace:
+    def test_schema_of_pipeline_run(self, pipeline_telemetry):
+        document = chrome_trace(pipeline_telemetry)
+        # Loadable trace_event JSON object format.
+        assert json.loads(json.dumps(document)) == document
+        events = document["traceEvents"]
+        assert document["displayTimeUnit"] == "ms"
+        for event in events:
+            assert event["ph"] in {"M", "X", "C"}
+            assert isinstance(event["name"], str) and event["name"]
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            if event["ph"] == "X":
+                assert isinstance(event["ts"], float)
+                assert isinstance(event["dur"], float)
+                assert event["dur"] >= 0.0
+                assert isinstance(event["args"], dict)
+
+    def test_one_complete_event_per_pipeline_stage(self, pipeline_telemetry):
+        spans = [e for e in chrome_trace(pipeline_telemetry)["traceEvents"] if e["ph"] == "X"]
+        names = [event["name"] for event in spans]
+        assert "pipeline" in names
+        for stage in default_pipeline().stages:
+            stage_events = [e for e in spans if e["name"] == stage.name]
+            assert len(stage_events) == 1
+            assert stage_events[0]["args"]["cached"] == "false"
+
+    def test_counter_samples_present(self, pipeline_telemetry):
+        counters = [
+            e for e in chrome_trace(pipeline_telemetry)["traceEvents"] if e["ph"] == "C"
+        ]
+        names = {event["name"] for event in counters}
+        assert any(name.startswith("pipeline_stages_total") for name in names)
+        assert any(name.startswith("image_files") for name in names)
+
+    def test_error_span_marked(self):
+        tele = Telemetry(run_id="err")
+        with pytest.raises(ValueError):
+            with tele.span("doomed"):
+                raise ValueError("nope")
+        spans = [e for e in chrome_trace(tele)["traceEvents"] if e["ph"] == "X"]
+        assert spans[0]["args"]["error"] == "ValueError"
+
+
+class TestPrometheusText:
+    def test_type_and_help_lines(self):
+        text = prometheus_text(sample_telemetry())
+        assert "# TYPE ops_total counter" in text
+        assert "# TYPE files gauge" in text
+        assert "# TYPE lat_ms histogram" in text
+        assert "# HELP ops_total ops by kind" in text
+        assert 'ops_total{kind="read"} 7' in text
+        assert "files 1234" in text
+
+    def test_histogram_buckets_cumulative(self):
+        text = prometheus_text(sample_telemetry())
+        buckets = {}
+        for line in text.splitlines():
+            if line.startswith("lat_ms_bucket"):
+                label, value = line.rsplit(" ", 1)
+                le = label.split('le="')[1].rstrip('"}')
+                buckets[le] = int(value)
+        assert buckets == {"1": 2, "10": 3, "100": 4, "+Inf": 5}
+        assert "lat_ms_count 5" in text
+        # Integral values print as integers in the exposition format.
+        assert "lat_ms_sum 5056" in text
+
+    def test_label_escaping(self):
+        tele = Telemetry()
+        tele.counter("c", labels=("path",)).inc(1, path='a"b\\c')
+        text = prometheus_text(tele)
+        assert 'c{path="a\\"b\\\\c"} 1' in text
+
+    def test_parse_every_sample_line(self, pipeline_telemetry):
+        """Every non-comment line is `name{labels} value` with a float value."""
+        for line in prometheus_text(pipeline_telemetry).splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            assert name_part
+            parsed = float(value.replace("+Inf", "inf"))
+            assert not math.isnan(parsed)
+
+
+class TestSummary:
+    def test_summary_dict_shape(self):
+        summary = summary_dict(sample_telemetry())
+        assert summary["run_id"] == "sample"
+        assert summary["spans"]["pipeline"]["count"] == 1
+        assert summary["spans"]["stage"]["errors"] == 0
+        lat = summary["metrics"]["lat_ms"]
+        assert lat["kind"] == "histogram"
+        assert lat["unit"] == "ms"
+        assert lat["series"]["{}"]["count"] == 5
+        assert summary["metrics"]["files"]["series"]["{}"] == 1234
+
+    def test_render_text_contains_tree_and_metrics(self):
+        text = render_text(sample_telemetry())
+        assert "telemetry summary (run sample" in text
+        assert 'stage{cached="false",stage="a"}' in text
+        assert "counter ops_total" in text
+        assert "count=5" in text
+
+
+class TestCompareRows:
+    def test_rows_shape_and_histogram_expansion(self):
+        rows = compare_rows(sample_telemetry())
+        assert rows['ops_total{kind="read"}']["metrics"] == {"ops_total": 7.0}
+        lat = rows["lat_ms"]["metrics"]
+        assert lat["lat_ms.count"] == 5
+        assert lat["lat_ms.mean_ms"] == pytest.approx(5056.0 / 5)
+        assert "lat_ms.p95_ms" in lat
+
+    def test_rows_feed_campaign_compare(self):
+        from repro.campaign.report import compare
+
+        baseline = compare_rows(sample_telemetry())
+        slower = sample_telemetry()
+        slower.histogram(
+            "lat_ms", "latency", buckets=(1.0, 10.0, 100.0), unit="ms"
+        ).labels().observe_many([5000.0] * 20)
+        result = compare(baseline, compare_rows(slower), tolerance=0.05)
+        # mean latency rose well past tolerance: the _ms suffix marks it a
+        # regression via the campaign metric-direction rules.
+        assert result.has_regressions
+        regressed = {delta.metric for delta in result.regressions}
+        assert "lat_ms.mean_ms" in regressed
