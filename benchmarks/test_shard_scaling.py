@@ -1,0 +1,156 @@
+"""Sharded generation scaling (the repro.shard acceptance bar).
+
+Splitting an Image2-scale metadata run across 4 shards must at least halve
+the critical-path wall-clock.  Shard generation is embarrassingly parallel
+by construction — each shard is a pure function of its ``ShardSpec`` — so
+the parallel wall is ``plan + max(shard walls) + merge + digest``.  That
+critical path is *modeled* from per-shard walls measured in one process
+(this keeps the bar meaningful on CI runners with few cores, where measured
+multi-process walls are dominated by interpreter/scipy start-up, not by the
+algorithm); a measured ``jobs=4`` comparison runs when the machine actually
+has the cores, mirroring ``test_materialize_parallel.py``.
+
+Determinism is asserted as a side effect: the ``jobs=1`` and ``jobs=4``
+merged fingerprints must be identical whenever both run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from conftest import bench_scale
+
+from repro.core.config import GIB, ImpressionsConfig
+from repro.shard import generate_sharded
+
+#: Acceptance bar: the 4-shard critical path must at least halve the wall.
+SHARD_SPEEDUP_BAR = 2.0
+NUM_SHARDS = 4
+
+
+def _image2_metadata_config(scale: float, seed: int = 42) -> ImpressionsConfig:
+    return ImpressionsConfig(
+        fs_size_bytes=max(int(12.0 * GIB * scale), 8 * 1024 * 1024),
+        num_files=max(int(52_000 * scale), 100),
+        num_directories=max(int(4_000 * scale), 20),
+        seed=seed,
+    )
+
+
+def _critical_path(result) -> float:
+    timings = result.timings
+    return (
+        timings["plan_seconds"]
+        + max(result.shard_walls)
+        + timings["merge_seconds"]
+        + timings["digest_seconds"]
+    )
+
+
+def test_shard_critical_path_speedup(print_result, bench_json):
+    scale = bench_scale(0.25)
+    config = _image2_metadata_config(scale)
+
+    # Warm the lazy scipy/numpy distribution setup so shard walls measure the
+    # algorithm, not first-touch imports.
+    generate_sharded(_image2_metadata_config(0.002, seed=1), num_shards=2, jobs=1)
+
+    start = time.perf_counter()
+    serial = generate_sharded(config, num_shards=NUM_SHARDS, jobs=1)
+    serial_seconds = time.perf_counter() - start
+
+    modeled_parallel = _critical_path(serial)
+    modeled_speedup = serial_seconds / max(modeled_parallel, 1e-9)
+
+    cpus = os.cpu_count() or 1
+    measured_seconds = None
+    measured_speedup = None
+    if cpus >= NUM_SHARDS:
+        start = time.perf_counter()
+        parallel = generate_sharded(config, num_shards=NUM_SHARDS, jobs=NUM_SHARDS)
+        measured_seconds = time.perf_counter() - start
+        measured_speedup = serial_seconds / max(measured_seconds, 1e-9)
+        assert parallel.fingerprint == serial.fingerprint
+        assert parallel.content_digest == serial.content_digest
+
+    walls = ", ".join(f"{wall:.2f}" for wall in serial.shard_walls)
+    print_result(
+        "Sharded generation scaling",
+        "\n".join(
+            [
+                f"image: {serial.image.file_count} files, "
+                f"{serial.image.total_bytes / 1e9:.1f} GB "
+                f"(Image2 scale {scale:g}, metadata only, {NUM_SHARDS} shards)",
+                f"jobs=1 wall:        {serial_seconds:8.2f} s  (shard walls: {walls})",
+                f"critical path:      {modeled_parallel:8.2f} s "
+                f"(plan + max shard + merge + digest)",
+                f"modeled speedup:    {modeled_speedup:8.2f}x (bar: {SHARD_SPEEDUP_BAR:.1f}x)",
+                f"measured jobs={NUM_SHARDS}:    "
+                + (f"{measured_seconds:8.2f} s ({measured_speedup:.2f}x)"
+                   if measured_seconds is not None
+                   else f" skipped ({cpus} CPUs)"),
+            ]
+        ),
+    )
+    bench_json(
+        "shard",
+        {
+            "scale": scale,
+            "files": serial.image.file_count,
+            "directories": serial.image.directory_count,
+            "total_bytes": serial.image.total_bytes,
+            "num_shards": NUM_SHARDS,
+            "cpu_count": cpus,
+            "fingerprint": serial.fingerprint,
+            "plan_fingerprint": serial.plan.fingerprint(),
+            "serial_seconds": serial_seconds,
+            "shard_walls": list(serial.shard_walls),
+            "plan_seconds": serial.timings["plan_seconds"],
+            "merge_seconds": serial.timings["merge_seconds"],
+            "digest_seconds": serial.timings["digest_seconds"],
+            "modeled_parallel_seconds": modeled_parallel,
+            "modeled_speedup": modeled_speedup,
+            "measured_parallel_seconds": measured_seconds,
+            "measured_speedup": measured_speedup,
+            "speedup_bar": SHARD_SPEEDUP_BAR,
+        },
+    )
+
+    assert modeled_speedup >= SHARD_SPEEDUP_BAR, (
+        f"{NUM_SHARDS}-shard critical path only {modeled_speedup:.2f}x better than "
+        f"jobs=1 ({serial_seconds:.2f}s -> {modeled_parallel:.2f}s)"
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < NUM_SHARDS,
+    reason=f"measured shard speedup bar needs >= {NUM_SHARDS} CPUs",
+)
+def test_shard_measured_parallel_speedup(print_result):
+    scale = bench_scale(0.25)
+    config = _image2_metadata_config(scale)
+    generate_sharded(_image2_metadata_config(0.002, seed=1), num_shards=2, jobs=1)
+
+    start = time.perf_counter()
+    serial = generate_sharded(config, num_shards=NUM_SHARDS, jobs=1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = generate_sharded(config, num_shards=NUM_SHARDS, jobs=NUM_SHARDS)
+    parallel_seconds = time.perf_counter() - start
+
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    print_result(
+        "Sharded generation (measured)",
+        f"jobs=1: {serial_seconds:.2f} s   jobs={NUM_SHARDS}: {parallel_seconds:.2f} s "
+        f"({speedup:.2f}x, bar {SHARD_SPEEDUP_BAR:.1f}x)",
+    )
+    assert parallel.fingerprint == serial.fingerprint
+    assert parallel.content_digest == serial.content_digest
+    assert speedup >= SHARD_SPEEDUP_BAR, (
+        f"jobs={NUM_SHARDS} only {speedup:.2f}x faster than jobs=1 "
+        f"({serial_seconds:.2f}s -> {parallel_seconds:.2f}s)"
+    )

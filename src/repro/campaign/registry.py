@@ -48,6 +48,11 @@ Built-in steps:
     report entry counts, the order-independent content digest and the
     round-trip verification outcome.  The default ``null`` sink is the one
     to sweep with: digest-only, no per-scenario paths to manage.
+``sharded_generate``
+    Re-generate the scenario's config through :func:`repro.shard.generate_sharded`
+    (params: ``shards``, ``jobs``, ``digest``) and report the merged image's
+    fingerprint, content digest and shape — all pure functions of the shard
+    plan, so rows are identical across ``jobs`` values.
 """
 
 from __future__ import annotations
@@ -183,3 +188,32 @@ def _step_bench(image: FileSystemImage, config: ImpressionsConfig, params: dict)
 @register_step("materialize")
 def _step_materialize(image: FileSystemImage, config: ImpressionsConfig, params: dict) -> dict:
     return run_post_stage("materialize", image, config, params)
+
+
+@register_step("sharded_generate")
+def _step_sharded_generate(image: FileSystemImage, config: ImpressionsConfig, params: dict) -> dict:
+    """Re-generate the scenario's config in shards and report the merged shape.
+
+    Every metric is a pure function of the plan, so ``jobs`` (a pure
+    execution knob) never changes a result row — sweeping it is the
+    determinism check.
+    """
+    from repro.shard import generate_sharded
+
+    result = generate_sharded(
+        config=config,
+        num_shards=int(params.get("shards", 4)),
+        jobs=int(params.get("jobs", 1)),
+        digest=bool(params.get("digest", True)),
+    )
+    merged = result.image
+    return {
+        "shards": result.plan.num_shards,
+        "plan_fingerprint": result.plan.fingerprint(),
+        "fingerprint": result.fingerprint,
+        "content_digest": result.content_digest or "",
+        "files": merged.file_count,
+        "directories": merged.directory_count,
+        "total_bytes": merged.total_bytes,
+        "layout_score": merged.achieved_layout_score(),
+    }

@@ -39,6 +39,14 @@ under the ``materialize`` subcommand (:mod:`repro.materialize.cli`)::
 
     impressions materialize --files 2000 --sink dir --out /tmp/img --jobs 4
     impressions materialize --files 2000 --sink tar --out img.tar.gz --verify
+
+Sharded generation — the same image, split across worker processes and merged
+back digest-identically — lives under the ``shard`` subcommand
+(:mod:`repro.shard.cli`)::
+
+    impressions shard plan --files 52000 --shards 8 --out plan.json
+    impressions shard generate --plan plan.json --jobs 4
+    impressions shard verify --files 2000 --shards 4 --jobs 4
 """
 
 from __future__ import annotations
@@ -104,7 +112,8 @@ def build_parser() -> argparse.ArgumentParser:
             "Operation traces: 'impressions trace synth|replay|age --help'. "
             "Scenario sweeps: 'impressions campaign run|list|report|compare --help'. "
             "Stage graph: 'impressions pipeline inspect --help'. "
-            "Sinks and archives: 'impressions materialize --help'."
+            "Sinks and archives: 'impressions materialize --help'. "
+            "Sharded generation: 'impressions shard plan|generate|verify --help'."
         ),
     )
     add_config_arguments(parser)
@@ -210,6 +219,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.obs.cli import main as obs_main
 
         return obs_main(list(argv[1:]))
+    if argv and argv[0] == "shard":
+        from repro.shard.cli import main as shard_main
+
+        return shard_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

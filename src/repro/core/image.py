@@ -100,11 +100,17 @@ class FileSystemImage:
 
         Content is a pure function of the image's content seed and the file's
         index, so repeated calls return identical bytes and materialisation
-        matches what any in-memory consumer saw.
+        matches what any in-memory consumer saw.  Files adopted from another
+        image (shard merge) carry the ``(seed, id)`` pair they were generated
+        under in :attr:`~repro.namespace.tree.FileNode.content_key`, which
+        takes precedence — their bytes survive the merge's re-numbering.
         """
         if self.content_generator is None:
             raise RuntimeError("this image was generated without content")
-        rng = np.random.default_rng((self.content_seed, self._file_index(file_node)))
+        key = file_node.content_key
+        if key is None:
+            key = (self.content_seed, self._file_index(file_node))
+        rng = np.random.default_rng(key)
         return self.content_generator.generate(file_node.size, file_node.extension, rng)
 
     def iter_file_contents(self) -> Iterator[tuple[FileNode, bytes]]:

@@ -115,8 +115,26 @@ class Impressions:
     def config(self) -> ImpressionsConfig:
         return self._config
 
-    def generate(self) -> FileSystemImage:
-        """Run the full default pipeline and return the generated image."""
+    def generate(
+        self,
+        cache_dir: str | None = None,
+        on_cache_busy: str = "error",
+    ) -> FileSystemImage:
+        """Run the full default pipeline and return the generated image.
+
+        ``cache_dir`` enables the content-addressed stage cache under that
+        directory.  The directory is locked for the duration of the run:
+        a second concurrent ``generate()`` pointed at the same directory gets
+        a clear :class:`~repro.pipeline.cache.CacheBusyError` up front (not a
+        pickle traceback from racing snapshots) unless
+        ``on_cache_busy="ignore"`` opts into sharing — cache writes are
+        atomic, so sharing is safe, merely redundant.  Concurrent workers
+        should prefer per-worker slices (:func:`repro.shard.shard_cache_slice`).
+        """
+        from repro.pipeline.cache import StageCache, cache_lock
         from repro.pipeline.runner import default_pipeline
 
-        return default_pipeline().run(self._config).image
+        if cache_dir is None:
+            return default_pipeline().run(self._config).image
+        with cache_lock(cache_dir, owner="impressions-generate", on_busy=on_cache_busy):
+            return default_pipeline().run(self._config, cache=StageCache(cache_dir)).image

@@ -316,6 +316,64 @@ class SimulatedDisk:
         self.free(name)
         return self.allocate(name, size_bytes)
 
+    def adopt_extents(self, name: str, extents: list[tuple[int, int]]) -> None:
+        """Record ``name`` as owning exactly ``extents``, carving them from the
+        free list.
+
+        Unlike :meth:`allocate_extents` the caller dictates *where* the blocks
+        sit — this is how a shard merge folds several per-shard disks into one
+        address space: each shard's extents are shifted by the shard's base
+        offset and adopted verbatim, so the merged layout (and therefore the
+        merged layout score) is exactly the concatenation of the shard
+        layouts.  Every block of every extent must currently be free;
+        :class:`AllocationError` is raised (with the disk unchanged) when a
+        range is out of bounds or already allocated.
+
+        ``extents`` must be in logical (file offset) order; runs that happen
+        to be adjacent on disk are merged on adoption so ``len(extents)``
+        keeps meaning the file's contiguous-run count.
+        """
+        if name in self._extents:
+            raise ValueError(f"file {name!r} already allocated")
+        canonical: list[tuple[int, int]] = []
+        total = 0
+        for start, length in extents:
+            if length <= 0:
+                raise ValueError(f"extent ({start}, {length}) has non-positive length")
+            if start < 0 or start + length > self._num_blocks:
+                raise AllocationError(
+                    f"cannot adopt ({start}, {length}) for {name!r}: outside the "
+                    f"disk's {self._num_blocks} blocks"
+                )
+            total += length
+            if canonical and canonical[-1][0] + canonical[-1][1] == start:
+                canonical[-1] = (canonical[-1][0], canonical[-1][1] + length)
+            else:
+                canonical.append((start, length))
+        # Validate every range against the free list before mutating anything,
+        # so a partial failure cannot leave blocks half-carved.
+        by_start = sorted(canonical)
+        for (start, length), (next_start, _) in zip(by_start, by_start[1:]):
+            if start + length > next_start:
+                raise ValueError(f"extents for {name!r} overlap at block {next_start}")
+        for start, length in canonical:
+            index = bisect.bisect_right(self._free_starts, start) - 1
+            if (
+                index < 0
+                or start + length > self._free_starts[index] + self._free_lengths[index]
+            ):
+                raise AllocationError(
+                    f"cannot adopt ({start}, {length}) for {name!r}: range is not free"
+                )
+        for start, length in canonical:
+            self._carve(start, length)
+        self._free_blocks -= total
+        self._extents[name] = canonical
+        self._block_counts[name] = total
+        if total:
+            self._agg_candidates += total - 1
+            self._agg_optimal += total - len(canonical)
+
     def rename(self, old_name: str, new_name: str) -> None:
         """Transfer ``old_name``'s allocation to ``new_name`` (blocks unchanged)."""
         if old_name not in self._extents:
@@ -358,6 +416,27 @@ class SimulatedDisk:
             del lengths[:consumed]
         self._free_blocks -= needed
         return pieces
+
+    def _carve(self, start: int, length: int) -> None:
+        """Remove the (validated) range ``[start, start+length)`` from the free
+        list, splitting the containing free extent as needed."""
+        index = bisect.bisect_right(self._free_starts, start) - 1
+        free_start = self._free_starts[index]
+        free_length = self._free_lengths[index]
+        left = start - free_start
+        right = (free_start + free_length) - (start + length)
+        if left and right:
+            self._free_lengths[index] = left
+            self._free_starts.insert(index + 1, start + length)
+            self._free_lengths.insert(index + 1, right)
+        elif left:
+            self._free_lengths[index] = left
+        elif right:
+            self._free_starts[index] = start + length
+            self._free_lengths[index] = right
+        else:
+            del self._free_starts[index]
+            del self._free_lengths[index]
 
     def _release_extent(self, start: int, length: int) -> None:
         index = bisect.bisect_left(self._free_starts, start)

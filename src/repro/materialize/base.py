@@ -147,7 +147,10 @@ class FileStream:
         image = self.image
         generator = image.content_generator
         assert generator is not None
-        rng = np.random.default_rng((image.content_seed, self.node.file_id))
+        key = self.node.content_key
+        if key is None:
+            key = (image.content_seed, self.node.file_id)
+        rng = np.random.default_rng(key)
         yield from generator.iter_chunks(self.node.size, self.node.extension, rng)
 
     def chunks(self) -> Iterator[bytes]:

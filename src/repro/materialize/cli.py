@@ -73,6 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="materialize metadata only (sparse files / zero runs) even with a content model",
     )
     parser.add_argument(
+        "--digest-content",
+        action="store_true",
+        help=(
+            "record a path-independent content_sha256 per file in the manifest "
+            "(--sink manifest only; costs a full content-generation pass)"
+        ),
+    )
+    parser.add_argument(
         "--verify",
         action="store_true",
         help="round-trip verification (import + distribution checks); exit 1 on failure",
@@ -126,7 +134,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         image = default_pipeline().run(config, cache=cache).image
 
         try:
-            sink = build_sink(args.sink, args.out, jobs=args.jobs)
+            sink = build_sink(
+                args.sink, args.out, jobs=args.jobs, digest_content=args.digest_content
+            )
             result = materialize_image(
                 image,
                 sink,

@@ -326,13 +326,23 @@ class ManifestSink(MaterializationSink):
     (``writes_content`` is False), so manifesting a huge image costs seconds,
     not hours — the manifest plus the config is enough to rebuild or audit
     the image elsewhere.
+
+    ``digest_content=True`` (CLI ``--digest-content``) additionally records a
+    ``content_sha256`` per file: a hash over the *raw content bytes only*, no
+    metadata header, so it is independent of the file's path.  That makes the
+    manifest rows comparable across renames — the shard merge verifier checks
+    that the digest multiset over all per-shard manifests equals the merged
+    image's (:func:`repro.shard.manifest_content_digests`).  Opt-in because
+    it generates (and discards) every file's content: manifesting stops being
+    free and costs a full content pass.
     """
 
     name = "manifest"
     writes_content = False
 
-    def __init__(self, manifest_path: str) -> None:
+    def __init__(self, manifest_path: str, digest_content: bool = False) -> None:
         self.manifest_path = manifest_path
+        self.digest_content = digest_content
         self._handle = None
         self._lines = 0
 
@@ -343,6 +353,11 @@ class ManifestSink(MaterializationSink):
         self._lines += 1
 
     def begin(self, image: "FileSystemImage", plan: MaterializationPlan) -> None:
+        if self.digest_content and image.content_generator is None:
+            raise MaterializeError(
+                "digest_content requires a content-bearing image; this image "
+                "was generated metadata-only (content='metadata')"
+            )
         directory = os.path.dirname(self.manifest_path)
         if directory:
             os.makedirs(directory, exist_ok=True)
@@ -359,6 +374,7 @@ class ManifestSink(MaterializationSink):
                 "total_bytes": plan.total_bytes,
                 "content_seed": image.content_seed,
                 "layout_score": image.achieved_layout_score(),
+                "digest_content": self.digest_content,
             }
         )
 
@@ -368,24 +384,31 @@ class ManifestSink(MaterializationSink):
     def add_file(self, stream: FileStream) -> None:
         node = stream.node
         stamps = node.timestamps
-        self._write(
-            {
-                "type": "file",
-                "path": stream.relpath,
-                "size": node.size,
-                "extension": node.extension,
-                "depth": node.depth,
-                "file_id": node.file_id,
-                "content_kind": node.content_kind,
-                "timestamps": (
-                    [stamps.created, stamps.modified, stamps.accessed]
-                    if stamps is not None
-                    else None
-                ),
-                "extents": [list(extent) for extent in node.extents],
-                "digest": stream.ensure_digest(),
-            }
-        )
+        row = {
+            "type": "file",
+            "path": stream.relpath,
+            "size": node.size,
+            "extension": node.extension,
+            "depth": node.depth,
+            "file_id": node.file_id,
+            "content_kind": node.content_kind,
+            "timestamps": (
+                [stamps.created, stamps.modified, stamps.accessed]
+                if stamps is not None
+                else None
+            ),
+            "extents": [list(extent) for extent in node.extents],
+            "digest": stream.ensure_digest(),
+        }
+        if self.digest_content:
+            # Raw content bytes only — path-independent by design, unlike the
+            # entry digest above.  Legal to iterate here: a metadata-only plan
+            # never consumes the stream, so the chunks are ours to generate.
+            digest = hashlib.sha256()
+            for chunk in stream.content_chunks():
+                digest.update(chunk)
+            row["content_sha256"] = digest.hexdigest()
+        self._write(row)
 
     def finalize(self) -> dict:
         assert self._handle is not None
@@ -428,12 +451,22 @@ class NullSink(MaterializationSink):
 SINK_NAMES = ("dir", "tar", "manifest", "null")
 
 
-def build_sink(kind: str, path: str | None = None, jobs: int = 1) -> MaterializationSink:
+def build_sink(
+    kind: str,
+    path: str | None = None,
+    jobs: int = 1,
+    digest_content: bool = False,
+) -> MaterializationSink:
     """Instantiate a sink from its CLI spelling.
 
     ``dir`` / ``tar`` / ``manifest`` need a target ``path``; ``null`` takes
-    none.  ``jobs`` only affects :class:`DirectorySink`.
+    none.  ``jobs`` only affects :class:`DirectorySink`; ``digest_content``
+    only :class:`ManifestSink`.
     """
+    if digest_content and kind != "manifest":
+        raise MaterializeError(
+            f"digest_content is a manifest-sink option, not valid for {kind!r}"
+        )
     if kind == "null":
         return NullSink()
     if path is None:
@@ -443,5 +476,5 @@ def build_sink(kind: str, path: str | None = None, jobs: int = 1) -> Materializa
     if kind == "tar":
         return TarSink(path)
     if kind == "manifest":
-        return ManifestSink(path)
+        return ManifestSink(path, digest_content=digest_content)
     raise MaterializeError(f"unknown sink {kind!r}; expected one of {SINK_NAMES}")

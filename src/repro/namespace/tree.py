@@ -54,6 +54,12 @@ class FileNode:
     #: optional (created, modified, accessed) POSIX timestamps assigned by the
     #: timestamp model; None when timestamps were not requested.
     timestamps: object | None = None
+    #: optional explicit content seed pair ``(content_seed, file_id)``.  Files
+    #: normally derive their bytes from the owning image's content seed and
+    #: their own ``file_id``; a file adopted from another image (shard merge)
+    #: pins the pair it was generated under here so its bytes survive the
+    #: re-numbering.
+    content_key: tuple[int, int] | None = None
 
     @property
     def block_list(self) -> list[int]:
@@ -186,6 +192,43 @@ class FileSystemTree:
         parent.files.append(node)
         self._files.append(node)
         return node
+
+    # Adoption (shard merge) -------------------------------------------------
+
+    def adopt_file(self, parent: DirectoryNode, file_node: FileNode) -> FileNode:
+        """Attach an existing :class:`FileNode` under ``parent`` and register it.
+
+        The node keeps its metadata (size, extension, timestamps, extents,
+        content kind) but is re-numbered with this tree's next ``file_id`` and
+        re-parented, so adopted files participate in statistics, walking and
+        materialization exactly like natively created ones.  Callers that need
+        the node's content bytes to survive the re-numbering must pin
+        :attr:`FileNode.content_key` first.
+        """
+        file_node.parent = parent
+        file_node.depth = parent.depth + 1
+        file_node.file_id = len(self._files)
+        parent.files.append(file_node)
+        self._files.append(file_node)
+        return file_node
+
+    def adopt_subtree(self, parent: DirectoryNode, directory: DirectoryNode) -> None:
+        """Attach an existing directory subtree under ``parent``.
+
+        Every directory in the subtree is registered with this tree in
+        depth-first pre-order, and every contained file is adopted (see
+        :meth:`adopt_file`) in its directory's order — a deterministic
+        renumbering given the subtree.  Depths are recomputed from the new
+        parent chain.
+        """
+        directory.parent = parent
+        parent.subdirectories.append(directory)
+        for node in directory.walk():
+            node.depth = node.parent.depth + 1 if node.parent is not None else 0
+            self._directories.append(node)
+            contained, node.files = node.files, []
+            for file_node in contained:
+                self.adopt_file(node, file_node)
 
     # Accessors -------------------------------------------------------------
 

@@ -19,6 +19,8 @@ unreadable entries are treated as misses and removed.
 
 from __future__ import annotations
 
+import contextlib
+import json
 import os
 import pickle
 import tempfile
@@ -27,7 +29,17 @@ from dataclasses import dataclass
 from repro.core.config import ImpressionsConfig
 from repro.metadata.extensions import DEFAULT_EXTENSION_MODEL
 
-__all__ = ["CacheStats", "StageCache", "config_cache_safe"]
+__all__ = [
+    "CacheBusyError",
+    "CacheStats",
+    "StageCache",
+    "cache_lock",
+    "config_cache_safe",
+]
+
+
+class CacheBusyError(RuntimeError):
+    """Raised when another live process holds a stage-cache directory's lock."""
 
 
 @dataclass
@@ -114,6 +126,85 @@ class StageCache:
         return count
 
 
+@contextlib.contextmanager
+def cache_lock(root: str, owner: str = "", on_busy: str = "error"):
+    """Advisory lock on a stage-cache directory for the duration of a run.
+
+    Cache *writes* are already atomic, so concurrent sharers cannot corrupt
+    entries — but two workers pointed at one directory silently duplicate
+    each other's generation work, and a facade user who passes one
+    ``cache_dir`` to concurrent ``generate()`` calls almost certainly meant
+    per-worker slices.  The lock turns that foot-gun into a clear error.
+
+    The lock is a ``.lock`` file created with ``O_CREAT | O_EXCL`` holding a
+    JSON ``{"pid", "owner"}`` record.  A lock whose pid is no longer alive is
+    stale (the holder crashed without unlinking) and is reclaimed.  When a
+    *live* process holds the lock:
+
+    * ``on_busy="error"`` raises :class:`CacheBusyError` naming the holder;
+    * ``on_busy="ignore"`` proceeds without acquiring (atomic writes make
+      sharing benign — just redundant), for callers like shard workers whose
+      slices are already per-worker.
+    """
+    if on_busy not in ("error", "ignore"):
+        raise ValueError(f"on_busy must be 'error' or 'ignore', not {on_busy!r}")
+    os.makedirs(root, exist_ok=True)
+    lock_path = os.path.join(root, ".lock")
+    record = json.dumps({"pid": os.getpid(), "owner": owner})
+    acquired = False
+    for _ in range(2):  # second pass retries after reclaiming a stale lock
+        try:
+            descriptor = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            holder_pid, holder_owner = _read_lock(lock_path)
+            if holder_pid is not None and not _pid_alive(holder_pid):
+                with contextlib.suppress(OSError):
+                    os.remove(lock_path)
+                continue
+            if on_busy == "ignore":
+                break
+            holder = f"pid {holder_pid}" if holder_pid is not None else "an unknown process"
+            if holder_owner:
+                holder += f" ({holder_owner})"
+            raise CacheBusyError(
+                f"stage cache {root!r} is in use by {holder}; concurrent workers "
+                "must use per-worker cache slices (see repro.shard.shard_cache_slice), "
+                "or pass on_cache_busy='ignore' to share the directory anyway"
+            ) from None
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(record)
+        acquired = True
+        break
+    try:
+        yield
+    finally:
+        if acquired:
+            with contextlib.suppress(OSError):
+                os.remove(lock_path)
+
+
+def _read_lock(lock_path: str) -> tuple[int | None, str]:
+    """The ``(pid, owner)`` recorded in a lock file, tolerating races/corruption."""
+    try:
+        with open(lock_path, encoding="utf-8") as handle:
+            data = json.loads(handle.read())
+        return int(data["pid"]), str(data.get("owner", ""))
+    except (OSError, ValueError, KeyError, TypeError):
+        return None, ""
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
 def config_cache_safe(config: ImpressionsConfig) -> bool:
     """Whether ``config``'s identity is fully captured by its knob view.
 
@@ -129,7 +220,9 @@ def config_cache_safe(config: ImpressionsConfig) -> bool:
         or config.timestamp_model is not None
     ):
         return False
-    if config.extension_model is not DEFAULT_EXTENSION_MODEL:
+    # Value equality, not identity: configs that crossed a pickle boundary
+    # (shard/campaign worker processes) carry an equal copy of the default.
+    if config.extension_model != DEFAULT_EXTENSION_MODEL:
         return False
     defaults = ImpressionsConfig.from_knobs(config.to_knobs())
     if config.depth_distribution != defaults.depth_distribution:

@@ -233,7 +233,8 @@ class MaterializeStage(PostGenerationStage):
     Params: ``sink`` ∈ dir|tar|manifest|null (default ``null``), ``path``
     (required for every sink but ``null``), ``jobs`` (DirectorySink worker
     processes), ``order`` ∈ namespace|extent, ``write_content`` (tri-state;
-    default: only if the image carries a content generator), ``verify``
+    default: only if the image carries a content generator),
+    ``digest_content`` (ManifestSink per-file content hashes), ``verify``
     (round-trip verification, on by default), and ``label``.
 
     Reported metrics are deterministic (entry counts, the order-independent
@@ -255,7 +256,8 @@ class MaterializeStage(PostGenerationStage):
         write_content = params.get("write_content")
         try:
             sink = build_sink(kind, str(path) if path is not None else None,
-                              jobs=int(params.get("jobs", 1)))
+                              jobs=int(params.get("jobs", 1)),
+                              digest_content=bool(params.get("digest_content", False)))
             result = materialize_image(
                 image,
                 sink,

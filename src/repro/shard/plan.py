@@ -1,0 +1,282 @@
+"""Deterministic shard planning: split one image config into N shard configs.
+
+A :class:`ShardPlan` partitions the namespace *before* any parallelism
+exists: the master config's file count, directory count and target size are
+apportioned across ``num_shards`` independent sub-configurations, each with
+its own derived seed.  Every shard then generates a complete (smaller) image
+through the ordinary six-stage pipeline, and the merger
+(:mod:`repro.shard.merge`) grafts the shard trees under one root — the
+"top-level directory split": each shard's root becomes an anonymous slice of
+the merged root's children.
+
+Because the plan is a pure function of ``(master config, num_shards)`` and
+each shard is a pure function of its spec, the merged image is identical no
+matter how many worker processes ran the shards — the property the
+determinism suite and ``impressions shard verify`` pin.
+
+Apportionment uses the largest-remainder method with lower-index
+tie-breaking, so the shard sums are *exact*: files sum to the master file
+count, directories to the master directory count (counting each shard's
+discarded root once), bytes to the master target size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.core.config import ImpressionsConfig
+
+__all__ = ["ShardPlanError", "ShardSpec", "ShardPlan", "build_plan", "SHARD_PLAN_FORMAT"]
+
+#: Bumped when the plan recipe (seed derivation, apportionment) changes
+#: incompatibly, so stored plan JSON never silently means something else.
+SHARD_PLAN_FORMAT = 1
+
+
+class ShardPlanError(ValueError):
+    """Raised when a config cannot be sharded as requested."""
+
+
+def _derive_seed(master_seed: int, num_shards: int, index: int) -> int:
+    """Deterministic per-shard seed, decorrelated from the master stream."""
+    token = f"impressions-shard:{master_seed}:{num_shards}:{index}"
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1  # keep it a positive int64
+
+
+def _apportion(total: int, weights: list[int], minimum: int = 0) -> list[int]:
+    """Split ``total`` into ``len(weights)`` integer shares ∝ ``weights``.
+
+    Largest-remainder method with deterministic tie-breaking (larger
+    fractional part first, then lower index).  Shares sum to ``total``
+    exactly.  ``minimum`` enforces a floor per share; the caller must ensure
+    ``total >= minimum * len(weights)``.
+    """
+    count = len(weights)
+    weight_sum = sum(weights)
+    if weight_sum <= 0:
+        weights = [1] * count
+        weight_sum = count
+    assert total >= minimum * count
+    spendable = total - minimum * count
+    raw = [spendable * weight / weight_sum for weight in weights]
+    shares = [int(value) for value in raw]
+    remainder = spendable - sum(shares)
+    order = sorted(range(count), key=lambda i: (-(raw[i] - shares[i]), i))
+    for i in order[:remainder]:
+        shares[i] += 1
+    return [share + minimum for share in shares]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's slice of the master configuration.
+
+    Attributes:
+        index: shard number in ``[0, num_shards)``; also the merge order.
+        seed: derived seed for the shard's own rng stream.
+        num_files: files this shard generates (≥ 1).
+        num_directories: directories including the shard's own root, which
+            the merger discards — so the merged directory count is
+            ``1 + Σ (num_directories - 1)``.
+        fs_size_bytes: the shard's slice of the master target size, or None
+            when the master left the size derived.
+        disk_capacity_bytes: the shard's slice of a pinned disk capacity, or
+            None for the default capacity rule.
+    """
+
+    index: int
+    seed: int
+    num_files: int
+    num_directories: int
+    fs_size_bytes: int | None
+    disk_capacity_bytes: int | None
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "seed": self.seed,
+            "num_files": self.num_files,
+            "num_directories": self.num_directories,
+            "fs_size_bytes": self.fs_size_bytes,
+            "disk_capacity_bytes": self.disk_capacity_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardSpec":
+        return cls(
+            index=int(data["index"]),
+            seed=int(data["seed"]),
+            num_files=int(data["num_files"]),
+            num_directories=int(data["num_directories"]),
+            fs_size_bytes=None if data.get("fs_size_bytes") is None else int(data["fs_size_bytes"]),
+            disk_capacity_bytes=(
+                None
+                if data.get("disk_capacity_bytes") is None
+                else int(data["disk_capacity_bytes"])
+            ),
+        )
+
+
+class ShardPlan:
+    """The full partition: master config plus one :class:`ShardSpec` per shard."""
+
+    def __init__(self, master: ImpressionsConfig, shards: list[ShardSpec]) -> None:
+        if not shards:
+            raise ShardPlanError("a shard plan needs at least one shard")
+        self.master = master
+        self.shards = list(shards)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_config(self, spec: ShardSpec) -> ImpressionsConfig:
+        """The complete pipeline config for one shard.
+
+        Special-directory biases apply to shard 0 only, so the merged image
+        carries exactly one set of special directories (the master's), not
+        ``num_shards`` colliding copies.
+        """
+        return self.master.with_overrides(
+            seed=spec.seed,
+            num_files=spec.num_files,
+            num_directories=spec.num_directories,
+            fs_size_bytes=spec.fs_size_bytes,
+            disk_capacity_bytes=spec.disk_capacity_bytes,
+            special_directories=(
+                tuple(self.master.special_directories) if spec.index == 0 else ()
+            ),
+        )
+
+    def configs(self) -> list[ImpressionsConfig]:
+        return [self.shard_config(spec) for spec in self.shards]
+
+    def fingerprint(self) -> str:
+        """SHA-256 identity of the plan (master knobs + every shard spec)."""
+        document = {
+            "format": SHARD_PLAN_FORMAT,
+            "master": self.master.to_knobs(),
+            "shards": [spec.as_dict() for spec in self.shards],
+        }
+        canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def as_dict(self) -> dict:
+        return {
+            "format": SHARD_PLAN_FORMAT,
+            "kind": "impressions-shard-plan",
+            "master_knobs": self.master.to_knobs(),
+            "num_shards": self.num_shards,
+            "shards": [spec.as_dict() for spec in self.shards],
+            "fingerprint": self.fingerprint(),
+        }
+
+    def to_json(self) -> str:
+        from repro.pipeline.cache import config_cache_safe
+
+        if not config_cache_safe(self.master):
+            raise ShardPlanError(
+                "this master config carries model overrides outside its knob "
+                "view and cannot round-trip through plan JSON; shard it via "
+                "the API (repro.shard.generate_sharded) instead"
+            )
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardPlan":
+        if data.get("kind") != "impressions-shard-plan":
+            raise ShardPlanError("not a shard plan document")
+        if int(data.get("format", -1)) != SHARD_PLAN_FORMAT:
+            raise ShardPlanError(
+                f"unsupported shard plan format {data.get('format')!r} "
+                f"(this build reads format {SHARD_PLAN_FORMAT})"
+            )
+        master = ImpressionsConfig.from_knobs(data["master_knobs"])
+        shards = [ShardSpec.from_dict(row) for row in data["shards"]]
+        plan = cls(master, shards)
+        recorded = data.get("fingerprint")
+        if recorded is not None and recorded != plan.fingerprint():
+            raise ShardPlanError(
+                "shard plan fingerprint mismatch: the document was edited or "
+                "produced by an incompatible build"
+            )
+        return plan
+
+    @classmethod
+    def from_json(cls, text: str) -> "ShardPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ShardPlanError(f"invalid shard plan JSON: {error}") from error
+        if not isinstance(data, dict):
+            raise ShardPlanError("shard plan JSON must be an object")
+        return cls.from_dict(data)
+
+
+def build_plan(config: ImpressionsConfig, num_shards: int) -> ShardPlan:
+    """Partition ``config`` into ``num_shards`` deterministic shard specs.
+
+    Raises :class:`ShardPlanError` when the config cannot be sharded: fewer
+    files than shards, a target size too small to slice, or a timestamp model
+    without a pinned ``timestamp_now`` (each shard would stamp its own wall
+    clock and the runs would stop being comparable).
+    """
+    if num_shards < 1:
+        raise ShardPlanError("num_shards must be at least 1")
+    total_files = config.resolved_num_files()
+    total_dirs = config.resolved_num_directories()
+    if num_shards > total_files:
+        raise ShardPlanError(
+            f"cannot split {total_files} files across {num_shards} shards; "
+            "every shard needs at least one file"
+        )
+    if config.timestamp_model is not None and config.timestamp_now is None:
+        raise ShardPlanError(
+            "sharding a timestamped config requires pinning timestamp_now; "
+            "each shard would otherwise stamp its own wall clock and "
+            "jobs=1 / jobs=N runs would diverge"
+        )
+
+    files = _apportion(total_files, [1] * num_shards, minimum=1)
+    # Each shard's root is discarded at merge, so the merged directory count
+    # is 1 (the merged root) + Σ (shard dirs - 1).  Apportioning the master's
+    # non-root directories and giving each shard its root back makes that sum
+    # land exactly on the master count.
+    dirs = [share + 1 for share in _apportion(total_dirs - 1, files, minimum=0)]
+
+    sizes: list[int | None] = [None] * num_shards
+    if config.fs_size_bytes is not None:
+        if config.fs_size_bytes < num_shards:
+            raise ShardPlanError(
+                f"fs_size_bytes={config.fs_size_bytes} is too small to split "
+                f"across {num_shards} shards"
+            )
+        sizes = list(_apportion(config.fs_size_bytes, files, minimum=1))
+
+    capacities: list[int | None] = [None] * num_shards
+    if config.disk_capacity_bytes is not None:
+        block = config.block_size
+        if config.disk_capacity_bytes < num_shards * block:
+            raise ShardPlanError(
+                f"disk_capacity_bytes={config.disk_capacity_bytes} is too small "
+                f"to split across {num_shards} shards"
+            )
+        capacities = list(
+            _apportion(config.disk_capacity_bytes, files, minimum=block)
+        )
+
+    shards = [
+        ShardSpec(
+            index=index,
+            seed=_derive_seed(config.seed, num_shards, index),
+            num_files=files[index],
+            num_directories=dirs[index],
+            fs_size_bytes=sizes[index],
+            disk_capacity_bytes=capacities[index],
+        )
+        for index in range(num_shards)
+    ]
+    return ShardPlan(config, shards)

@@ -1,0 +1,105 @@
+"""The stage-cache directory lock and the generate() facade's use of it."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.config import ImpressionsConfig
+from repro.core.impressions import Impressions
+from repro.pipeline.cache import CacheBusyError, cache_lock
+
+
+def _lock_path(root) -> str:
+    return os.path.join(str(root), ".lock")
+
+
+class TestCacheLock:
+    def test_acquire_and_release(self, tmp_path):
+        with cache_lock(str(tmp_path), owner="test"):
+            data = json.loads(open(_lock_path(tmp_path), encoding="utf-8").read())
+            assert data["pid"] == os.getpid()
+            assert data["owner"] == "test"
+        assert not os.path.exists(_lock_path(tmp_path))
+
+    def test_released_on_error(self, tmp_path):
+        with pytest.raises(RuntimeError, match="boom"):
+            with cache_lock(str(tmp_path)):
+                raise RuntimeError("boom")
+        assert not os.path.exists(_lock_path(tmp_path))
+
+    def test_live_holder_raises_clear_error(self, tmp_path):
+        with cache_lock(str(tmp_path), owner="first"):
+            with pytest.raises(CacheBusyError, match="in use by pid"):
+                with cache_lock(str(tmp_path), owner="second"):
+                    pass
+
+    def test_error_names_owner_and_suggests_slices(self, tmp_path):
+        with cache_lock(str(tmp_path), owner="worker-7"):
+            with pytest.raises(CacheBusyError, match="worker-7") as info:
+                with cache_lock(str(tmp_path)):
+                    pass
+            assert "per-worker cache slices" in str(info.value)
+
+    def test_stale_lock_is_reclaimed(self, tmp_path):
+        # A pid that cannot exist: beyond pid_max on Linux.
+        with open(_lock_path(tmp_path), "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"pid": 2**22 + 12345, "owner": "crashed"}))
+        with cache_lock(str(tmp_path), owner="reclaimer"):
+            data = json.loads(open(_lock_path(tmp_path), encoding="utf-8").read())
+            assert data["owner"] == "reclaimer"
+        assert not os.path.exists(_lock_path(tmp_path))
+
+    def test_ignore_mode_proceeds_without_acquiring(self, tmp_path):
+        with cache_lock(str(tmp_path), owner="first"):
+            with cache_lock(str(tmp_path), owner="second", on_busy="ignore"):
+                pass
+            # The first holder's lock must survive the inner scope.
+            data = json.loads(open(_lock_path(tmp_path), encoding="utf-8").read())
+            assert data["owner"] == "first"
+
+    def test_rejects_unknown_on_busy(self, tmp_path):
+        with pytest.raises(ValueError, match="on_busy"):
+            with cache_lock(str(tmp_path), on_busy="retry"):
+                pass
+
+    def test_corrupt_lock_is_treated_as_unknown_holder(self, tmp_path):
+        with open(_lock_path(tmp_path), "w", encoding="utf-8") as handle:
+            handle.write("not json")
+        with pytest.raises(CacheBusyError, match="unknown process"):
+            with cache_lock(str(tmp_path)):
+                pass
+
+
+class TestGenerateFacade:
+    CONFIG = ImpressionsConfig(num_files=40, num_directories=8, seed=2,
+                               fs_size_bytes=1024 * 1024)
+
+    def test_generate_without_cache_unchanged(self):
+        image = Impressions(self.CONFIG).generate()
+        assert image.file_count == 40
+
+    def test_generate_with_cache_locks_and_caches(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        image = Impressions(self.CONFIG).generate(cache_dir=cache_dir)
+        assert image.file_count == 40
+        assert not os.path.exists(os.path.join(cache_dir, ".lock"))
+        # Entries were stored; a second run restores from them.
+        again = Impressions(self.CONFIG).generate(cache_dir=cache_dir)
+        assert again.summary() == image.summary()
+
+    def test_concurrent_generate_surfaces_clear_error(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        with cache_lock(cache_dir, owner="another-worker"):
+            with pytest.raises(CacheBusyError, match="another-worker"):
+                Impressions(self.CONFIG).generate(cache_dir=cache_dir)
+
+    def test_concurrent_generate_can_opt_into_sharing(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        with cache_lock(cache_dir, owner="another-worker"):
+            image = Impressions(self.CONFIG).generate(
+                cache_dir=cache_dir, on_cache_busy="ignore"
+            )
+        assert image.file_count == 40

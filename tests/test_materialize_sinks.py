@@ -253,6 +253,60 @@ class TestManifestSink:
         result = materialize_image(content_image, ManifestSink(str(tmp_path / "m.jsonl")))
         assert result.write_content is False
 
+    def test_digest_content_rows(self, content_image, tmp_path):
+        import hashlib
+
+        path = str(tmp_path / "digests.jsonl")
+        materialize_image(content_image, ManifestSink(path, digest_content=True))
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle]
+        assert lines[0]["digest_content"] is True
+        files = [entry for entry in lines[1:] if entry["type"] == "file"]
+        assert all("content_sha256" in row for row in files)
+        # Spot-check one row against the chunked content stream the sink hashed.
+        probe = content_image.tree.files[0]
+        row = next(entry for entry in files if entry["file_id"] == probe.file_id)
+        rng = np.random.default_rng((content_image.content_seed, probe.file_id))
+        digest = hashlib.sha256()
+        for chunk in content_image.content_generator.iter_chunks(
+            probe.size, probe.extension, rng
+        ):
+            digest.update(chunk)
+        assert row["content_sha256"] == digest.hexdigest()
+
+    def test_digest_content_is_path_independent(self, content_image, tmp_path):
+        """The content hash covers bytes only — rows from differently named
+        trees with the same content compare equal (the shard-merge reuse)."""
+        path = str(tmp_path / "digests.jsonl")
+        materialize_image(content_image, ManifestSink(path, digest_content=True))
+        with open(path, "r", encoding="utf-8") as handle:
+            rows = [json.loads(line) for line in handle][1:]
+        by_path = {row["path"]: row for row in rows if row["type"] == "file"}
+        # Entry digest covers the path; content digest must not.
+        probe = content_image.tree.files[0]
+        row = by_path[probe.path().lstrip("/")]
+        assert row["digest"] != row["content_sha256"]
+
+    def test_digest_content_default_off(self, content_image, tmp_path):
+        path = str(tmp_path / "plain.jsonl")
+        materialize_image(content_image, ManifestSink(path))
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle]
+        assert lines[0]["digest_content"] is False
+        assert all("content_sha256" not in row for row in lines[1:])
+
+    def test_digest_content_requires_content_image(self, small_image, tmp_path):
+        sink = ManifestSink(str(tmp_path / "m.jsonl"), digest_content=True)
+        with pytest.raises(MaterializeError, match="metadata-only"):
+            materialize_image(small_image, sink)
+
+    def test_build_sink_digest_content(self, tmp_path):
+        sink = build_sink("manifest", str(tmp_path / "m.jsonl"), digest_content=True)
+        assert isinstance(sink, ManifestSink)
+        assert sink.digest_content is True
+        with pytest.raises(MaterializeError, match="manifest-sink option"):
+            build_sink("tar", str(tmp_path / "a.tar"), digest_content=True)
+
 
 class TestNullSink:
     def test_digest_matches_directory_sink(self, content_image, tmp_path):

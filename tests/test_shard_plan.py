@@ -1,0 +1,231 @@
+"""Shard planning: apportionment exactness, derived seeds, plan JSON."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ImpressionsConfig
+from repro.metadata.timestamps import TimestampModel
+from repro.shard.plan import (
+    ShardPlan,
+    ShardPlanError,
+    _apportion,
+    _derive_seed,
+    build_plan,
+)
+
+_settings = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+# --- Apportionment -------------------------------------------------------------
+
+
+@given(
+    total=st.integers(min_value=0, max_value=10**9),
+    weights=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=32),
+)
+@_settings
+def test_apportion_sums_exactly(total, weights):
+    shares = _apportion(total, weights)
+    assert sum(shares) == total
+    assert all(share >= 0 for share in shares)
+
+
+@given(
+    count=st.integers(min_value=1, max_value=32),
+    extra=st.integers(min_value=0, max_value=10**6),
+    minimum=st.integers(min_value=1, max_value=50),
+)
+@_settings
+def test_apportion_respects_minimum(count, extra, minimum):
+    total = minimum * count + extra
+    shares = _apportion(total, [1] * count, minimum=minimum)
+    assert sum(shares) == total
+    assert all(share >= minimum for share in shares)
+
+
+def test_apportion_is_deterministic_under_ties():
+    assert _apportion(10, [1, 1, 1]) == [4, 3, 3]
+    assert _apportion(2, [1, 1, 1, 1]) == [1, 1, 0, 0]
+
+
+# --- Seed derivation -----------------------------------------------------------
+
+
+def test_derived_seeds_are_distinct_and_stable():
+    seeds = [_derive_seed(42, 8, index) for index in range(8)]
+    assert len(set(seeds)) == 8
+    assert seeds == [_derive_seed(42, 8, index) for index in range(8)]
+    # Different master seed or shard count gives a different stream.
+    assert _derive_seed(43, 8, 0) != seeds[0]
+    assert _derive_seed(42, 4, 0) != seeds[0]
+    assert all(seed >= 0 for seed in seeds)
+
+
+# --- Plan invariants -----------------------------------------------------------
+
+
+@given(
+    num_files=st.integers(min_value=1, max_value=100_000),
+    num_dirs=st.integers(min_value=1, max_value=10_000),
+    num_shards=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@_settings
+def test_plan_partitions_every_file_into_exactly_one_shard(
+    num_files, num_dirs, num_shards, seed
+):
+    """The partition property: shard file counts are ≥1 and sum exactly to the
+    master count — no file is dropped, none is generated twice."""
+    if num_shards > num_files:
+        with pytest.raises(ShardPlanError):
+            build_plan(
+                ImpressionsConfig(num_files=num_files, num_directories=num_dirs, seed=seed),
+                num_shards,
+            )
+        return
+    plan = build_plan(
+        ImpressionsConfig(num_files=num_files, num_directories=num_dirs, seed=seed),
+        num_shards,
+    )
+    files = [spec.num_files for spec in plan.shards]
+    assert sum(files) == num_files
+    assert all(count >= 1 for count in files)
+    # Each shard root is discarded at merge: merged dirs land exactly on target.
+    assert 1 + sum(spec.num_directories - 1 for spec in plan.shards) == num_dirs
+    assert all(spec.num_directories >= 1 for spec in plan.shards)
+    assert len({spec.seed for spec in plan.shards}) == num_shards
+
+
+def test_plan_apportions_pinned_size_and_capacity():
+    config = ImpressionsConfig(
+        num_files=100,
+        num_directories=20,
+        fs_size_bytes=10_000_000,
+        disk_capacity_bytes=64 * 1024 * 1024,
+    )
+    plan = build_plan(config, 4)
+    assert sum(spec.fs_size_bytes for spec in plan.shards) == 10_000_000
+    assert sum(spec.disk_capacity_bytes for spec in plan.shards) == 64 * 1024 * 1024
+    for spec in plan.shards:
+        assert spec.fs_size_bytes >= 1
+        assert spec.disk_capacity_bytes >= config.block_size
+
+
+def test_plan_leaves_derived_size_derived():
+    plan = build_plan(
+        ImpressionsConfig(num_files=100, num_directories=20, fs_size_bytes=None), 4
+    )
+    assert all(spec.fs_size_bytes is None for spec in plan.shards)
+    assert all(spec.disk_capacity_bytes is None for spec in plan.shards)
+
+
+def test_plan_rejects_unpinned_timestamp_model():
+    config = ImpressionsConfig(
+        num_files=100,
+        num_directories=20,
+        timestamp_model=TimestampModel(),
+    )
+    with pytest.raises(ShardPlanError, match="timestamp_now"):
+        build_plan(config, 2)
+
+
+def test_plan_rejects_bad_shard_counts():
+    config = ImpressionsConfig(num_files=10, num_directories=5)
+    with pytest.raises(ShardPlanError):
+        build_plan(config, 0)
+    with pytest.raises(ShardPlanError, match="at least one file"):
+        build_plan(config, 11)
+
+
+def test_shard_configs_inherit_master_and_isolate_specials():
+    master = ImpressionsConfig(num_files=100, num_directories=20, seed=9, layout_score=0.8)
+    plan = build_plan(master, 3)
+    configs = plan.configs()
+    assert configs[0].special_directories == tuple(master.special_directories)
+    for config in configs[1:]:
+        assert config.special_directories == ()
+    for spec, config in zip(plan.shards, configs):
+        assert config.seed == spec.seed
+        assert config.num_files == spec.num_files
+        assert config.layout_score == 0.8
+
+
+@given(
+    num_files=st.integers(min_value=8, max_value=60),
+    num_shards=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_generated_files_land_in_exactly_one_shard(num_files, num_shards, seed):
+    """End to end: the merged image holds exactly the master's file count, at
+    unique paths — no file lost to the split, none duplicated by the merge."""
+    from repro.shard import generate_sharded
+
+    if num_shards > num_files:
+        num_shards = num_files
+    config = ImpressionsConfig(
+        num_files=num_files, num_directories=max(2, num_files // 6), seed=seed,
+        fs_size_bytes=512 * 1024,
+    )
+    result = generate_sharded(config, num_shards=num_shards, jobs=1, digest=False)
+    paths = [node.path() for node in result.image.tree.files]
+    assert len(paths) == num_files
+    assert len(set(paths)) == num_files
+    directory_paths = [node.path() for node in result.image.tree.directories]
+    assert len(set(directory_paths)) == len(directory_paths)
+
+
+# --- Serialisation -------------------------------------------------------------
+
+
+def test_plan_json_round_trip():
+    plan = build_plan(ImpressionsConfig(num_files=100, num_directories=20, seed=3), 4)
+    restored = ShardPlan.from_json(plan.to_json())
+    assert restored.fingerprint() == plan.fingerprint()
+    assert [spec.as_dict() for spec in restored.shards] == [
+        spec.as_dict() for spec in plan.shards
+    ]
+    assert restored.master.to_knobs() == plan.master.to_knobs()
+
+
+def test_plan_json_rejects_tampering():
+    plan = build_plan(ImpressionsConfig(num_files=100, num_directories=20), 2)
+    data = json.loads(plan.to_json())
+    data["shards"][0]["num_files"] += 1
+    with pytest.raises(ShardPlanError, match="fingerprint mismatch"):
+        ShardPlan.from_dict(data)
+
+
+def test_plan_json_rejects_wrong_kind_and_format():
+    plan = build_plan(ImpressionsConfig(num_files=10, num_directories=2), 2)
+    data = json.loads(plan.to_json())
+    bad_kind = dict(data, kind="something-else")
+    with pytest.raises(ShardPlanError, match="not a shard plan"):
+        ShardPlan.from_dict(bad_kind)
+    bad_format = dict(data, format=999)
+    with pytest.raises(ShardPlanError, match="format"):
+        ShardPlan.from_dict(bad_format)
+
+
+def test_plan_json_refuses_knob_escaping_config():
+    config = ImpressionsConfig(
+        num_files=10,
+        num_directories=2,
+        timestamp_model=TimestampModel(),
+        timestamp_now=1_600_000_000.0,
+    )
+    plan = build_plan(config, 2)
+    with pytest.raises(ShardPlanError, match="knob"):
+        plan.to_json()
+
+
+def test_plan_fingerprint_depends_on_shard_count_and_seed():
+    base = ImpressionsConfig(num_files=100, num_directories=20, seed=1)
+    assert build_plan(base, 2).fingerprint() != build_plan(base, 4).fingerprint()
+    other = ImpressionsConfig(num_files=100, num_directories=20, seed=2)
+    assert build_plan(base, 4).fingerprint() != build_plan(other, 4).fingerprint()
