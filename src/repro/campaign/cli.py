@@ -1,12 +1,13 @@
 """``impressions campaign`` subcommands.
 
-Four verbs::
+Five verbs::
 
     impressions campaign run sweep.json --store results.jsonl --workers 4
     impressions campaign list sweep.json --store results.jsonl
     impressions campaign report --store results.jsonl --metric find.elapsed_ms
     impressions campaign compare baseline.jsonl results.jsonl --tolerance 0.1
     impressions campaign compare results.jsonl --against-git main
+    impressions campaign gc --store results.jsonl --dry-run
 
 ``run`` expands the spec, executes pending scenarios across a worker pool,
 and appends result rows to the store (scenarios whose fingerprint is already
@@ -17,8 +18,9 @@ exits nonzero when it finds metric regressions beyond the tolerance, so it
 can gate CI; ``--against-git REV`` resolves the baseline store from a git
 revision instead of a second path — extracting the committed artifact with
 ``git show``, or (with ``--spec``) regenerating it from that revision's code
-in a temporary worktree.  Every verb accepts ``--json`` for machine-readable
-output.
+in a temporary worktree.  ``gc`` compacts a long-lived store down to the
+newest row per fingerprint (``--dry-run`` reports the reclaimable bytes).
+Every verb accepts ``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
@@ -175,6 +177,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     cmp_parser.add_argument("--json", action="store_true", help="print the diff as JSON")
+
+    gc = commands.add_parser(
+        "gc", help="compact a store: keep only the newest row per fingerprint"
+    )
+    gc.add_argument("--store", required=True, metavar="PATH", help="JSONL result store")
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be dropped and the bytes reclaimed, change nothing",
+    )
+    gc.add_argument("--json", action="store_true", help="print the report as JSON")
     return parser
 
 
@@ -356,6 +369,23 @@ def _compare_stores(args: argparse.Namespace, baseline_path: str, candidate_path
     return 1 if failed else 0
 
 
+def _run_gc(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if not store.exists():
+        raise SystemExit(f"impressions campaign gc: error: no such store {args.store}")
+    report = store.compact(dry_run=args.dry_run)
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+        return 0
+    verb = "would drop" if args.dry_run else "dropped"
+    print(
+        f"{args.store}: {verb} {report['rows_dropped']} superseded row(s) of "
+        f"{report['rows_before']}, reclaiming {report['bytes_reclaimed']} bytes "
+        f"({report['bytes_before']} -> {report['bytes_after']})"
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``impressions campaign ...``."""
     args = build_parser().parse_args(argv)
@@ -366,6 +396,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_list(args)
         if args.command == "report":
             return _run_report(args)
+        if args.command == "gc":
+            return _run_gc(args)
         return _run_compare(args)
     except (SpecError, StoreError, PipelineError, ValueError) as error:
         raise SystemExit(f"impressions campaign {args.command}: error: {error}")

@@ -15,8 +15,10 @@ row per scenario take the latest (:meth:`ResultStore.latest_rows`).
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
+import tempfile
 from typing import Iterator, Mapping
 
 __all__ = ["ResultStore", "StoreError", "deterministic_view", "WALL_KEY", "CACHE_KEY"]
@@ -92,3 +94,67 @@ class ResultStore:
             scenario = str(row.get("scenario", row.get("fingerprint", "")))
             latest[scenario] = row
         return latest
+
+    def compact(self, *, dry_run: bool = False) -> dict:
+        """Rewrite the store keeping only the newest row per fingerprint.
+
+        A long-lived store accretes superseded rows: ``--force`` re-runs,
+        benign duplicates from farm-worker crash recovery, repeated
+        submissions of overlapping sweeps.  Readers already resolve these by
+        taking the latest row, so compaction loses nothing — it just
+        reclaims the bytes.  Rows without a fingerprint are keyed by their
+        scenario id; newest wins either way, and surviving rows keep their
+        relative order.  The rewrite is atomic (temp file + ``os.replace``),
+        so concurrent readers see either the old store or the new one —
+        never a partial file.  Returns a report dict; with ``dry_run`` the
+        file is left untouched and the report says what *would* happen.
+        """
+        if not self.exists():
+            return {
+                "dry_run": dry_run,
+                "path": self.path,
+                "rows_before": 0,
+                "rows_after": 0,
+                "rows_dropped": 0,
+                "bytes_before": 0,
+                "bytes_after": 0,
+                "bytes_reclaimed": 0,
+            }
+        latest_index: dict[str, int] = {}
+        rows: list[dict] = []
+        for index, row in enumerate(self):
+            rows.append(row)
+            key = str(row.get("fingerprint", row.get("scenario", f"row-{index}")))
+            latest_index[key] = index
+        keep = sorted(latest_index.values())
+        lines = [
+            json.dumps(rows[index], sort_keys=True, separators=(",", ":")) + "\n"
+            for index in keep
+        ]
+        bytes_before = os.path.getsize(self.path)
+        bytes_after = sum(len(line.encode("utf-8")) for line in lines)
+        report = {
+            "dry_run": dry_run,
+            "path": self.path,
+            "rows_before": len(rows),
+            "rows_after": len(keep),
+            "rows_dropped": len(rows) - len(keep),
+            "bytes_before": bytes_before,
+            "bytes_after": bytes_after,
+            "bytes_reclaimed": bytes_before - bytes_after,
+        }
+        if dry_run:
+            return report
+        directory = os.path.dirname(self.path) or "."
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(self.path), suffix=".compact"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.writelines(lines)
+            os.replace(temp_path, self.path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.remove(temp_path)
+            raise
+        return report

@@ -47,6 +47,14 @@ back digest-identically — lives under the ``shard`` subcommand
     impressions shard plan --files 52000 --shards 8 --out plan.json
     impressions shard generate --plan plan.json --jobs 4
     impressions shard verify --files 2000 --shards 4 --jobs 4
+
+The long-running benchmark farm — a durable job queue, worker fleet, and
+HTTP control plane over the campaign machinery — lives under the
+``service`` subcommand (:mod:`repro.service.cli`)::
+
+    impressions service start --queue farm.sqlite --store results.jsonl --workers 4
+    impressions service submit sweep.json --url http://127.0.0.1:8765 --wait
+    impressions service status --url http://127.0.0.1:8765
 """
 
 from __future__ import annotations
@@ -223,6 +231,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.shard.cli import main as shard_main
 
         return shard_main(list(argv[1:]))
+    if argv and argv[0] == "service":
+        from repro.service.cli import main as service_main
+
+        return service_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

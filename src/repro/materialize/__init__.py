@@ -12,6 +12,8 @@ against; this package turns the previously monolithic, serial
 * :mod:`repro.materialize.sinks` — :class:`DirectorySink` (host tree, with a
   ``jobs`` process pool and derived directory timestamps),
   :class:`TarSink` (deterministic streaming archives),
+  :class:`SparseTarSink` (GNU sparse metadata-only archives that scale with
+  file count, not apparent bytes),
   :class:`ManifestSink` (JSONL path/size/timestamp/extent manifests) and
   :class:`NullSink` (digest-only).
 * :mod:`repro.materialize.verify` — round-trip verification: materialize →
@@ -49,6 +51,7 @@ from repro.materialize.sinks import (
     DirectorySink,
     ManifestSink,
     NullSink,
+    SparseTarSink,
     TarSink,
     build_sink,
 )
@@ -68,6 +71,7 @@ __all__ = [
     "MaterializeError",
     "MaterializeResult",
     "NullSink",
+    "SparseTarSink",
     "TarSink",
     "VerificationCheck",
     "VerificationResult",

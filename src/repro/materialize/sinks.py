@@ -1,4 +1,4 @@
-"""The four built-in materialization sinks.
+"""The five built-in materialization sinks.
 
 * :class:`DirectorySink` — a real directory tree on the host file system
   (the historical ``FileSystemImage.materialize`` behaviour, extracted and
@@ -7,6 +7,9 @@
   reverse depth order after all children exist).
 * :class:`TarSink` — a deterministic streaming ``.tar`` / ``.tar.gz``
   archive that never touches the host tree.
+* :class:`SparseTarSink` — a GNU *sparse* tar of the metadata-only image;
+  archive size scales with file count, not apparent bytes, so huge images
+  stay archivable.
 * :class:`ManifestSink` — a JSONL manifest of paths / sizes / timestamps /
   extents, cheap enough for huge images.
 * :class:`NullSink` — writes nothing; the driver's content digest is the
@@ -40,7 +43,15 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.image import FileSystemImage
     from repro.namespace.tree import DirectoryNode
 
-__all__ = ["DirectorySink", "TarSink", "ManifestSink", "NullSink", "build_sink", "SINK_NAMES"]
+__all__ = [
+    "DirectorySink",
+    "TarSink",
+    "SparseTarSink",
+    "ManifestSink",
+    "NullSink",
+    "build_sink",
+    "SINK_NAMES",
+]
 
 
 # Directory sink ---------------------------------------------------------------
@@ -314,6 +325,214 @@ class TarSink(MaterializationSink):
         }
 
 
+# Sparse tar sink --------------------------------------------------------------
+
+_TAR_BLOCK = 512
+_TAR_RECORD = 10240  # GNU tar's default blocking factor (20 blocks)
+
+
+def _tar_number(value: int, length: int) -> bytes:
+    """A tar numeric field: octal when it fits, GNU base-256 otherwise."""
+    if 0 <= value < 8 ** (length - 1):
+        return ("%0*o" % (length - 1, value)).encode("ascii") + b"\0"
+    out = bytearray(length)
+    for index in range(length - 1, 0, -1):
+        out[index] = value & 0xFF
+        value >>= 8
+    if value:
+        raise MaterializeError(f"number too large for a {length}-byte tar field")
+    out[0] = 0x80
+    return bytes(out)
+
+
+def _tar_pad(data: bytes) -> bytes:
+    remainder = len(data) % _TAR_BLOCK
+    return data if not remainder else data + b"\0" * (_TAR_BLOCK - remainder)
+
+
+class SparseTarSink(MaterializationSink):
+    """Stream the image into a GNU *sparse* tar — metadata-only, tiny on disk.
+
+    :class:`TarSink` must zero-fill metadata-only payloads because the POSIX
+    formats have no hole representation, so archiving a 100 GiB image costs
+    100 GiB of zeros (gzip shrinks them, but the write and any re-read do
+    not).  This sink hand-rolls the GNU *oldgnu* sparse member format
+    (typeflag ``S``) instead: each file is archived as a sparse map plus only
+    its data regions — for Impressions' metadata-only files, the single
+    trailing zero byte that :class:`DirectorySink` writes (``seek(size-1);
+    write(b"\\0")``) — while the header's ``realsize`` field preserves the
+    full apparent size.  Archive size scales with the *file count*, not the
+    image's nominal bytes.
+
+    Standard tools understand the format: GNU tar extracts the holes back,
+    and Python's ``tarfile`` reads the members (``TarInfo.size`` reports the
+    apparent size), which is how the round-trip test verifies the archive.
+    Long paths use GNU ``L`` longname members, and every field that could
+    vary (owners, modes, padding, gzip header) is pinned exactly as in
+    :class:`TarSink`, so one seeded image produces byte-identical archives —
+    CI pins the digest.
+    """
+
+    name = "sparse-tar"
+    writes_content = False
+
+    def __init__(self, archive_path: str, compress: bool | None = None) -> None:
+        self.archive_path = archive_path
+        if compress is None:
+            compress = archive_path.endswith((".tar.gz", ".tgz"))
+        self.compress = bool(compress)
+        self._raw = None
+        self._gzip = None
+        self._stream = None
+        self._directory_times: dict[str, float] = {}
+        self._sparse_members = 0
+        self._apparent_bytes = 0
+
+    # Block assembly ---------------------------------------------------------
+
+    def _header(
+        self,
+        name: bytes,
+        *,
+        typeflag: bytes,
+        mode: int,
+        size: int,
+        mtime: int,
+        sparse: "list[tuple[int, int]] | None" = None,
+        realsize: int | None = None,
+    ) -> bytes:
+        buf = bytearray(_TAR_BLOCK)
+        if len(name) > 100:
+            raise MaterializeError("header names are capped at 100 bytes (use a longname)")
+        buf[0 : len(name)] = name
+        buf[100:108] = _tar_number(mode, 8)
+        buf[108:116] = _tar_number(0, 8)  # uid
+        buf[116:124] = _tar_number(0, 8)  # gid
+        buf[124:136] = _tar_number(size, 12)
+        buf[136:148] = _tar_number(mtime, 12)
+        buf[156:157] = typeflag
+        buf[257:265] = b"ustar  \0"  # oldgnu magic+version
+        if sparse is not None:
+            # struct oldgnu_header: sparse map at 386 (4 slots of 12+12),
+            # isextended flag at 482, real (apparent) size at 483.
+            if len(sparse) > 4:
+                raise MaterializeError("at most 4 sparse regions fit the base header")
+            position = 386
+            for offset, numbytes in sparse:
+                buf[position : position + 12] = _tar_number(offset, 12)
+                buf[position + 12 : position + 24] = _tar_number(numbytes, 12)
+                position += 24
+            assert realsize is not None
+            buf[483:495] = _tar_number(realsize, 12)
+        buf[148:156] = b" " * 8  # checksum is computed over spaces
+        buf[148:156] = ("%06o" % sum(buf)).encode("ascii") + b"\0 "
+        return bytes(buf)
+
+    def _write(self, data: bytes) -> None:
+        assert self._stream is not None
+        self._stream.write(data)
+
+    def _emit_name(self, relpath: str, *, directory: bool) -> bytes:
+        """The (possibly truncated) header name, emitting a longname first."""
+        full = relpath.encode("utf-8") + (b"/" if directory else b"")
+        if len(full) <= 100:
+            return full
+        self._write(
+            self._header(
+                b"././@LongLink",
+                typeflag=b"L",  # tarfile.GNUTYPE_LONGNAME
+                mode=0o644,
+                size=len(full) + 1,
+                mtime=0,
+            )
+        )
+        self._write(_tar_pad(full + b"\0"))
+        return full[:100]
+
+    # Sink protocol ----------------------------------------------------------
+
+    def begin(self, image: "FileSystemImage", plan: MaterializationPlan) -> None:
+        directory = os.path.dirname(self.archive_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._raw = open(self.archive_path, "wb")
+        self._stream = self._raw
+        if self.compress:
+            self._gzip = gzip.GzipFile(
+                filename="", mode="wb", fileobj=self._raw, mtime=0, compresslevel=6
+            )
+            self._stream = self._gzip
+        self._sparse_members = 0
+        self._apparent_bytes = 0
+        self._directory_times = {
+            path.lstrip("/") or ".": modified
+            for _, path, (_, modified) in derived_directory_times(image.tree)
+        }
+
+    def add_directory(self, directory: "DirectoryNode", relpath: str) -> None:
+        if relpath == ".":
+            return  # the archive root is implicit
+        name = self._emit_name(relpath, directory=True)
+        self._write(
+            self._header(
+                name,
+                typeflag=b"5",
+                mode=0o755,
+                size=0,
+                mtime=int(self._directory_times.get(relpath, 0)),
+            )
+        )
+
+    def add_file(self, stream: FileStream) -> None:
+        node = stream.node
+        stream.ensure_digest()
+        mtime = int(node.timestamps.modified) if node.timestamps is not None else 0
+        name = self._emit_name(stream.relpath, directory=False)
+        if node.size == 0:
+            self._write(
+                self._header(name, typeflag=b"0", mode=0o644, size=0, mtime=mtime)
+            )
+            return
+        # One data region — the trailing zero byte DirectorySink writes; the
+        # header's size counts archived bytes, realsize the apparent size.
+        self._write(
+            self._header(
+                name,
+                typeflag=b"S",
+                mode=0o644,
+                size=1,
+                mtime=mtime,
+                sparse=[(node.size - 1, 1)],
+                realsize=node.size,
+            )
+        )
+        self._write(_tar_pad(b"\0"))
+        self._sparse_members += 1
+        self._apparent_bytes += node.size
+
+    def finalize(self) -> dict:
+        assert self._stream is not None and self._raw is not None
+        self._write(b"\0" * (_TAR_BLOCK * 2))  # end-of-archive marker
+        # Pad to the blocking factor exactly like tarfile/GNU tar do.
+        if self._stream.tell() % _TAR_RECORD:
+            self._write(b"\0" * (_TAR_RECORD - self._stream.tell() % _TAR_RECORD))
+        if self._gzip is not None:
+            self._gzip.close()
+        self._raw.close()
+        digest = hashlib.sha256()
+        with open(self.archive_path, "rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+        return {
+            "path": self.archive_path,
+            "archive_bytes": os.path.getsize(self.archive_path),
+            "archive_sha256": digest.hexdigest(),
+            "compressed": self.compress,
+            "sparse_members": self._sparse_members,
+            "apparent_bytes": self._apparent_bytes,
+        }
+
+
 # Manifest sink ----------------------------------------------------------------
 
 
@@ -448,7 +667,7 @@ class NullSink(MaterializationSink):
 
 
 #: CLI / stage-param sink spellings.
-SINK_NAMES = ("dir", "tar", "manifest", "null")
+SINK_NAMES = ("dir", "tar", "sparse-tar", "manifest", "null")
 
 
 def build_sink(
@@ -459,9 +678,9 @@ def build_sink(
 ) -> MaterializationSink:
     """Instantiate a sink from its CLI spelling.
 
-    ``dir`` / ``tar`` / ``manifest`` need a target ``path``; ``null`` takes
-    none.  ``jobs`` only affects :class:`DirectorySink`; ``digest_content``
-    only :class:`ManifestSink`.
+    ``dir`` / ``tar`` / ``sparse-tar`` / ``manifest`` need a target ``path``;
+    ``null`` takes none.  ``jobs`` only affects :class:`DirectorySink`;
+    ``digest_content`` only :class:`ManifestSink`.
     """
     if digest_content and kind != "manifest":
         raise MaterializeError(
@@ -475,6 +694,8 @@ def build_sink(
         return DirectorySink(path, jobs=jobs)
     if kind == "tar":
         return TarSink(path)
+    if kind == "sparse-tar":
+        return SparseTarSink(path)
     if kind == "manifest":
         return ManifestSink(path, digest_content=digest_content)
     raise MaterializeError(f"unknown sink {kind!r}; expected one of {SINK_NAMES}")

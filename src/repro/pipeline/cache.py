@@ -24,6 +24,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass
 
 from repro.core.config import ImpressionsConfig
@@ -127,7 +128,12 @@ class StageCache:
 
 
 @contextlib.contextmanager
-def cache_lock(root: str, owner: str = "", on_busy: str = "error"):
+def cache_lock(
+    root: str,
+    owner: str = "",
+    on_busy: str = "error",
+    max_age_seconds: float | None = None,
+):
     """Advisory lock on a stage-cache directory for the duration of a run.
 
     Cache *writes* are already atomic, so concurrent sharers cannot corrupt
@@ -137,9 +143,20 @@ def cache_lock(root: str, owner: str = "", on_busy: str = "error"):
     per-worker slices.  The lock turns that foot-gun into a clear error.
 
     The lock is a ``.lock`` file created with ``O_CREAT | O_EXCL`` holding a
-    JSON ``{"pid", "owner"}`` record.  A lock whose pid is no longer alive is
-    stale (the holder crashed without unlinking) and is reclaimed.  When a
-    *live* process holds the lock:
+    JSON ``{"pid", "owner", "created"}`` record.  A lock is *stale* — the
+    holder is gone and left it behind — and is reclaimed when either:
+
+    * its pid is no longer alive (the holder crashed without unlinking), or
+    * it is older than ``max_age_seconds``.  Pid liveness alone cannot catch
+      a holder that died after its pid was recycled by an unrelated process,
+      so long-lived sharers (farm workers) bound the lock's age too; any run
+      legitimately holding a lock that long should extend ``max_age_seconds``
+      past its worst-case wall time.
+
+    Reclaims are counted on the bound telemetry (if any) as
+    ``cache_lock_reclaims_total{reason="dead_pid"|"max_age"}``.
+
+    When a *live* process holds the lock:
 
     * ``on_busy="error"`` raises :class:`CacheBusyError` naming the holder;
     * ``on_busy="ignore"`` proceeds without acquiring (atomic writes make
@@ -148,18 +165,30 @@ def cache_lock(root: str, owner: str = "", on_busy: str = "error"):
     """
     if on_busy not in ("error", "ignore"):
         raise ValueError(f"on_busy must be 'error' or 'ignore', not {on_busy!r}")
+    if max_age_seconds is not None and max_age_seconds <= 0:
+        raise ValueError("max_age_seconds must be positive (or None to disable)")
     os.makedirs(root, exist_ok=True)
     lock_path = os.path.join(root, ".lock")
-    record = json.dumps({"pid": os.getpid(), "owner": owner})
+    record = json.dumps({"pid": os.getpid(), "owner": owner, "created": time.time()})
     acquired = False
     for _ in range(2):  # second pass retries after reclaiming a stale lock
         try:
             descriptor = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
-            holder_pid, holder_owner = _read_lock(lock_path)
+            holder_pid, holder_owner, holder_age = _read_lock(lock_path)
+            stale_reason = None
             if holder_pid is not None and not _pid_alive(holder_pid):
+                stale_reason = "dead_pid"
+            elif (
+                max_age_seconds is not None
+                and holder_age is not None
+                and holder_age > max_age_seconds
+            ):
+                stale_reason = "max_age"
+            if stale_reason is not None:
                 with contextlib.suppress(OSError):
                     os.remove(lock_path)
+                _count_reclaim(stale_reason)
                 continue
             if on_busy == "ignore":
                 break
@@ -183,14 +212,42 @@ def cache_lock(root: str, owner: str = "", on_busy: str = "error"):
                 os.remove(lock_path)
 
 
-def _read_lock(lock_path: str) -> tuple[int | None, str]:
-    """The ``(pid, owner)`` recorded in a lock file, tolerating races/corruption."""
+def _count_reclaim(reason: str) -> None:
+    """Surface a stale-lock reclaim on the bound telemetry, if any."""
+    from repro.obs import core as obs_core
+
+    telemetry = obs_core.current()
+    if telemetry is not None:
+        telemetry.counter(
+            "cache_lock_reclaims_total",
+            "stale stage-cache locks reclaimed",
+            ("reason",),
+        ).inc(reason=reason)
+
+
+def _read_lock(lock_path: str) -> tuple[int | None, str, float | None]:
+    """The ``(pid, owner, age_seconds)`` of a lock file, tolerating corruption.
+
+    Age prefers the recorded ``created`` stamp; a corrupt or pre-stamp lock
+    falls back to the file's mtime so the max-age bound still applies to it.
+    """
+    pid: int | None = None
+    owner = ""
+    created: float | None = None
     try:
         with open(lock_path, encoding="utf-8") as handle:
             data = json.loads(handle.read())
-        return int(data["pid"]), str(data.get("owner", ""))
+        pid = int(data["pid"])
+        owner = str(data.get("owner", ""))
+        created = float(data["created"])
     except (OSError, ValueError, KeyError, TypeError):
-        return None, ""
+        pass
+    if created is None:
+        try:
+            created = os.stat(lock_path).st_mtime
+        except OSError:
+            return pid, owner, None
+    return pid, owner, max(0.0, time.time() - created)
 
 
 def _pid_alive(pid: int) -> bool:

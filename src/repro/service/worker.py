@@ -1,0 +1,298 @@
+"""Farm workers: lease scenarios, run them, heartbeat, append results.
+
+A worker is a loop around :meth:`~repro.service.queue.JobQueue.lease`: claim
+a job, execute its scenario payload through the existing campaign machinery
+(:func:`repro.campaign.runner.run_scenario` — the pipeline, the step
+registry, the shared stage cache), append the result row to the campaign's
+JSONL store, and ack.  While a job runs, a background thread keeps the lease
+alive and upserts a heartbeat row; a worker that dies simply stops doing
+both, and the queue reclaims the job after the lease expires.
+
+Stage-cache coexistence: all workers of a farm share one ``cache_dir``
+(knob-sharing scenarios restore each other's pipeline prefixes).  Each job is
+executed under :func:`repro.pipeline.cache.cache_lock` so two lease holders
+generating at once surface as :class:`~repro.pipeline.cache.CacheBusyError`;
+the worker retries with exponential backoff plus deterministic jitter, and
+after ``cache_busy_retries`` attempts proceeds in shared mode
+(``on_busy="ignore"``) — safe because cache writes are atomic and
+content-addressed, just redundant.
+
+Crash-safety contract (what the tests SIGKILL workers to prove): the result
+row is appended to the store *before* the ack, and rows are deterministic
+functions of the scenario — so every interleaving of crash, reclaim and
+re-execution converges to a store whose latest row per fingerprint is
+bit-identical (modulo ``wall``/``cache``) to an uninterrupted run, and
+``store.compact()`` collapses any benign duplicates.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import random
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro.campaign.runner import TELEMETRY_KEY, run_scenario
+from repro.campaign.store import ResultStore
+from repro.obs import core as obs_core
+from repro.pipeline.cache import CacheBusyError, cache_lock
+from repro.service.queue import Job, JobQueue
+
+__all__ = ["WorkerOptions", "WorkerResult", "Worker", "run_worker"]
+
+
+@dataclass
+class WorkerOptions:
+    """Everything one worker needs to run (mirrors the CLI flags)."""
+
+    queue_path: str
+    store_path: str
+    worker_id: str = ""
+    lease_ttl: float = 60.0
+    poll_interval: float = 0.5
+    cache_dir: str | None = None
+    obs_dir: str | None = None
+    #: exit when the queue has no runnable work (otherwise poll forever).
+    drain: bool = False
+    #: stop after this many completed jobs (None = unbounded).
+    max_jobs: int | None = None
+    #: CacheBusyError retries before falling back to shared-cache mode.
+    cache_busy_retries: int = 4
+    cache_busy_backoff: float = 0.25
+    #: stage-cache locks older than this are stale (recycled-pid insurance);
+    #: must exceed the farm's worst-case single-job wall time.
+    cache_lock_max_age: float = 3600.0
+    #: chaos hook for crash-safety tests: ``"hang-after-lease:SECONDS"``
+    #: sleeps (heartbeating) between lease and execution, giving a test a
+    #: deterministic window to SIGKILL the worker mid-job.
+    inject_fault: str = ""
+
+    def resolved_worker_id(self) -> str:
+        return self.worker_id or f"worker-{os.getpid()}"
+
+
+@dataclass
+class WorkerResult:
+    """What one worker loop did before exiting."""
+
+    worker_id: str
+    jobs_done: int = 0
+    jobs_failed: int = 0
+    acks_lost: int = 0
+    cache_busy_retries: int = 0
+    executed: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "worker": self.worker_id,
+            "jobs_done": self.jobs_done,
+            "jobs_failed": self.jobs_failed,
+            "acks_lost": self.acks_lost,
+            "cache_busy_retries": self.cache_busy_retries,
+            "executed": list(self.executed),
+        }
+
+
+class _LeaseKeeper:
+    """Background thread extending one job's lease and heartbeating."""
+
+    def __init__(self, queue: JobQueue, job: Job, worker_id: str, ttl: float, jobs_done: int):
+        self._queue = queue
+        self._job = job
+        self._worker_id = worker_id
+        self._ttl = ttl
+        self._jobs_done = jobs_done
+        self._stop = threading.Event()
+        self.lost = False
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        interval = max(0.05, self._ttl / 3.0)
+        while not self._stop.wait(interval):
+            if not self._queue.extend_lease(self._job.job_id, self._worker_id, self._ttl):
+                # Reclaimed under us (we hung past the ttl once): stop burning
+                # heartbeats; the executing thread notices via ``lost``.
+                self.lost = True
+                return
+            self._queue.record_heartbeat(
+                self._worker_id, job_id=self._job.job_id, jobs_done=self._jobs_done
+            )
+
+    def __enter__(self) -> "_LeaseKeeper":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+class Worker:
+    """One farm worker; ``run()`` blocks until drained, capped, or stopped."""
+
+    def __init__(self, options: WorkerOptions, *, queue: JobQueue | None = None) -> None:
+        self.options = options
+        self.worker_id = options.resolved_worker_id()
+        self.queue = queue if queue is not None else JobQueue(options.queue_path)
+        self.store = ResultStore(options.store_path)
+        self.telemetry = obs_core.Telemetry(run_id=f"service-{self.worker_id}")
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """Ask the loop to exit after the in-flight job (if any) completes."""
+        self._stop.set()
+
+    # Job execution ----------------------------------------------------------
+
+    def _fault_hang_seconds(self) -> float:
+        fault = self.options.inject_fault
+        if fault.startswith("hang-after-lease:"):
+            return float(fault.split(":", 1)[1])
+        if fault:
+            raise ValueError(f"unknown inject_fault {fault!r}")
+        return 0.0
+
+    def _execute_payload(self, payload: dict, attempt: int, result: WorkerResult) -> dict:
+        """Run one scenario payload, negotiating the shared stage cache.
+
+        The per-job ``cache_lock`` makes concurrent generation visible as
+        :class:`CacheBusyError`; retries back off with jitter derived
+        deterministically from (worker, fingerprint, attempt), and the final
+        fallback shares the directory (atomic writes make that benign).
+        """
+        cache_dir = self.options.cache_dir
+        if not cache_dir:
+            return run_scenario(payload)
+        rng = random.Random(f"{self.worker_id}:{payload['fingerprint']}:{attempt}")
+        for busy_try in range(self.options.cache_busy_retries + 1):
+            on_busy = "error" if busy_try < self.options.cache_busy_retries else "ignore"
+            try:
+                with cache_lock(
+                    cache_dir,
+                    owner=self.worker_id,
+                    on_busy=on_busy,
+                    max_age_seconds=self.options.cache_lock_max_age,
+                ):
+                    return run_scenario(payload)
+            except CacheBusyError:
+                result.cache_busy_retries += 1
+                self.telemetry.counter(
+                    "service_cache_busy_retries_total",
+                    "CacheBusyError retries while negotiating the shared stage cache",
+                ).inc()
+                delay = self.options.cache_busy_backoff * (2.0 ** busy_try)
+                time.sleep(delay + rng.uniform(0.0, delay))
+        raise AssertionError("unreachable: final cache attempt shares the directory")
+
+    def _run_job(self, job: Job, result: WorkerResult) -> None:
+        options = self.options
+        payload = dict(job.payload)
+        if options.cache_dir:
+            payload["cache_dir"] = options.cache_dir
+        payload["telemetry"] = True
+        keeper = _LeaseKeeper(
+            self.queue, job, self.worker_id, options.lease_ttl, result.jobs_done
+        )
+        start = time.perf_counter()
+        with keeper:
+            hang = self._fault_hang_seconds()
+            if hang:  # pragma: no cover - exercised via SIGKILL in crash tests
+                time.sleep(hang)
+            try:
+                row = self._execute_payload(payload, job.attempts, result)
+            except KeyboardInterrupt:
+                raise
+            except BaseException:
+                error = traceback.format_exc()
+                outcome = self.queue.fail(job.job_id, self.worker_id, error)
+                result.jobs_failed += 1
+                self.telemetry.counter(
+                    "service_jobs_failed_total", "jobs whose scenario raised", ("outcome",)
+                ).inc(outcome=outcome)
+                return
+        duration = time.perf_counter() - start
+        snapshot = row.pop(TELEMETRY_KEY, None)
+        if snapshot is not None:
+            # Per-job telemetry folds into the worker's own snapshot (spans
+            # keep their recording pid, counters/histograms add).
+            self.telemetry.merge(snapshot)
+        if keeper.lost:
+            # The lease expired while we executed (e.g. a hang outlived the
+            # ttl).  The job was reclaimed and will be — or already was —
+            # re-executed; our row is the same deterministic row, so appending
+            # it would only create a benign duplicate.  Drop it.
+            result.acks_lost += 1
+            return
+        # Append before ack: a crash between the two leaves a done row in the
+        # store and a reclaimable lease — the retry appends a duplicate of an
+        # identical row, never loses one.  Skip the append only when the store
+        # already holds this fingerprint (duplicate submission already run).
+        summary = {
+            "scenario": row["scenario"],
+            "fingerprint": row["fingerprint"],
+            "metrics": len(row.get("metrics", {})),
+        }
+        if row["fingerprint"] not in self.store.fingerprints():
+            self.store.append(row)
+        if self.queue.ack(
+            job.job_id, self.worker_id, duration_seconds=duration, result=summary
+        ):
+            result.jobs_done += 1
+            result.executed.append(job.scenario_id)
+            self.telemetry.counter(
+                "service_jobs_done_total", "jobs completed by this worker"
+            ).inc()
+            self.telemetry.histogram(
+                "service_job_duration_seconds",
+                "wall-clock seconds per completed job",
+                buckets=(0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0, 1800.0),
+                unit="seconds",
+            ).observe(duration)
+        else:
+            result.acks_lost += 1
+
+    # Main loop --------------------------------------------------------------
+
+    def run(self) -> WorkerResult:
+        options = self.options
+        result = WorkerResult(worker_id=self.worker_id)
+        with obs_core.use(self.telemetry):
+            self.queue.record_heartbeat(self.worker_id, jobs_done=0)
+            while not self._stop.is_set():
+                if options.max_jobs is not None and result.jobs_done >= options.max_jobs:
+                    break
+                job = self.queue.lease(self.worker_id, options.lease_ttl)
+                if job is None:
+                    if options.drain:
+                        # Back off only if undone work exists but is not yet
+                        # runnable (backoff windows / other workers' leases).
+                        stats = self.queue.stats()
+                        if stats["depth"] == 0:
+                            break
+                    self.queue.record_heartbeat(
+                        self.worker_id, jobs_done=result.jobs_done
+                    )
+                    if self._stop.wait(options.poll_interval):
+                        break
+                    continue
+                self._run_job(job, result)
+            self.queue.record_heartbeat(self.worker_id, jobs_done=result.jobs_done)
+        if options.obs_dir:
+            from repro import obs
+
+            obs.save(
+                self.telemetry, os.path.join(options.obs_dir, self.worker_id)
+            )
+        return result
+
+
+def run_worker(options: WorkerOptions, *, queue: JobQueue | None = None) -> WorkerResult:
+    """Run one worker loop to completion (the ``service worker`` CLI body)."""
+    worker = Worker(options, queue=queue)
+    with contextlib.ExitStack() as stack:
+        if queue is None:
+            stack.callback(worker.queue.close)
+        return worker.run()

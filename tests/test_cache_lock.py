@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 
 import pytest
 
@@ -71,6 +72,75 @@ class TestCacheLock:
         with pytest.raises(CacheBusyError, match="unknown process"):
             with cache_lock(str(tmp_path)):
                 pass
+
+
+class TestCacheLockMaxAge:
+    """Age-based staleness: recycled-pid insurance for long-lived farms."""
+
+    def _write_lock(self, tmp_path, *, pid=None, created=None) -> None:
+        record = {"pid": os.getpid() if pid is None else pid, "owner": "old"}
+        if created is not None:
+            record["created"] = created
+        with open(_lock_path(tmp_path), "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(record))
+
+    def test_live_pid_past_max_age_is_reclaimed(self, tmp_path):
+        # Our own pid is alive, so only the age bound can free this lock —
+        # exactly the recycled-pid scenario.
+        self._write_lock(tmp_path, created=time.time() - 120.0)
+        with cache_lock(str(tmp_path), owner="reclaimer", max_age_seconds=60.0):
+            data = json.loads(open(_lock_path(tmp_path), encoding="utf-8").read())
+            assert data["owner"] == "reclaimer"
+
+    def test_young_lock_is_not_reclaimed(self, tmp_path):
+        self._write_lock(tmp_path, created=time.time() - 5.0)
+        with pytest.raises(CacheBusyError):
+            with cache_lock(str(tmp_path), max_age_seconds=60.0):
+                pass
+
+    def test_without_max_age_live_pid_still_blocks(self, tmp_path):
+        self._write_lock(tmp_path, created=time.time() - 10_000.0)
+        with pytest.raises(CacheBusyError):
+            with cache_lock(str(tmp_path)):
+                pass
+
+    def test_corrupt_old_lock_falls_back_to_mtime(self, tmp_path):
+        with open(_lock_path(tmp_path), "w", encoding="utf-8") as handle:
+            handle.write("not json")
+        old = time.time() - 120.0
+        os.utime(_lock_path(tmp_path), (old, old))
+        with cache_lock(str(tmp_path), owner="reclaimer", max_age_seconds=60.0):
+            pass
+        assert not os.path.exists(_lock_path(tmp_path))
+
+    def test_corrupt_young_lock_still_blocks(self, tmp_path):
+        with open(_lock_path(tmp_path), "w", encoding="utf-8") as handle:
+            handle.write("not json")
+        with pytest.raises(CacheBusyError, match="unknown process"):
+            with cache_lock(str(tmp_path), max_age_seconds=60.0):
+                pass
+
+    def test_rejects_nonpositive_max_age(self, tmp_path):
+        with pytest.raises(ValueError, match="max_age_seconds"):
+            with cache_lock(str(tmp_path), max_age_seconds=0.0):
+                pass
+
+    def test_reclaims_are_counted_on_bound_telemetry(self, tmp_path):
+        from repro import obs
+
+        telemetry = obs.Telemetry(run_id="lock-test")
+        self._write_lock(tmp_path, pid=2**22 + 12345)
+        with obs.use(telemetry):
+            with cache_lock(str(tmp_path), max_age_seconds=60.0):
+                pass
+            self._write_lock(tmp_path, created=time.time() - 120.0)
+            with cache_lock(str(tmp_path), max_age_seconds=60.0):
+                pass
+        family = telemetry.counter(
+            "cache_lock_reclaims_total", "stale stage-cache locks reclaimed", ("reason",)
+        )
+        series = {labels["reason"]: state.value for labels, state in family.series_items()}
+        assert series == {"dead_pid": 1.0, "max_age": 1.0}
 
 
 class TestGenerateFacade:

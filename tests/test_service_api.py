@@ -1,0 +1,221 @@
+"""The HTTP control plane: routes, dedupe under concurrency, Prometheus text."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaign.store import ResultStore
+from repro.service.api import FarmService, metrics_telemetry, serve_forever
+from repro.service.queue import JobQueue
+from repro.service.worker import WorkerOptions, run_worker
+
+SPEC_DOC = {
+    "name": "api",
+    "base": {"num_directories": 6, "fs_size_bytes": 8 * 1024 * 1024},
+    "sweep": {"num_files": [30, 40], "seed": [1]},
+    "steps": [{"step": "summary"}],
+}
+
+
+@pytest.fixture()
+def farm(tmp_path):
+    queue_path = str(tmp_path / "q.sqlite")
+    store_path = str(tmp_path / "r.jsonl")
+    queue = JobQueue(queue_path)
+    service = FarmService(queue, store_path)
+    with serve_forever(service) as (host, port):
+        yield {
+            "base": f"http://{host}:{port}",
+            "queue": queue,
+            "queue_path": queue_path,
+            "store_path": store_path,
+            "service": service,
+        }
+    queue.close()
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        body = response.read().decode("utf-8")
+        return response.status, response.headers.get("Content-Type", ""), body
+
+
+def _post_json(url: str, payload: dict):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10.0) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+class TestRoutes:
+    def test_healthz(self, farm):
+        status, _, body = _get(f"{farm['base']}/healthz")
+        assert status == 200
+        assert json.loads(body) == {"ok": True, "draining": False}
+
+    def test_submit_then_inspect_campaign_and_job(self, farm):
+        status, submitted = _post_json(f"{farm['base']}/campaigns", SPEC_DOC)
+        assert status == 201
+        assert submitted["enqueued"] == 2
+        _, _, body = _get(f"{farm['base']}/campaigns/{submitted['campaign']}")
+        info = json.loads(body)
+        assert info["state"] == "running"
+        assert info["total"] == 2
+        _, _, body = _get(f"{farm['base']}/jobs/1")
+        job = json.loads(body)
+        assert job["state"] == "pending"
+        assert job["attempts"] == 0
+
+    def test_envelope_submission_with_max_attempts(self, farm):
+        _, submitted = _post_json(
+            f"{farm['base']}/campaigns", {"spec": SPEC_DOC, "max_attempts": 7}
+        )
+        assert submitted["enqueued"] == 2
+        _, _, body = _get(f"{farm['base']}/jobs/1")
+        assert json.loads(body)["max_attempts"] == 7
+
+    def test_queue_stats(self, farm):
+        _post_json(f"{farm['base']}/campaigns", SPEC_DOC)
+        _, _, body = _get(f"{farm['base']}/queue/stats")
+        stats = json.loads(body)
+        assert stats["depth"] == 2
+        assert stats["jobs"]["pending"] == 2
+
+    def test_unknown_resources_404(self, farm):
+        for path in ("/nope", "/campaigns/c99", "/jobs/99"):
+            with pytest.raises(urllib.error.HTTPError) as info:
+                _get(f"{farm['base']}{path}")
+            assert info.value.code == 404
+
+    def test_bad_spec_400_with_message(self, farm):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            _post_json(f"{farm['base']}/campaigns", {"name": "empty", "steps": []})
+        assert info.value.code == 400
+        assert "step" in json.loads(info.value.read().decode())["error"]
+
+    def test_drain_closes_submissions(self, farm):
+        status, result = _post_json(f"{farm['base']}/drain", {})
+        assert status == 200
+        assert result["draining"] is True
+        with pytest.raises(urllib.error.HTTPError) as info:
+            _post_json(f"{farm['base']}/campaigns", SPEC_DOC)
+        assert info.value.code == 503
+
+
+class TestConcurrentClients:
+    def test_two_clients_same_spec_execute_each_scenario_once(self, farm):
+        """The acceptance criterion: concurrent duplicate submissions dedupe."""
+        barrier = threading.Barrier(2)
+        results = []
+
+        def client() -> None:
+            barrier.wait()
+            results.append(_post_json(f"{farm['base']}/campaigns", SPEC_DOC)[1])
+
+        threads = [threading.Thread(target=client) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(result["enqueued"] for result in results) == 2
+        assert sum(result["deduped"] for result in results) == 2
+        # Both campaigns complete from the same two executions.
+        worker = run_worker(
+            WorkerOptions(
+                queue_path=farm["queue_path"],
+                store_path=farm["store_path"],
+                drain=True,
+                poll_interval=0.05,
+            )
+        )
+        assert worker.jobs_done == 2
+        assert len(ResultStore(farm["store_path"]).rows()) == 2
+        for result in results:
+            _, _, body = _get(f"{farm['base']}/campaigns/{result['campaign']}")
+            assert json.loads(body)["state"] == "complete"
+
+    def test_store_level_dedupe_marks_born_done(self, farm):
+        _post_json(f"{farm['base']}/campaigns", SPEC_DOC)
+        run_worker(
+            WorkerOptions(
+                queue_path=farm["queue_path"],
+                store_path=farm["store_path"],
+                drain=True,
+                poll_interval=0.05,
+            )
+        )
+        farm["queue"].gc()  # drop the done queue rows; the store remembers
+        _, resubmitted = _post_json(f"{farm['base']}/campaigns", SPEC_DOC)
+        assert resubmitted["already_done"] == 2
+        assert resubmitted["enqueued"] == 0
+
+
+class TestMetrics:
+    def test_prometheus_text_exposes_queue_health(self, farm):
+        _post_json(f"{farm['base']}/campaigns", SPEC_DOC)
+        run_worker(
+            WorkerOptions(
+                queue_path=farm["queue_path"],
+                store_path=farm["store_path"],
+                drain=True,
+                poll_interval=0.05,
+            )
+        )
+        status, content_type, body = _get(f"{farm['base']}/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        lines = body.splitlines()
+        samples = {}
+        for line in lines:
+            if line and not line.startswith("#"):
+                name, _, value = line.rpartition(" ")
+                samples[name] = float(value)
+        # The acceptance criterion's required families:
+        assert samples['service_queue_jobs{state="done"}'] == 2.0
+        assert samples["service_queue_depth"] == 0.0
+        assert samples["service_lease_reclaims_total"] == 0.0
+        assert samples["service_job_retries_total"] == 0.0
+        assert samples["service_job_duration_seconds_count"] == 2.0
+        assert samples["service_job_duration_seconds_sum"] > 0.0
+        # Valid exposition format: every sample family is declared.
+        declared = {
+            line.split()[2] for line in lines if line.startswith("# TYPE")
+        }
+        for name in samples:
+            family = name.split("{")[0]
+            for suffix in ("_bucket", "_sum", "_count"):
+                if family.endswith(suffix) and family[: -len(suffix)] in declared:
+                    family = family[: -len(suffix)]
+                    break
+            assert family in declared, f"undeclared sample {name}"
+
+    def test_metrics_telemetry_counts_reclaims_and_retries(self, tmp_path):
+        clock = {"now": 1_000.0}
+        queue = JobQueue(
+            str(tmp_path / "q.sqlite"),
+            backoff_base=0.1,
+            clock=lambda: clock["now"],
+        )
+        try:
+            queue.submit(SPEC_DOC, "r.jsonl", max_attempts=3)
+            job = queue.lease("w1", ttl_seconds=5.0)
+            clock["now"] += 6.0  # w1 "crashes"; lease expires
+            queue.reclaim_expired()
+            job = queue.lease("w2", ttl_seconds=5.0)
+            queue.fail(job.job_id, "w2", "boom")
+            telemetry = metrics_telemetry(queue)
+            from repro.obs.export import prometheus_text
+
+            text = prometheus_text(telemetry)
+            assert "service_lease_reclaims_total 1" in text
+            assert "service_job_retries_total 2" in text
+        finally:
+            queue.close()

@@ -1,0 +1,158 @@
+"""``impressions service ...`` verbs through the real top-level CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.cli import main
+
+SPEC_DOC = {
+    "name": "svc-cli",
+    "base": {"num_directories": 6, "fs_size_bytes": 8 * 1024 * 1024},
+    "sweep": {"num_files": [30], "seed": [1]},
+    "steps": [{"step": "summary"}],
+}
+
+
+@pytest.fixture()
+def farm_dir(tmp_path):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(SPEC_DOC))
+    return {
+        "spec": str(spec_path),
+        "queue": str(tmp_path / "q.sqlite"),
+        "store": str(tmp_path / "r.jsonl"),
+    }
+
+
+def _submit(farm_dir) -> dict:
+    return [
+        "service",
+        "submit",
+        farm_dir["spec"],
+        "--queue",
+        farm_dir["queue"],
+        "--store",
+        farm_dir["store"],
+    ]
+
+
+class TestServiceCli:
+    def test_submit_then_worker_then_status(self, farm_dir, capsys):
+        assert main(_submit(farm_dir) + ["--json"]) == 0
+        submitted = json.loads(capsys.readouterr().out)
+        assert submitted["enqueued"] == 1
+
+        code = main(
+            [
+                "service",
+                "worker",
+                "--queue",
+                farm_dir["queue"],
+                "--store",
+                farm_dir["store"],
+                "--drain",
+                "--poll-interval",
+                "0.05",
+                "--json",
+            ]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["jobs_done"] == 1
+
+        assert main(["service", "status", "--queue", farm_dir["queue"], "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["stats"]["jobs"]["done"] == 1
+        assert status["campaigns"][0]["state"] == "complete"
+
+    def test_watch_exits_zero_on_complete_campaign(self, farm_dir, capsys):
+        main(_submit(farm_dir))
+        main(
+            [
+                "service",
+                "worker",
+                "--queue",
+                farm_dir["queue"],
+                "--store",
+                farm_dir["store"],
+                "--drain",
+                "--poll-interval",
+                "0.05",
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            ["service", "watch", "c1", "--queue", farm_dir["queue"], "--json"]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["state"] == "complete"
+
+    def test_submit_wait_blocks_until_worker_finishes(self, farm_dir, capsys):
+        """--wait with a worker draining in a thread completes end to end."""
+        import threading
+
+        def drain_soon() -> None:
+            main(
+                [
+                    "service",
+                    "worker",
+                    "--queue",
+                    farm_dir["queue"],
+                    "--store",
+                    farm_dir["store"],
+                    "--poll-interval",
+                    "0.05",
+                    "--max-jobs",
+                    "1",
+                ]
+            )
+
+        thread = threading.Thread(target=drain_soon)
+        thread.start()
+        try:
+            code = main(
+                _submit(farm_dir)
+                + ["--wait", "--poll-interval", "0.05", "--timeout", "60", "--json"]
+            )
+        finally:
+            thread.join(timeout=60.0)
+        assert code == 0
+        # stdout interleaves the worker thread's summary with submit's JSON
+        # payload (the only line with a "failed" key), in either order.
+        (payload,) = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("{") and '"failed"' in line
+        ]
+        assert payload["failed"] is False
+        assert payload["campaign"]["state"] == "complete"
+
+    def test_gc_reports_collected_rows(self, farm_dir, capsys):
+        main(_submit(farm_dir))
+        main(
+            [
+                "service",
+                "worker",
+                "--queue",
+                farm_dir["queue"],
+                "--store",
+                farm_dir["store"],
+                "--drain",
+                "--poll-interval",
+                "0.05",
+            ]
+        )
+        capsys.readouterr()
+        code = main(["service", "gc", "--queue", farm_dir["queue"], "--json"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["jobs_collected"] == 1
+
+    def test_endpointless_verbs_fail_clearly(self, farm_dir):
+        with pytest.raises(SystemExit, match="--url|--queue"):
+            main(["service", "status"])
+
+    def test_drain_requires_a_server(self, farm_dir):
+        with pytest.raises(SystemExit, match="running service"):
+            main(["service", "drain", "--queue", farm_dir["queue"]])
