@@ -11,6 +11,16 @@ code) triple, never edited in place.  Re-running a campaign consults
 :meth:`ResultStore.fingerprints` and skips scenarios whose fingerprint is
 already present; ``--force`` appends fresh rows, and readers that want one
 row per scenario take the latest (:meth:`ResultStore.latest_rows`).
+
+Crash consistency: a process dying mid-append leaves a torn final line.
+Readers *tolerate* it — the partial line is quarantined into the store's
+``.quarantine/`` sidecar and skipped, never surfaced as a row — and the next
+:meth:`ResultStore.append` heals the file by truncating the torn tail before
+writing, so one crash can never corrupt the row that follows it.  Damage
+anywhere *other* than the final line is not a crash signature (appends are
+sequential), so it still raises :class:`StoreError`; :meth:`ResultStore.recover`
+is the explicit repair that quarantines every bad line and rewrites the
+valid rows atomically.
 """
 
 from __future__ import annotations
@@ -20,6 +30,9 @@ import json
 import os
 import tempfile
 from typing import Iterator, Mapping
+
+from repro.faults import atomic as fault_atomic
+from repro.faults import plan as fault_plan
 
 __all__ = ["ResultStore", "StoreError", "deterministic_view", "WALL_KEY", "CACHE_KEY"]
 
@@ -50,33 +63,89 @@ class ResultStore:
     def exists(self) -> bool:
         return os.path.exists(self.path)
 
+    def heal_torn_tail(self) -> bool:
+        """Truncate a torn final line (crash mid-append), quarantining it.
+
+        A well-formed store ends with a newline; anything after the last
+        newline is the partial row a dying process managed to flush.  The
+        torn bytes are preserved in the ``.quarantine/`` sidecar before the
+        file is truncated back to its valid prefix.  Returns True when a
+        tail was healed.
+        """
+        if not self.exists():
+            return False
+        with open(self.path, "r+b") as handle:
+            data = handle.read()
+            if not data or data.endswith(b"\n"):
+                return False
+            cut = data.rfind(b"\n") + 1  # 0 when the whole file is one torn line
+            torn = data[cut:]
+            fault_plan.count_corruption("store")
+            fault_atomic.quarantine_bytes(
+                self.path,
+                torn,
+                layer="store",
+                reason="torn_final_line",
+                detail={"store": self.path, "valid_prefix_bytes": cut},
+            )
+            handle.truncate(cut)
+        fault_plan.count_heal("store", "truncate_torn_tail")
+        return True
+
     def append(self, row: Mapping[str, object]) -> None:
-        """Append one result row as a canonical JSON line."""
+        """Append one result row as a canonical JSON line.
+
+        Heals a torn tail first: appending after an unhealed crash would
+        concatenate the new row onto the partial line and corrupt *both*.
+        """
         line = json.dumps(row, sort_keys=True, separators=(",", ":"))
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line)
-            handle.write("\n")
+        self.heal_torn_tail()
+        data = (line + "\n").encode("utf-8")
+        data, crash_after = fault_plan.mangle_write("store.append", data)
+        with open(self.path, "ab") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if crash_after:
+            raise fault_plan.InjectedCrash("store.append", "torn append persisted")
 
     def __iter__(self) -> Iterator[dict]:
         if not self.exists():
             return
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    row = json.loads(line)
-                except json.JSONDecodeError as error:
-                    raise StoreError(
-                        f"{self.path}:{number}: malformed result row: {error}"
-                    ) from error
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        lines = raw.split(b"\n")
+        last_index = len(lines) - 1
+        for number, raw_line in enumerate(lines, start=1):
+            line = raw_line.strip()
+            if not line:
+                continue
+            # The final element of the split is newline-terminated-free by
+            # construction: bytes after the last "\n" are a torn append.
+            is_torn_tail = number - 1 == last_index
+            try:
+                row = json.loads(line.decode("utf-8"))
                 if not isinstance(row, dict):
-                    raise StoreError(f"{self.path}:{number}: result row must be an object")
-                yield row
+                    raise ValueError("result row must be an object")
+            except (ValueError, UnicodeDecodeError) as error:
+                if is_torn_tail:
+                    fault_plan.count_corruption("store")
+                    fault_atomic.quarantine_bytes(
+                        self.path,
+                        raw_line,
+                        layer="store",
+                        reason="torn_final_line",
+                        detail={"store": self.path, "line": number},
+                    )
+                    continue
+                raise StoreError(
+                    f"{self.path}:{number}: malformed result row: {error}; "
+                    "run ResultStore.recover() to quarantine bad lines"
+                ) from error
+            yield row
 
     def rows(self) -> list[dict]:
         return list(self)
@@ -158,3 +227,61 @@ class ResultStore:
                 os.remove(temp_path)
             raise
         return report
+
+    def recover(self) -> dict:
+        """Repair a damaged store: quarantine every bad line, keep the rest.
+
+        Unlike iteration — which tolerates only the torn-final-line crash
+        signature — recovery accepts arbitrary damage (bit rot, a partial
+        overwrite, an editor accident): each unparsable line is moved to the
+        ``.quarantine/`` sidecar with its line number, and the surviving
+        rows are rewritten atomically in their original order.  Returns a
+        report of rows kept and lines quarantined.
+        """
+        if not self.exists():
+            return {"path": self.path, "rows_kept": 0, "lines_quarantined": 0}
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        kept: list[bytes] = []
+        quarantined = 0
+        for number, raw_line in enumerate(raw.split(b"\n"), start=1):
+            line = raw_line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line.decode("utf-8"))
+                if not isinstance(row, dict):
+                    raise ValueError("result row must be an object")
+            except (ValueError, UnicodeDecodeError) as error:
+                quarantined += 1
+                fault_plan.count_corruption("store")
+                fault_atomic.quarantine_bytes(
+                    self.path,
+                    raw_line,
+                    layer="store",
+                    reason="recover_bad_line",
+                    detail={"store": self.path, "line": number, "error": str(error)},
+                )
+                continue
+            kept.append(line + b"\n")
+        if quarantined:
+            directory = os.path.dirname(self.path) or "."
+            descriptor, temp_path = tempfile.mkstemp(
+                dir=directory, prefix=os.path.basename(self.path), suffix=".recover"
+            )
+            try:
+                with os.fdopen(descriptor, "wb") as handle:
+                    handle.writelines(kept)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(temp_path, self.path)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.remove(temp_path)
+                raise
+            fault_plan.count_heal("store", "recover_rewrite")
+        return {
+            "path": self.path,
+            "rows_kept": len(kept),
+            "lines_quarantined": quarantined,
+        }

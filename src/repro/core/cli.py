@@ -121,7 +121,8 @@ def build_parser() -> argparse.ArgumentParser:
             "Scenario sweeps: 'impressions campaign run|list|report|compare --help'. "
             "Stage graph: 'impressions pipeline inspect --help'. "
             "Sinks and archives: 'impressions materialize --help'. "
-            "Sharded generation: 'impressions shard plan|generate|verify --help'."
+            "Sharded generation: 'impressions shard plan|generate|verify --help'. "
+            "Chaos sweeps: 'impressions faults plan|sweep --help'."
         ),
     )
     add_config_arguments(parser)
@@ -235,6 +236,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.service.cli import main as service_main
 
         return service_main(list(argv[1:]))
+    if argv and argv[0] == "faults":
+        from repro.faults.cli import main as faults_main
+
+        return faults_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -1,0 +1,63 @@
+"""Deterministic fault injection and crash-consistency primitives.
+
+See :mod:`repro.faults.plan` for the seeded fault schedules and injector,
+:mod:`repro.faults.atomic` for checksum-sealed atomic writes and quarantine,
+and :mod:`repro.faults.harness` for the chaos sweep behind
+``impressions faults sweep``.
+"""
+
+from repro.faults.atomic import (
+    TRAILER_MAGIC,
+    TRAILER_SIZE,
+    CorruptionError,
+    atomic_write_bytes,
+    quarantine_bytes,
+    quarantine_dir,
+    quarantine_file,
+    read_verified,
+    seal,
+    unseal,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    INJECTION_POINTS,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    active,
+    check,
+    count_corruption,
+    count_heal,
+    count_quarantine,
+    mangle_write,
+    use,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "INJECTION_POINTS",
+    "TRAILER_MAGIC",
+    "TRAILER_SIZE",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "CorruptionError",
+    "active",
+    "check",
+    "mangle_write",
+    "use",
+    "count_corruption",
+    "count_heal",
+    "count_quarantine",
+    "seal",
+    "unseal",
+    "atomic_write_bytes",
+    "read_verified",
+    "quarantine_dir",
+    "quarantine_bytes",
+    "quarantine_file",
+]

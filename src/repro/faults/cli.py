@@ -1,0 +1,157 @@
+"""``impressions faults`` — inspect fault plans and run chaos sweeps.
+
+::
+
+    impressions faults plan --seed 7 [--json]
+    impressions faults sweep --seed 7 [--out DIR] [--points P ...] [--json]
+
+``plan`` prints the deterministic fault schedule a seed expands to (and its
+fingerprint), without running anything.  ``sweep`` runs the full chaos
+harness — every scheduled fault as its own experiment — and exits non-zero
+unless every fault either self-healed to a fingerprint-identical result or
+dead-lettered with a captured reason.  With ``--out`` the sweep writes
+``report.json`` plus the observability bundle (events, trace, Prometheus
+snapshot, summary) for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.faults.harness import run_sweep, save_report
+from repro.faults.plan import FAULT_KINDS, INJECTION_POINTS, FaultPlan
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="impressions faults",
+        description="Deterministic fault injection: print plans, run chaos sweeps.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_plan_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--seed", type=int, default=0, help="plan seed (default: 0)")
+        sub.add_argument(
+            "--points",
+            nargs="+",
+            metavar="POINT",
+            default=None,
+            choices=sorted(INJECTION_POINTS),
+            help="restrict to these injection points (default: all)",
+        )
+        sub.add_argument(
+            "--kinds",
+            nargs="+",
+            metavar="KIND",
+            default=None,
+            choices=list(FAULT_KINDS),
+            help="restrict to these fault kinds (default: all)",
+        )
+        sub.add_argument(
+            "--faults-per-point",
+            type=int,
+            default=1,
+            metavar="N",
+            help="faults scheduled per injection point (default: 1)",
+        )
+        sub.add_argument("--json", action="store_true", help="machine-readable output")
+
+    plan = commands.add_parser("plan", help="print the schedule a seed expands to")
+    add_plan_arguments(plan)
+
+    sweep = commands.add_parser("sweep", help="run every scheduled fault as an experiment")
+    add_plan_arguments(sweep)
+    sweep.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="write report.json and the obs bundle here",
+    )
+    return parser
+
+
+def _expand(args: argparse.Namespace) -> FaultPlan:
+    return FaultPlan.generate(
+        args.seed,
+        points=args.points,
+        kinds=args.kinds,
+        faults_per_point=args.faults_per_point,
+    )
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    plan = _expand(args)
+    if args.json:
+        print(
+            json.dumps(
+                {"plan": plan.to_dict(), "fingerprint": plan.fingerprint()},
+                sort_keys=True,
+                indent=2,
+            )
+        )
+        return 0
+    print(f"seed {plan.seed}: {len(plan)} fault(s), fingerprint {plan.fingerprint()[:16]}")
+    for spec in plan:
+        extra = ""
+        if spec.kind == "torn_write":
+            extra = f" offset={spec.offset}"
+        elif spec.kind == "fsync_loss":
+            extra = f" lost_bytes={spec.lost_bytes}"
+        elif spec.kind == "slow_io":
+            extra = f" delay={spec.delay_seconds}s"
+        print(f"  {spec.point}: {spec.kind} on occurrence {spec.occurrence}{extra}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    quiet = bool(args.json)
+    report = run_sweep(
+        args.seed,
+        points=args.points,
+        kinds=args.kinds,
+        faults_per_point=args.faults_per_point,
+        log=(None if quiet else print),
+    )
+    paths: dict[str, str] = {}
+    if args.out:
+        paths = save_report(report, args.out)
+    if args.json:
+        document = report.as_dict()
+        if paths:
+            document["artifacts"] = paths
+        print(json.dumps(document, sort_keys=True, indent=2))
+    else:
+        verdicts = ", ".join(
+            f"{count} {verdict}" for verdict, count in sorted(report.as_dict()["verdicts"].items())
+        )
+        status = "PASS" if report.passed else "FAIL"
+        print(
+            f"{status}: seed {report.seed}, {len(report.outcomes)} fault(s) "
+            f"({verdicts or 'none'}), plan {report.plan_fingerprint[:16]} "
+            f"{'(deterministic)' if report.deterministic else '(NON-DETERMINISTIC)'}"
+        )
+        if paths:
+            print(f"report: {paths['report']}")
+        for outcome in report.outcomes:
+            if not outcome.ok:
+                print(f"  VIOLATED {outcome.spec.point} {outcome.spec.kind}: {outcome.detail}")
+                if outcome.error:
+                    print("    " + outcome.error.rstrip().replace("\n", "\n    "))
+    return 0 if report.passed else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else sys.argv[1:])
+    if args.command == "plan":
+        return _cmd_plan(args)
+    return _cmd_sweep(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -40,6 +40,7 @@ from repro.materialize.base import (
     MaterializationSink,
     MaterializeError,
     MaterializeResult,
+    SinkWriteError,
     VerificationCheck,
     VerificationResult,
     derived_directory_times,
@@ -71,6 +72,7 @@ __all__ = [
     "MaterializeError",
     "MaterializeResult",
     "NullSink",
+    "SinkWriteError",
     "SparseTarSink",
     "TarSink",
     "VerificationCheck",

@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
+from repro.faults import plan as fault_plan
 from repro.obs import core as obs_core
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -52,6 +53,7 @@ __all__ = [
     "ORDER_EXTENT",
     "ORDERS",
     "MaterializeError",
+    "SinkWriteError",
     "MaterializationPlan",
     "MaterializationSink",
     "MaterializeResult",
@@ -76,6 +78,20 @@ ORDERS = (ORDER_NAMESPACE, ORDER_EXTENT)
 
 class MaterializeError(RuntimeError):
     """Raised when an image cannot be materialized as requested."""
+
+
+class SinkWriteError(MaterializeError):
+    """A sink hit an I/O failure (ENOSPC, EIO) while writing its artifact.
+
+    By the time this surfaces the sink's :meth:`MaterializationSink.abort`
+    has run: partial artifacts are cleaned up, so a failed materialization
+    leaves nothing a later run could mistake for a complete image.
+    """
+
+    def __init__(self, sink: str, phase: str, cause: BaseException) -> None:
+        super().__init__(f"{sink} sink failed during {phase}: {cause}")
+        self.sink = sink
+        self.phase = phase
 
 
 @dataclass(frozen=True)
@@ -224,6 +240,17 @@ class MaterializationSink(ABC):
     @abstractmethod
     def finalize(self) -> dict:
         """Complete the artifact and return sink-specific extras."""
+
+    def abort(self) -> None:
+        """Dismantle a partial artifact after a mid-run failure.
+
+        Called by the driver when any phase raises: close open handles, join
+        workers, and remove whatever incomplete output exists so nothing is
+        left that could be mistaken for a finished image.  Must be safe to
+        call at any point after :meth:`begin` (including after a failed
+        ``begin``) and must itself never raise.  The default is a no-op for
+        sinks with nothing durable to clean.
+        """
 
 
 @dataclass(frozen=True)
@@ -519,16 +546,34 @@ def materialize_image(
         if tele is not None
         else contextlib.nullcontext()
     )
+    def run_phase(phase: str, body):
+        """One sink phase; failures abort the sink so no partial artifact
+        survives.  I/O errors surface as :class:`SinkWriteError`; a simulated
+        process crash (:class:`~repro.faults.plan.InjectedCrash`) propagates
+        *without* abort — a dead process cleans nothing up, which is exactly
+        the torn state crash tests need to observe."""
+        try:
+            return body()
+        except OSError as error:
+            with contextlib.suppress(Exception):
+                sink.abort()
+            raise SinkWriteError(sink.name, phase, error) from error
+        except Exception:
+            with contextlib.suppress(Exception):
+                sink.abort()
+            raise
+
     with root_span:
         phase_seconds: dict[str, float] = {}
         start = time.perf_counter()
         with phase_span("begin"):
-            sink.begin(image, plan)
+            run_phase("begin", lambda: sink.begin(image, plan))
         phase_seconds["begin"] = time.perf_counter() - start
 
         start = time.perf_counter()
         directory_digests: list[bytes] = []
-        with phase_span("directories"):
+
+        def stream_directories() -> None:
             for directory in directories:
                 relpath = _relpath(directory.path())
                 sink.add_directory(directory, relpath)
@@ -541,20 +586,33 @@ def materialize_image(
                         ).encode("utf-8")
                     ).digest()
                 )
+
+        with phase_span("directories"):
+            run_phase("directories", stream_directories)
         phase_seconds["directories"] = time.perf_counter() - start
 
         start = time.perf_counter()
         streams = [
             FileStream(image, node, _relpath(node.path()), effective_content) for node in files
         ]
-        with phase_span("files"):
+
+        def stream_files() -> None:
             for stream in streams:
+                fault_plan.check("sink.add_file")
                 sink.add_file(stream)
+
+        with phase_span("files"):
+            run_phase("files", stream_files)
         phase_seconds["files"] = time.perf_counter() - start
 
         start = time.perf_counter()
         with phase_span("finalize"):
-            extras = sink.finalize() or {}
+
+            def finalize() -> dict:
+                fault_plan.check("sink.finalize")
+                return sink.finalize() or {}
+
+            extras = run_phase("finalize", finalize)
         # Combine per-entry digests in file_id order — independent of the stream
         # order and of any write parallelism inside the sink, so every sink (and
         # every --jobs setting) reports the same digest for the same image+mode.

@@ -21,12 +21,14 @@ All sinks are driven by :func:`repro.materialize.base.materialize_image`;
 
 from __future__ import annotations
 
+import contextlib
 import gzip
 import hashlib
 import io
 import json
 import os
 import pickle
+import shutil
 import tarfile
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Iterator
@@ -134,6 +136,7 @@ class DirectorySink(MaterializationSink):
         self._pending: list[FileStream] = []
         self._serial_files = 0
         self._per_job_files: dict[str, int] = {}
+        self._owns_root = False
 
     def begin(self, image: "FileSystemImage", plan: MaterializationPlan) -> None:
         self._image = image
@@ -141,6 +144,10 @@ class DirectorySink(MaterializationSink):
         self._pending = []
         self._serial_files = 0
         self._per_job_files = {}
+        # Whether abort() may remove the whole tree: only when this run
+        # created the root (or found it empty) — never a directory that
+        # already held someone else's data.
+        self._owns_root = not os.path.isdir(self.root_path) or not os.listdir(self.root_path)
         os.makedirs(self.root_path, exist_ok=True)
 
     def add_directory(self, directory: "DirectoryNode", relpath: str) -> None:
@@ -199,6 +206,11 @@ class DirectorySink(MaterializationSink):
             str(index): files_by_pid[pid] for index, pid in enumerate(sorted(files_by_pid))
         }
         return workers
+
+    def abort(self) -> None:
+        self._pending = []
+        if self._owns_root:
+            shutil.rmtree(self.root_path, ignore_errors=True)
 
 
 # Tar sink ---------------------------------------------------------------------
@@ -323,6 +335,15 @@ class TarSink(MaterializationSink):
             "archive_sha256": digest.hexdigest(),
             "compressed": self.compress,
         }
+
+    def abort(self) -> None:
+        for handle in (self._tar, self._gzip, self._raw):
+            if handle is not None:
+                with contextlib.suppress(Exception):
+                    handle.close()
+        self._tar = self._gzip = self._raw = None
+        with contextlib.suppress(OSError):
+            os.remove(self.archive_path)
 
 
 # Sparse tar sink --------------------------------------------------------------
@@ -532,6 +553,15 @@ class SparseTarSink(MaterializationSink):
             "apparent_bytes": self._apparent_bytes,
         }
 
+    def abort(self) -> None:
+        for handle in (self._gzip, self._raw):
+            if handle is not None:
+                with contextlib.suppress(Exception):
+                    handle.close()
+        self._gzip = self._raw = self._stream = None
+        with contextlib.suppress(OSError):
+            os.remove(self.archive_path)
+
 
 # Manifest sink ----------------------------------------------------------------
 
@@ -637,6 +667,14 @@ class ManifestSink(MaterializationSink):
             "manifest_bytes": os.path.getsize(self.manifest_path),
             "lines": self._lines,
         }
+
+    def abort(self) -> None:
+        if self._handle is not None:
+            with contextlib.suppress(Exception):
+                self._handle.close()
+            self._handle = None
+        with contextlib.suppress(OSError):
+            os.remove(self.manifest_path)
 
 
 # Null sink --------------------------------------------------------------------

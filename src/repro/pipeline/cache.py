@@ -11,10 +11,19 @@ probes from the deepest generation stage backwards and resumes from the first
 hit; campaign scenarios that share generation knobs but differ only in steps
 therefore generate the image once and restore it everywhere else.
 
-Writes are atomic (temp file + ``os.replace``), so concurrent campaign
-workers sharing one cache directory race benignly: both compute the same
-artifact and the last rename wins with identical bytes.  Corrupt or
-unreadable entries are treated as misses and removed.
+Writes are atomic with a checksum trailer (temp file + SHA-256 seal +
+``fsync`` + ``os.replace`` via :mod:`repro.faults.atomic`), so concurrent
+campaign workers sharing one cache directory race benignly: both compute the
+same artifact and the last rename wins with identical bytes.  Reads verify
+the trailer; a torn, truncated, or bit-flipped entry is *detected* (counted
+as ``corruption_detected_total{layer="cache"}``), *quarantined* into the
+cache's ``.quarantine/`` sidecar with a reason record, and *self-healed* by
+treating it as a miss — the pipeline regenerates and re-stores it.
+
+Transient I/O errors (EIO, ENOSPC) never fail the run: a
+:class:`CacheCircuitBreaker` counts consecutive failures and, past its
+threshold, opens for a cooldown during which ``load``/``store`` degrade to
+cache-bypass no-ops.  The cache is an accelerator, not a dependency.
 """
 
 from __future__ import annotations
@@ -23,15 +32,17 @@ import contextlib
 import json
 import os
 import pickle
-import tempfile
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.config import ImpressionsConfig
+from repro.faults import atomic as fault_atomic
+from repro.faults import plan as fault_plan
 from repro.metadata.extensions import DEFAULT_EXTENSION_MODEL
 
 __all__ = [
     "CacheBusyError",
+    "CacheCircuitBreaker",
     "CacheStats",
     "StageCache",
     "cache_lock",
@@ -51,6 +62,8 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evicted_corrupt: int = 0
+    io_errors: int = 0
+    bypassed: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -58,15 +71,60 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "evicted_corrupt": self.evicted_corrupt,
+            "io_errors": self.io_errors,
+            "bypassed": self.bypassed,
         }
 
 
-class StageCache:
-    """A directory of fingerprint-addressed pickled stage snapshots."""
+@dataclass
+class CacheCircuitBreaker:
+    """Degrade to cache-bypass after repeated I/O failures.
 
-    def __init__(self, root: str) -> None:
+    ``failure_threshold`` *consecutive* ``OSError`` failures open the
+    breaker for ``cooldown_seconds``; while open, cache reads and writes are
+    no-ops (every load a miss, every store skipped) so a sick disk slows
+    nothing down and fails no jobs.  One success — or the cooldown elapsing —
+    closes it again.  Corruption does not trip the breaker: a corrupt entry
+    is quarantined and healed by regeneration, which is the cache working,
+    not failing.
+    """
+
+    failure_threshold: int = 3
+    cooldown_seconds: float = 30.0
+    consecutive_failures: int = 0
+    opened_at: float | None = field(default=None, repr=False)
+    times_opened: int = 0
+
+    def is_open(self) -> bool:
+        if self.opened_at is None:
+            return False
+        if time.monotonic() - self.opened_at >= self.cooldown_seconds:
+            self.opened_at = None
+            self.consecutive_failures = 0
+            return False
+        return True
+
+    def record_failure(self) -> bool:
+        """Count one I/O failure; True if this one opened the breaker."""
+        self.consecutive_failures += 1
+        if self.opened_at is None and self.consecutive_failures >= self.failure_threshold:
+            self.opened_at = time.monotonic()
+            self.times_opened += 1
+            fault_plan.count_heal("cache", "breaker_open")
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+
+
+class StageCache:
+    """A directory of fingerprint-addressed, checksum-sealed stage snapshots."""
+
+    def __init__(self, root: str, breaker: CacheCircuitBreaker | None = None) -> None:
         self.root = root
         self.stats = CacheStats()
+        self.breaker = breaker if breaker is not None else CacheCircuitBreaker()
 
     def _path(self, fingerprint: str) -> str:
         return os.path.join(self.root, fingerprint[:2], f"{fingerprint}.pkl")
@@ -75,48 +133,83 @@ class StageCache:
         """Whether an entry exists (no counters touched — probe only)."""
         return os.path.exists(self._path(fingerprint))
 
+    def _quarantine(self, path: str, fingerprint: str, reason: str) -> None:
+        """Detect + quarantine + heal-by-eviction for one bad entry."""
+        self.stats.evicted_corrupt += 1
+        fault_plan.count_corruption("cache")
+        fault_atomic.quarantine_file(
+            self.root,
+            path,
+            layer="cache",
+            reason=reason,
+            detail={"fingerprint": fingerprint},
+        )
+        fault_plan.count_heal("cache", "evict_regenerate")
+
     def load(self, fingerprint: str) -> dict | None:
         """The snapshot state for ``fingerprint``, or None on miss/corruption.
 
-        A truncated or unreadable entry counts as a miss (and is evicted)
-        rather than surfacing an exception deep inside the restore path.
+        A torn, truncated, or unreadable entry is quarantined and counts as
+        a miss rather than surfacing an exception deep inside the restore
+        path — the pipeline regenerates the stage and re-stores it, which is
+        the self-heal.  I/O errors count toward the circuit breaker; while
+        it is open every load is a bypass miss.
         """
+        if self.breaker.is_open():
+            self.stats.misses += 1
+            self.stats.bypassed += 1
+            return None
         path = self._path(fingerprint)
         try:
-            with open(path, "rb") as handle:
-                state = pickle.load(handle)
-            if not isinstance(state, dict):
-                raise ValueError("snapshot entry is not a state dict")
+            payload = fault_atomic.read_verified(path, fault_point="cache.entry.read")
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except Exception:
+        except fault_atomic.CorruptionError as exc:
             self.stats.misses += 1
-            self.stats.evicted_corrupt += 1
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+            self._quarantine(path, fingerprint, exc.reason)
             return None
+        except OSError:
+            self.stats.misses += 1
+            self.stats.io_errors += 1
+            self.breaker.record_failure()
+            return None
+        try:
+            state = pickle.loads(payload)
+            if not isinstance(state, dict):
+                raise ValueError("snapshot entry is not a state dict")
+        except Exception:
+            # The seal verified, so the bytes are what store() wrote — a
+            # stale-format or wrong-object entry, not disk damage; still
+            # quarantine and regenerate.
+            self.stats.misses += 1
+            self._quarantine(path, fingerprint, "unpicklable")
+            return None
+        self.breaker.record_success()
         self.stats.hits += 1
         return state
 
     def store(self, fingerprint: str, state: dict) -> None:
-        """Atomically write the snapshot ``state`` under ``fingerprint``."""
+        """Atomically write the sealed snapshot ``state`` under ``fingerprint``.
+
+        Disk failures (ENOSPC, EIO) are swallowed after feeding the circuit
+        breaker — a cache store must never fail the generation that produced
+        the artifact.  Serialization errors still raise: an unpicklable
+        snapshot is a bug, not weather.
+        """
+        if self.breaker.is_open():
+            self.stats.bypassed += 1
+            return
         path = self._path(fingerprint)
-        directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
-        descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
         try:
-            with os.fdopen(descriptor, "wb") as handle:
-                pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(temp_path, path)
-        except BaseException:
-            try:
-                os.remove(temp_path)
-            except OSError:
-                pass
-            raise
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fault_atomic.atomic_write_bytes(path, payload, fault_point="cache.entry.write")
+        except OSError:
+            self.stats.io_errors += 1
+            self.breaker.record_failure()
+            return
+        self.breaker.record_success()
         self.stats.stores += 1
 
     def entry_count(self) -> int:

@@ -34,6 +34,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import random
 import signal
 import subprocess
 import sys
@@ -44,6 +45,7 @@ from typing import Sequence
 
 from repro.campaign.spec import CampaignSpec, SpecError
 from repro.campaign.store import StoreError
+from repro.faults import plan as fault_plan
 from repro.service.queue import DEAD, JobQueue, QueueError
 
 __all__ = ["main", "build_parser"]
@@ -56,9 +58,24 @@ class ServiceCliError(RuntimeError):
 # ---------------------------------------------------------------------------
 # Farm clients: one protocol, two transports (HTTP or the sqlite file).
 
+#: Request retry policy: transient failures (connection refused while the
+#: server binds, timeouts, HTTP 5xx) back off exponentially from
+#: ``_HTTP_BACKOFF_BASE`` capped at ``_HTTP_BACKOFF_CAP``, plus jitter drawn
+#: deterministically from (url, attempt) so two clients hammering one
+#: endpoint desynchronise the same way every run.  4xx responses are the
+#: caller's fault and never retried.
+_HTTP_RETRIES = 4
+_HTTP_BACKOFF_BASE = 0.25
+_HTTP_BACKOFF_CAP = 5.0
+
 
 def _http_json(
-    url: str, payload: object = None, *, method: str | None = None, timeout: float = 30.0
+    url: str,
+    payload: object = None,
+    *,
+    method: str | None = None,
+    timeout: float = 30.0,
+    retries: int = _HTTP_RETRIES,
 ) -> dict:
     data = None
     headers = {"Accept": "application/json"}
@@ -68,38 +85,76 @@ def _http_json(
     request = urllib.request.Request(
         url, data=data, headers=headers, method=method or ("POST" if data else "GET")
     )
-    try:
-        with urllib.request.urlopen(request, timeout=timeout) as response:
-            return json.loads(response.read().decode("utf-8"))
-    except urllib.error.HTTPError as error:
-        body = error.read().decode("utf-8", "replace")
+    last_error = ""
+    for attempt in range(max(0, retries) + 1):
+        if attempt:
+            delay = min(_HTTP_BACKOFF_CAP, _HTTP_BACKOFF_BASE * (2.0 ** (attempt - 1)))
+            time.sleep(delay + random.Random(f"{url}:{attempt}").uniform(0.0, delay))
         try:
-            message = json.loads(body).get("error", body)
-        except (ValueError, AttributeError):
-            message = body
-        raise ServiceCliError(f"{url}: HTTP {error.code}: {message}")
-    except urllib.error.URLError as error:
-        raise ServiceCliError(f"{url}: {error.reason}")
+            fault_plan.check("client.request")
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            body = error.read().decode("utf-8", "replace")
+            try:
+                message = json.loads(body).get("error", body)
+            except (ValueError, AttributeError):
+                message = body
+            if error.code >= 500 and attempt < retries:
+                last_error = f"HTTP {error.code}: {message}"
+                continue
+            raise ServiceCliError(f"{url}: HTTP {error.code}: {message}")
+        except urllib.error.URLError as error:
+            if attempt < retries:
+                last_error = str(error.reason)
+                continue
+            raise ServiceCliError(f"{url}: {error.reason}")
+        except (OSError, TimeoutError) as error:
+            if attempt < retries:
+                last_error = str(error)
+                continue
+            raise ServiceCliError(f"{url}: {error}")
+    raise ServiceCliError(f"{url}: {last_error or 'request failed'}")
 
 
 class HttpClient:
-    def __init__(self, url: str) -> None:
+    """Farm verbs over HTTP, with a retrying transport.
+
+    Every verb is safe to retry: reads are pure, ``drain`` is a latch, and
+    ``submit`` is *idempotent by construction* — scenarios are keyed by their
+    spec+seed fingerprint behind a sqlite ``UNIQUE`` index, so a resubmission
+    after a lost response re-enqueues nothing and simply returns the dedupe
+    counts.
+    """
+
+    def __init__(self, url: str, *, timeout: float = 30.0, retries: int = _HTTP_RETRIES) -> None:
         self.base = url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+
+    def _call(self, path: str, payload: object = None, *, method: str | None = None) -> dict:
+        return _http_json(
+            f"{self.base}{path}",
+            payload,
+            method=method,
+            timeout=self.timeout,
+            retries=self.retries,
+        )
 
     def submit(self, document: dict) -> dict:
-        return _http_json(f"{self.base}/campaigns", document)
+        return self._call("/campaigns", document)
 
     def campaign(self, campaign_id: str) -> dict:
-        return _http_json(f"{self.base}/campaigns/{campaign_id}")
+        return self._call(f"/campaigns/{campaign_id}")
 
     def campaigns(self) -> list[dict]:
-        return _http_json(f"{self.base}/campaigns")["campaigns"]
+        return self._call("/campaigns")["campaigns"]
 
     def stats(self) -> dict:
-        return _http_json(f"{self.base}/queue/stats")
+        return self._call("/queue/stats")
 
     def drain(self) -> dict:
-        return _http_json(f"{self.base}/drain", method="POST")
+        return self._call("/drain", method="POST")
 
 
 class DirectClient:
@@ -135,7 +190,11 @@ class DirectClient:
 
 def _client(args: argparse.Namespace) -> "HttpClient | DirectClient":
     if getattr(args, "url", None):
-        return HttpClient(args.url)
+        return HttpClient(
+            args.url,
+            timeout=getattr(args, "http_timeout", 30.0),
+            retries=getattr(args, "http_retries", _HTTP_RETRIES),
+        )
     if getattr(args, "queue", None):
         return DirectClient(args.queue, getattr(args, "store", None))
     raise ServiceCliError("pass --url http://HOST:PORT or --queue PATH")
@@ -147,6 +206,20 @@ def _add_endpoint_arguments(parser: argparse.ArgumentParser, *, store: bool = Tr
     )
     parser.add_argument(
         "--queue", metavar="PATH", default=None, help="queue database file (direct access)"
+    )
+    parser.add_argument(
+        "--http-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request timeout for --url transports (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--http-retries",
+        type=int,
+        default=_HTTP_RETRIES,
+        metavar="N",
+        help="transient-failure retries with capped backoff (default: %(default)s)",
     )
     if store:
         parser.add_argument(

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from repro.campaign.spec import CampaignSpec
+from repro.faults import plan as fault_plan
 
 __all__ = [
     "QUEUE_FORMAT_VERSION",
@@ -394,6 +395,7 @@ class JobQueue:
         """
         if ttl_seconds <= 0:
             raise QueueError("lease ttl must be positive")
+        fault_plan.check("queue.lease")
         self.reclaim_expired()
         now = self.now()
         with self._lock:
@@ -455,6 +457,7 @@ class JobQueue:
         simply discards its copy (the caller must treat ``False`` as "someone
         else owns this now", not as a failure).
         """
+        fault_plan.check("queue.ack")
         now = self.now()
         with self._lock:
             cursor = self._tx()
@@ -579,6 +582,8 @@ class JobQueue:
             except BaseException:
                 self._conn.rollback()
                 raise
+        for _ in range(reclaimed):
+            fault_plan.count_heal("queue", "lease_reclaim")
         return reclaimed
 
     def retry_dead(self, job_id: int) -> Job:

@@ -28,20 +28,58 @@ bit-identical (modulo ``wall``/``cache``) to an uninterrupted run, and
 from __future__ import annotations
 
 import contextlib
+import math
 import os
 import random
+import sqlite3
 import threading
 import time
 import traceback
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.campaign.runner import TELEMETRY_KEY, run_scenario
 from repro.campaign.store import ResultStore
+from repro.faults import plan as fault_plan
 from repro.obs import core as obs_core
 from repro.pipeline.cache import CacheBusyError, cache_lock
 from repro.service.queue import Job, JobQueue
 
-__all__ = ["WorkerOptions", "WorkerResult", "Worker", "run_worker"]
+__all__ = [
+    "WorkerOptions",
+    "WorkerResult",
+    "Worker",
+    "run_worker",
+    "derived_lock_max_age",
+]
+
+
+def derived_lock_max_age(
+    durations: Sequence[float],
+    fallback: float,
+    *,
+    safety_factor: float = 20.0,
+    min_samples: int = 8,
+    floor_seconds: float = 60.0,
+) -> float:
+    """A stage-cache lock max-age learned from observed job durations.
+
+    A lock's max-age must exceed the worst-case single-job wall time (else a
+    slow-but-healthy holder gets its lock stolen mid-run) while staying small
+    enough that a recycled-pid zombie lock cannot wedge the farm for the
+    fixed worst-case default.  The p99 of the queue's recorded
+    ``duration_seconds`` × ``safety_factor`` tracks the actual workload:
+    second-long smoke scenarios get minute-scale reclaim, hour-long
+    generation keeps the conservative bound.  Below ``min_samples``
+    completions there is no telemetry worth trusting, so the configured
+    ``fallback`` knob applies; the derived value is clamped to
+    ``[floor_seconds, fallback]`` so it only ever *tightens* the knob.
+    """
+    if len(durations) < min_samples:
+        return fallback
+    ordered = sorted(durations)
+    p99 = ordered[min(len(ordered) - 1, max(0, math.ceil(0.99 * len(ordered)) - 1))]
+    return min(max(p99 * safety_factor, floor_seconds), fallback)
 
 
 @dataclass
@@ -63,8 +101,21 @@ class WorkerOptions:
     cache_busy_retries: int = 4
     cache_busy_backoff: float = 0.25
     #: stage-cache locks older than this are stale (recycled-pid insurance);
-    #: must exceed the farm's worst-case single-job wall time.
+    #: must exceed the farm's worst-case single-job wall time.  Once the
+    #: queue holds enough completed-job durations this acts as the *ceiling*:
+    #: the effective max-age is derived per job from the duration p99 (see
+    #: :func:`derived_lock_max_age`).
     cache_lock_max_age: float = 3600.0
+    #: multiplier over the observed p99 job duration when deriving the lock
+    #: max-age from telemetry.
+    lock_age_safety_factor: float = 20.0
+    #: completed-job durations required before trusting the derived max-age.
+    lock_age_min_samples: int = 8
+    #: transient queue I/O errors (EIO on the sqlite file, a full disk) are
+    #: retried this many times with exponential backoff before the worker
+    #: gives up and lets the error surface.
+    queue_retry_attempts: int = 3
+    queue_retry_backoff: float = 0.2
     #: chaos hook for crash-safety tests: ``"hang-after-lease:SECONDS"``
     #: sleeps (heartbeating) between lease and execution, giving a test a
     #: deterministic window to SIGKILL the worker mid-job.
@@ -155,6 +206,55 @@ class Worker:
             raise ValueError(f"unknown inject_fault {fault!r}")
         return 0.0
 
+    def _queue_io(self, label: str, operation):
+        """Run a queue operation, retrying transient I/O errors with backoff.
+
+        EIO on the sqlite file or a momentarily full disk should not kill a
+        worker that has healthy jobs in flight; each retry is counted as a
+        heal.  :class:`~repro.faults.plan.InjectedCrash` is process death and
+        is never retried.
+        """
+        attempts = max(0, self.options.queue_retry_attempts)
+        for attempt in range(attempts + 1):
+            try:
+                return operation()
+            except (OSError, sqlite3.OperationalError):
+                if attempt >= attempts:
+                    raise
+                fault_plan.count_heal("queue", f"{label}_retry")
+                self.telemetry.counter(
+                    "service_queue_io_retries_total",
+                    "transient queue I/O errors retried by workers",
+                    ("op",),
+                ).inc(op=label)
+                time.sleep(self.options.queue_retry_backoff * (2.0 ** attempt))
+        raise AssertionError("unreachable")
+
+    def _lock_max_age(self) -> float:
+        """The effective stage-cache lock max-age for the next job.
+
+        Derived from the queue's observed job durations (p99 × safety
+        factor); the configured ``cache_lock_max_age`` knob is the fallback
+        below the sample threshold and the ceiling above it.  Telemetry
+        being unreadable is never a reason not to run a job.
+        """
+        options = self.options
+        try:
+            durations = self.queue.durations()
+        except (OSError, sqlite3.OperationalError):
+            return options.cache_lock_max_age
+        derived = derived_lock_max_age(
+            durations,
+            options.cache_lock_max_age,
+            safety_factor=options.lock_age_safety_factor,
+            min_samples=options.lock_age_min_samples,
+        )
+        self.telemetry.gauge(
+            "service_cache_lock_max_age_seconds",
+            "effective stage-cache lock max-age (derived from job durations)",
+        ).set(derived)
+        return derived
+
     def _execute_payload(self, payload: dict, attempt: int, result: WorkerResult) -> dict:
         """Run one scenario payload, negotiating the shared stage cache.
 
@@ -166,6 +266,7 @@ class Worker:
         cache_dir = self.options.cache_dir
         if not cache_dir:
             return run_scenario(payload)
+        lock_max_age = self._lock_max_age()
         rng = random.Random(f"{self.worker_id}:{payload['fingerprint']}:{attempt}")
         for busy_try in range(self.options.cache_busy_retries + 1):
             on_busy = "error" if busy_try < self.options.cache_busy_retries else "ignore"
@@ -174,7 +275,7 @@ class Worker:
                     cache_dir,
                     owner=self.worker_id,
                     on_busy=on_busy,
-                    max_age_seconds=self.options.cache_lock_max_age,
+                    max_age_seconds=lock_max_age,
                 ):
                     return run_scenario(payload)
             except CacheBusyError:
@@ -202,8 +303,11 @@ class Worker:
             if hang:  # pragma: no cover - exercised via SIGKILL in crash tests
                 time.sleep(hang)
             try:
+                fault_plan.check("worker.after_lease")
                 row = self._execute_payload(payload, job.attempts, result)
-            except KeyboardInterrupt:
+            except (KeyboardInterrupt, fault_plan.InjectedCrash):
+                # Process death (real or simulated) runs no failure handler:
+                # the lease simply expires and the queue reclaims the job.
                 raise
             except BaseException:
                 error = traceback.format_exc()
@@ -237,8 +341,11 @@ class Worker:
         }
         if row["fingerprint"] not in self.store.fingerprints():
             self.store.append(row)
-        if self.queue.ack(
-            job.job_id, self.worker_id, duration_seconds=duration, result=summary
+        if self._queue_io(
+            "ack",
+            lambda: self.queue.ack(
+                job.job_id, self.worker_id, duration_seconds=duration, result=summary
+            ),
         ):
             result.jobs_done += 1
             result.executed.append(job.scenario_id)
@@ -264,7 +371,9 @@ class Worker:
             while not self._stop.is_set():
                 if options.max_jobs is not None and result.jobs_done >= options.max_jobs:
                     break
-                job = self.queue.lease(self.worker_id, options.lease_ttl)
+                job = self._queue_io(
+                    "lease", lambda: self.queue.lease(self.worker_id, options.lease_ttl)
+                )
                 if job is None:
                     if options.drain:
                         # Back off only if undone work exists but is not yet

@@ -1,0 +1,125 @@
+"""Stage-cache hardening: corruption quarantine and the circuit breaker."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, quarantine_dir, seal, use
+from repro.pipeline.cache import CacheCircuitBreaker, StageCache
+
+FP = "ab" + "0" * 62  # a plausible 64-hex fingerprint
+
+
+@pytest.fixture
+def cache(tmp_path) -> StageCache:
+    return StageCache(str(tmp_path / "stage-cache"))
+
+
+class TestCorruptionHealing:
+    def test_round_trip(self, cache):
+        cache.store(FP, {"value": 7})
+        assert cache.load(FP) == {"value": 7}
+        assert cache.stats.as_dict()["evicted_corrupt"] == 0
+
+    def test_bit_flip_quarantined_and_treated_as_miss(self, cache):
+        cache.store(FP, {"value": 7})
+        path = cache._path(FP)
+        blob = bytearray(open(path, "rb").read())
+        blob[4] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+        assert cache.load(FP) is None
+        assert cache.stats.evicted_corrupt == 1
+        assert not os.path.exists(path)  # evicted...
+        sidecar = quarantine_dir(cache.root)
+        assert any(name.endswith(".bin") for name in os.listdir(sidecar))  # ...and kept
+        # Self-heal: regeneration re-stores and the next load hits.
+        cache.store(FP, {"value": 7})
+        assert cache.load(FP) == {"value": 7}
+
+    def test_truncated_entry_is_a_miss(self, cache):
+        cache.store(FP, {"value": 7})
+        path = cache._path(FP)
+        with open(path, "wb") as handle:
+            handle.write(b"\x80short")
+        assert cache.load(FP) is None
+        assert cache.stats.evicted_corrupt == 1
+
+    def test_sealed_but_unpicklable_entry_quarantined(self, cache):
+        path = cache._path(FP)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(seal(b"not a pickle"))
+        assert cache.load(FP) is None
+        assert cache.stats.evicted_corrupt == 1
+
+    def test_sealed_wrong_object_quarantined(self, cache):
+        path = cache._path(FP)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(seal(pickle.dumps(["not", "a", "dict"])))
+        assert cache.load(FP) is None
+        assert cache.stats.evicted_corrupt == 1
+
+    def test_corruption_does_not_trip_the_breaker(self, cache):
+        for index in range(5):
+            fingerprint = f"{index:02x}" + "0" * 62
+            cache.store(fingerprint, {"value": index})
+            path = cache._path(fingerprint)
+            with open(path, "wb") as handle:
+                handle.write(b"garbage")
+            assert cache.load(fingerprint) is None
+        assert not cache.breaker.is_open()
+        assert cache.stats.bypassed == 0
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        breaker = CacheCircuitBreaker(failure_threshold=3, cooldown_seconds=60.0)
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is True
+        assert breaker.is_open()
+        assert breaker.times_opened == 1
+
+    def test_success_resets_the_streak(self):
+        breaker = CacheCircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.record_failure() is False
+        assert not breaker.is_open()
+
+    def test_cooldown_closes_it(self):
+        breaker = CacheCircuitBreaker(failure_threshold=1, cooldown_seconds=0.0)
+        breaker.record_failure()
+        assert not breaker.is_open()  # zero cooldown: already elapsed
+        assert breaker.consecutive_failures == 0
+
+    def test_store_io_errors_open_breaker_and_bypass(self, cache):
+        cache.breaker.failure_threshold = 2
+        plan = FaultPlan(
+            specs=tuple(
+                FaultSpec(point="cache.entry.write", kind="enospc", occurrence=n)
+                for n in (1, 2)
+            )
+        )
+        with use(plan):
+            cache.store(FP, {"value": 1})  # ENOSPC, swallowed
+            cache.store(FP, {"value": 1})  # ENOSPC -> breaker opens
+        assert cache.stats.io_errors == 2
+        assert cache.breaker.is_open()
+        cache.store(FP, {"value": 1})
+        assert cache.load(FP) is None
+        assert cache.stats.bypassed == 2  # one skipped store, one bypass miss
+
+    def test_read_io_errors_count_without_failing_the_run(self, cache):
+        cache.store(FP, {"value": 1})
+        plan = FaultPlan(specs=(FaultSpec(point="cache.entry.read", kind="eio"),))
+        with use(plan):
+            assert cache.load(FP) is None  # EIO -> miss, not an exception
+        assert cache.stats.io_errors == 1
+        assert cache.load(FP) == {"value": 1}  # disk recovered: entry intact

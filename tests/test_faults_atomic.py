@@ -1,0 +1,154 @@
+"""Sealed atomic writes: trailer verification, fault surfaces, quarantine."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.faults import (
+    TRAILER_SIZE,
+    CorruptionError,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    atomic_write_bytes,
+    quarantine_bytes,
+    quarantine_dir,
+    quarantine_file,
+    read_verified,
+    seal,
+    unseal,
+    use,
+)
+
+
+class TestSealUnseal:
+    def test_round_trip(self):
+        payload = b"the quick brown fox"
+        assert unseal(seal(payload)) == payload
+
+    def test_empty_payload_round_trips(self):
+        assert unseal(seal(b"")) == b""
+
+    def test_truncated_blob(self):
+        with pytest.raises(CorruptionError) as excinfo:
+            unseal(seal(b"payload")[: TRAILER_SIZE - 1])
+        assert excinfo.value.reason == "truncated"
+
+    def test_missing_trailer(self):
+        # Plenty of bytes, but no magic — e.g. a pre-hardening legacy file.
+        with pytest.raises(CorruptionError) as excinfo:
+            unseal(b"x" * (TRAILER_SIZE + 10))
+        assert excinfo.value.reason == "missing_trailer"
+
+    def test_flipped_payload_bit(self):
+        blob = bytearray(seal(b"payload-bytes"))
+        blob[0] ^= 0xFF
+        with pytest.raises(CorruptionError) as excinfo:
+            unseal(bytes(blob))
+        assert excinfo.value.reason == "checksum_mismatch"
+
+
+class TestAtomicWrite:
+    def test_write_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "entry.bin")
+        atomic_write_bytes(path, b"hello")
+        assert read_verified(path) == b"hello"
+
+    def test_overwrite_is_atomic_and_leaves_no_tmp(self, tmp_path):
+        path = str(tmp_path / "entry.bin")
+        atomic_write_bytes(path, b"one")
+        atomic_write_bytes(path, b"two")
+        assert read_verified(path) == b"two"
+        assert os.listdir(tmp_path) == ["entry.bin"]
+
+    def test_missing_file_is_a_miss_not_corruption(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_verified(str(tmp_path / "absent.bin"))
+
+    def test_enospc_fault_persists_nothing(self, tmp_path):
+        path = str(tmp_path / "entry.bin")
+        plan = FaultPlan(specs=(FaultSpec(point="cache.entry.write", kind="enospc"),))
+        with use(plan):
+            with pytest.raises(OSError):
+                atomic_write_bytes(path, b"doomed", fault_point="cache.entry.write")
+        assert os.listdir(tmp_path) == []  # no artifact, no tmp litter
+
+    def test_torn_write_persists_prefix_then_crashes(self, tmp_path):
+        path = str(tmp_path / "entry.bin")
+        plan = FaultPlan(
+            specs=(FaultSpec(point="cache.entry.write", kind="torn_write", offset=5),)
+        )
+        with use(plan):
+            with pytest.raises(InjectedCrash):
+                atomic_write_bytes(path, b"payload", fault_point="cache.entry.write")
+        assert os.path.getsize(path) == 5  # the torn prefix is durable...
+        with pytest.raises(CorruptionError):
+            read_verified(path)  # ...and read-side verification catches it
+
+    def test_fsync_loss_reports_success_but_read_detects(self, tmp_path):
+        path = str(tmp_path / "entry.bin")
+        plan = FaultPlan(
+            specs=(FaultSpec(point="cache.entry.write", kind="fsync_loss", lost_bytes=3),)
+        )
+        with use(plan):
+            atomic_write_bytes(path, b"payload", fault_point="cache.entry.write")
+        with pytest.raises(CorruptionError):
+            read_verified(path)
+
+    def test_unfaulted_points_write_normally_under_a_plan(self, tmp_path):
+        path = str(tmp_path / "entry.bin")
+        plan = FaultPlan(specs=(FaultSpec(point="store.append", kind="crash"),))
+        with use(plan):
+            atomic_write_bytes(path, b"fine", fault_point="cache.entry.write")
+        assert read_verified(path) == b"fine"
+
+
+class TestQuarantine:
+    def test_quarantine_dir_for_directory_store(self, tmp_path):
+        root = str(tmp_path / "cache")
+        os.makedirs(root)
+        assert quarantine_dir(root) == os.path.join(root, ".quarantine")
+
+    def test_quarantine_dir_for_file_store(self, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        assert quarantine_dir(store) == str(tmp_path / ".quarantine")
+
+    def test_quarantine_bytes_writes_payload_and_reason(self, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        target = quarantine_bytes(
+            store, b"torn-bytes", layer="store", reason="torn_final_line"
+        )
+        assert open(target, "rb").read() == b"torn-bytes"
+        with open(target + ".reason.json", encoding="utf-8") as handle:
+            record = json.load(handle)
+        assert record["layer"] == "store"
+        assert record["reason"] == "torn_final_line"
+        assert record["size_bytes"] == 10
+
+    def test_identical_damage_quarantines_once(self, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        first = quarantine_bytes(store, b"same", layer="store", reason="x")
+        second = quarantine_bytes(store, b"same", layer="store", reason="x")
+        assert first == second
+        entries = [name for name in os.listdir(quarantine_dir(store)) if name.endswith(".bin")]
+        assert len(entries) == 1
+
+    def test_quarantine_file_moves_the_artifact(self, tmp_path):
+        root = str(tmp_path / "cache")
+        os.makedirs(root)
+        bad = os.path.join(root, "bad.pkl")
+        with open(bad, "wb") as handle:
+            handle.write(b"\x80garbage")
+        target = quarantine_file(root, bad, layer="cache", reason="checksum_mismatch")
+        assert target is not None
+        assert not os.path.exists(bad)
+        assert open(target, "rb").read() == b"\x80garbage"
+
+    def test_quarantine_file_tolerates_already_gone(self, tmp_path):
+        assert (
+            quarantine_file(str(tmp_path), str(tmp_path / "gone"), layer="cache", reason="x")
+            is None
+        )

@@ -1,0 +1,177 @@
+"""Fault plans: seeded determinism, spec validation, injector semantics."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    INJECTION_POINTS,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    active,
+    check,
+    mangle_write,
+    use,
+)
+from repro.obs import core as obs_core
+
+
+class TestPlanGeneration:
+    def test_same_seed_same_plan_bit_for_bit(self):
+        first = FaultPlan.generate(42)
+        second = FaultPlan.generate(42)
+        assert first.specs == second.specs
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_different_seeds_differ(self):
+        assert FaultPlan.generate(1).fingerprint() != FaultPlan.generate(2).fingerprint()
+
+    def test_covers_every_injection_point(self):
+        plan = FaultPlan.generate(7)
+        assert {spec.point for spec in plan} == set(INJECTION_POINTS)
+
+    def test_round_trips_through_json_dict(self):
+        plan = FaultPlan.generate(13, faults_per_point=2)
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone == plan
+        assert clone.fingerprint() == plan.fingerprint()
+
+    def test_restricting_points_and_kinds(self):
+        plan = FaultPlan.generate(3, points=["store.append"], kinds=["enospc", "crash"])
+        assert {spec.point for spec in plan} == {"store.append"}
+        assert {spec.kind for spec in plan} <= {"enospc", "crash"}
+
+    def test_write_kinds_never_scheduled_at_control_points(self):
+        for seed in range(20):
+            for spec in FaultPlan.generate(seed):
+                if spec.kind in ("torn_write", "fsync_loss"):
+                    assert INJECTION_POINTS[spec.point] == "write"
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan.generate(1, points=["no.such.point"])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan.generate(1, kinds=["gremlins"])
+
+
+class TestSpecValidation:
+    def test_unknown_point(self):
+        with pytest.raises(FaultError):
+            FaultSpec(point="bogus", kind="crash")
+
+    def test_unknown_kind(self):
+        with pytest.raises(FaultError):
+            FaultSpec(point="store.append", kind="bogus")
+
+    def test_write_kind_at_control_point(self):
+        with pytest.raises(FaultError):
+            FaultSpec(point="queue.lease", kind="torn_write")
+
+    def test_occurrence_must_be_positive(self):
+        with pytest.raises(FaultError):
+            FaultSpec(point="store.append", kind="crash", occurrence=0)
+
+    def test_all_kinds_are_constructible_somewhere(self):
+        for kind in FAULT_KINDS:
+            point = "store.append" if kind in ("torn_write", "fsync_loss") else "queue.lease"
+            FaultSpec(point=point, kind=kind)
+
+
+class TestInjector:
+    def test_fires_on_the_nth_arrival_only(self):
+        spec = FaultSpec(point="queue.lease", kind="enospc", occurrence=3)
+        injector = FaultInjector(FaultPlan(specs=(spec,)))
+        injector.check("queue.lease")
+        injector.check("queue.lease")
+        with pytest.raises(OSError) as excinfo:
+            injector.check("queue.lease")
+        assert excinfo.value.errno == errno.ENOSPC
+        injector.check("queue.lease")  # fired once; never again
+        assert [fired.spec for fired in injector.fired] == [spec]
+        assert injector.remaining() == []
+
+    def test_eio_carries_its_errno(self):
+        injector = FaultInjector(
+            FaultPlan(specs=(FaultSpec(point="queue.ack", kind="eio"),))
+        )
+        with pytest.raises(OSError) as excinfo:
+            injector.check("queue.ack")
+        assert excinfo.value.errno == errno.EIO
+
+    def test_crash_is_not_an_exception_subclass(self):
+        injector = FaultInjector(
+            FaultPlan(specs=(FaultSpec(point="worker.after_lease", kind="crash"),))
+        )
+        with pytest.raises(BaseException) as excinfo:
+            injector.check("worker.after_lease")
+        assert isinstance(excinfo.value, InjectedCrash)
+        assert not isinstance(excinfo.value, Exception)
+        assert excinfo.value.point == "worker.after_lease"
+
+    def test_torn_write_returns_prefix_and_requests_crash(self):
+        spec = FaultSpec(point="store.append", kind="torn_write", offset=3)
+        injector = FaultInjector(FaultPlan(specs=(spec,)))
+        data, crash_after = injector.mangle("store.append", b"0123456789")
+        assert data == b"012"
+        assert crash_after is True
+
+    def test_fsync_loss_drops_tail_silently(self):
+        spec = FaultSpec(point="store.append", kind="fsync_loss", lost_bytes=4)
+        injector = FaultInjector(FaultPlan(specs=(spec,)))
+        data, crash_after = injector.mangle("store.append", b"0123456789")
+        assert data == b"012345"
+        assert crash_after is False
+
+    def test_unscheduled_points_pass_through(self):
+        injector = FaultInjector(FaultPlan())
+        injector.check("queue.lease")
+        assert injector.mangle("store.append", b"abc") == (b"abc", False)
+
+    def test_remaining_lists_unreached_specs(self):
+        spec = FaultSpec(point="queue.lease", kind="crash", occurrence=5)
+        injector = FaultInjector(FaultPlan(specs=(spec,)))
+        injector.check("queue.lease")
+        assert injector.remaining() == [spec]
+
+
+class TestContextBinding:
+    def test_module_helpers_are_noops_unbound(self):
+        assert active() is None
+        check("queue.lease")
+        assert mangle_write("store.append", b"xyz") == (b"xyz", False)
+
+    def test_use_binds_and_unbinds(self):
+        plan = FaultPlan(specs=(FaultSpec(point="queue.lease", kind="enospc"),))
+        with use(plan) as injector:
+            assert active() is injector
+            with pytest.raises(OSError):
+                check("queue.lease")
+        assert active() is None
+
+    def test_rebinding_a_plan_replays_the_schedule(self):
+        plan = FaultPlan(specs=(FaultSpec(point="queue.lease", kind="enospc"),))
+        for _ in range(2):
+            with use(plan):
+                with pytest.raises(OSError):
+                    check("queue.lease")
+
+    def test_fired_faults_counted_on_bound_telemetry(self):
+        telemetry = obs_core.Telemetry()
+        plan = FaultPlan(specs=(FaultSpec(point="queue.lease", kind="enospc"),))
+        with obs_core.use(telemetry), use(plan):
+            with pytest.raises(OSError):
+                check("queue.lease")
+        counter = telemetry.counter(
+            "faults_injected_total",
+            "faults fired by the bound fault injector",
+            ("kind", "point"),
+        )
+        assert counter.value(point="queue.lease", kind="enospc") == 1.0

@@ -1,0 +1,95 @@
+"""The chaos harness and its CLI: seeded sweeps, verdicts, artifacts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.cli import main as impressions_main
+from repro.faults.cli import main as faults_main
+from repro.faults.harness import SweepReport, flow_for_point, run_sweep
+from repro.faults.plan import INJECTION_POINTS, FaultPlan
+
+# Flows that need no pipeline generation — fast enough for unit tests.
+FAST_POINTS = ["store.append", "client.request"]
+
+
+class TestFlowRouting:
+    def test_every_injection_point_has_a_flow(self):
+        for point in INJECTION_POINTS:
+            assert flow_for_point(point) in ("cache", "store", "sink", "farm", "client")
+
+
+class TestSweep:
+    def test_fast_sweep_heals_everything(self):
+        report = run_sweep(23, points=FAST_POINTS)
+        assert isinstance(report, SweepReport)
+        assert report.passed
+        assert report.deterministic
+        assert len(report.outcomes) == len(FAST_POINTS)
+        for outcome in report.outcomes:
+            assert outcome.verdict in ("healed", "dead_letter")
+            assert outcome.error == ""
+
+    def test_plan_fingerprint_reproduces_bit_for_bit(self):
+        first = run_sweep(99, points=["client.request"])
+        second = run_sweep(99, points=["client.request"])
+        assert first.plan_fingerprint == second.plan_fingerprint
+        assert first.plan_fingerprint == FaultPlan.generate(
+            99, points=["client.request"]
+        ).fingerprint()
+
+    def test_report_dict_carries_counters_and_outcomes(self):
+        report = run_sweep(23, points=["store.append"])
+        document = report.as_dict()
+        assert document["passed"] is True
+        assert document["seed"] == 23
+        assert set(document["counters"]) == {
+            "faults_injected_total",
+            "corruption_detected_total",
+            "quarantine_total",
+            "heal_total",
+        }
+        assert document["outcomes"][0]["flow"] == "store"
+
+
+class TestCli:
+    def test_plan_json_is_deterministic(self, capsys):
+        assert faults_main(["plan", "--seed", "5", "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert faults_main(["plan", "--seed", "5", "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        assert len(first["fingerprint"]) == 64
+
+    def test_plan_text_lists_every_fault(self, capsys):
+        assert faults_main(["plan", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        for point in INJECTION_POINTS:
+            assert point in out
+
+    def test_sweep_writes_report_and_obs_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "sweep"
+        code = faults_main(
+            ["sweep", "--seed", "23", "--points", *FAST_POINTS, "--out", str(out_dir), "--json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["passed"] is True
+        with open(out_dir / "report.json", encoding="utf-8") as handle:
+            saved = json.load(handle)
+        assert saved["plan_fingerprint"] == document["plan_fingerprint"]
+        for artifact in ("events.jsonl", "metrics.prom", "summary.txt", "trace.json"):
+            assert (out_dir / "obs" / artifact).exists()
+
+    def test_dispatch_through_the_impressions_entry_point(self, capsys):
+        assert impressions_main(["faults", "plan", "--seed", "1"]) == 0
+        assert "fault(s)" in capsys.readouterr().out
+
+    def test_restricting_kinds(self, capsys):
+        assert faults_main(
+            ["plan", "--seed", "2", "--kinds", "enospc", "--json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert {spec["kind"] for spec in document["plan"]["specs"]} == {"enospc"}

@@ -1,0 +1,156 @@
+"""Service-layer fault hardening: retries, derived lock age, HTTP backoff."""
+
+from __future__ import annotations
+
+import errno
+import threading
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, InjectedCrash, use
+from repro.service.api import FarmService, make_server
+from repro.service.cli import HttpClient, ServiceCliError, _http_json
+from repro.service.queue import JobQueue
+from repro.service.worker import Worker, WorkerOptions, derived_lock_max_age
+
+SPEC = {
+    "name": "faulty",
+    "base": {"num_directories": 4, "fs_size_bytes": 4 * 1024 * 1024, "seed": 3},
+    "sweep": {"num_files": [20]},
+    "steps": [{"step": "summary"}],
+}
+
+
+class TestDerivedLockMaxAge:
+    def test_below_min_samples_uses_the_knob(self):
+        assert derived_lock_max_age([1.0] * 7, 3600.0) == 3600.0
+
+    def test_p99_times_safety_factor(self):
+        # 10 samples: the p99 index lands on the slowest observed job.
+        durations = [10.0] * 9 + [30.0]
+        assert derived_lock_max_age(durations, 3600.0) == 30.0 * 20.0
+
+    def test_short_jobs_clamp_to_the_floor(self):
+        # Smoke scenarios finishing in ~1s must not yield a 20s lock age.
+        assert derived_lock_max_age([1.0] * 50, 3600.0) == 60.0
+
+    def test_never_exceeds_the_configured_ceiling(self):
+        # Hour-long jobs: p99 x 20 would dwarf the knob; the knob wins.
+        assert derived_lock_max_age([3600.0] * 20, 7200.0) == 7200.0
+
+    def test_regression_fixed_knob_no_longer_blind_to_workload(self):
+        """The ROADMAP follow-up: lock age tracks telemetry, not a constant."""
+        fast_farm = derived_lock_max_age([2.0] * 100, 3600.0)
+        slow_farm = derived_lock_max_age([150.0] * 100, 3600.0)
+        assert fast_farm < slow_farm < 3600.0
+
+
+class TestWorkerQueueIoRetry:
+    @pytest.fixture
+    def worker(self, tmp_path):
+        options = WorkerOptions(
+            queue_path=str(tmp_path / "queue.sqlite"),
+            store_path=str(tmp_path / "results.jsonl"),
+            worker_id="w1",
+            queue_retry_backoff=0.0,
+        )
+        worker = Worker(options)
+        yield worker
+        worker.queue.close()
+
+    def test_transient_os_errors_are_retried(self, worker):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError(errno.EIO, "transient")
+            return "ok"
+
+        assert worker._queue_io("lease", flaky) == "ok"
+        assert calls["n"] == 3
+
+    def test_exhausted_retries_raise_the_original_error(self, worker):
+        def always_broken():
+            raise OSError(errno.EIO, "persistent")
+
+        with pytest.raises(OSError):
+            worker._queue_io("ack", always_broken)
+
+    def test_injected_crash_is_never_retried(self, worker):
+        calls = {"n": 0}
+
+        def dies():
+            calls["n"] += 1
+            raise InjectedCrash("queue.lease")
+
+        with pytest.raises(InjectedCrash):
+            worker._queue_io("lease", dies)
+        assert calls["n"] == 1
+
+
+class TestQueueFaultPoints:
+    def test_lease_and_ack_surface_injected_errors(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "queue.sqlite"))
+        try:
+            queue.submit(SPEC, str(tmp_path / "results.jsonl"))
+            plan = FaultPlan(
+                specs=(
+                    FaultSpec(point="queue.lease", kind="enospc"),
+                    FaultSpec(point="queue.ack", kind="eio"),
+                )
+            )
+            with use(plan):
+                with pytest.raises(OSError) as excinfo:
+                    queue.lease("w1", 30.0)
+                assert excinfo.value.errno == errno.ENOSPC
+                job = queue.lease("w1", 30.0)  # fault fired once; retry works
+                assert job is not None
+                with pytest.raises(OSError) as excinfo:
+                    queue.ack(job.job_id, "w1", duration_seconds=0.1)
+                assert excinfo.value.errno == errno.EIO
+                assert queue.ack(job.job_id, "w1", duration_seconds=0.1)
+        finally:
+            queue.close()
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    queue = JobQueue(str(tmp_path / "queue.sqlite"))
+    service = FarmService(queue, str(tmp_path / "results.jsonl"))
+    server = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5.0)
+    queue.close()
+
+
+class TestHttpClientRetry:
+    def test_transient_request_faults_are_retried(self, live_server):
+        client = HttpClient(live_server, timeout=10.0)
+        plan = FaultPlan(specs=(FaultSpec(point="client.request", kind="eio"),))
+        with use(plan):
+            stats = client.stats()
+        assert "jobs" in stats
+
+    def test_client_errors_are_not_retried(self, live_server):
+        with pytest.raises(ServiceCliError):
+            _http_json(f"{live_server}/no/such/endpoint", timeout=10.0, retries=3)
+
+    def test_resubmission_is_idempotent(self, live_server):
+        client = HttpClient(live_server, timeout=10.0)
+        first = client.submit({"spec": SPEC})
+        # A lost response makes the client resubmit; the fingerprint-keyed
+        # queue dedupes, so nothing is enqueued twice.
+        second = client.submit({"spec": SPEC})
+        assert first["enqueued"] == 1
+        assert second["enqueued"] == 0
+        assert second["deduped"] == 1
+
+    def test_exhausted_retries_surface_a_typed_error(self):
+        with pytest.raises(ServiceCliError):
+            _http_json("http://127.0.0.1:9/unroutable", timeout=0.2, retries=1)

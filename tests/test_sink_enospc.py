@@ -1,0 +1,91 @@
+"""Sink crash consistency: ENOSPC/EIO mid-run leaves no partial artifact."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, InjectedCrash, use
+from repro.materialize import (
+    DirectorySink,
+    SinkWriteError,
+    SparseTarSink,
+    TarSink,
+    materialize_image,
+)
+
+
+def enospc_at(point: str, occurrence: int = 1) -> FaultPlan:
+    return FaultPlan(specs=(FaultSpec(point=point, kind="enospc", occurrence=occurrence),))
+
+
+class TestFinalizeEnospc:
+    """Satellite: disk-full during finalize must abort clean, typed, total."""
+
+    def test_tar_sink_removes_partial_archive(self, small_image, tmp_path):
+        archive = str(tmp_path / "image.tar")
+        with use(enospc_at("sink.finalize")):
+            with pytest.raises(SinkWriteError) as excinfo:
+                materialize_image(small_image, TarSink(archive))
+        assert excinfo.value.sink == "tar"
+        assert excinfo.value.phase == "finalize"
+        assert isinstance(excinfo.value.__cause__, OSError)
+        assert not os.path.exists(archive)
+
+    def test_sparse_tar_sink_removes_partial_archive(self, small_image, tmp_path):
+        archive = str(tmp_path / "image.sparse.tar")
+        with use(enospc_at("sink.finalize")):
+            with pytest.raises(SinkWriteError) as excinfo:
+                materialize_image(small_image, SparseTarSink(archive))
+        assert excinfo.value.sink == "sparse-tar"
+        assert not os.path.exists(archive)
+
+    def test_directory_sink_removes_owned_partial_tree(self, small_image, tmp_path):
+        root = str(tmp_path / "img")
+        with use(enospc_at("sink.finalize")):
+            with pytest.raises(SinkWriteError) as excinfo:
+                materialize_image(small_image, DirectorySink(root))
+        assert excinfo.value.sink == "dir"
+        assert not os.path.exists(root)
+
+    def test_directory_sink_preserves_preexisting_root(self, small_image, tmp_path):
+        """Abort may only delete a tree this run created or found empty."""
+        root = tmp_path / "existing"
+        root.mkdir()
+        sentinel = root / "keep-me.txt"
+        sentinel.write_text("precious user data")
+        with use(enospc_at("sink.finalize")):
+            with pytest.raises(SinkWriteError):
+                materialize_image(small_image, DirectorySink(str(root)))
+        assert sentinel.read_text() == "precious user data"
+
+    def test_recovery_after_fault_is_digest_identical(self, small_image, tmp_path):
+        baseline = materialize_image(small_image, TarSink(str(tmp_path / "clean.tar")))
+        archive = str(tmp_path / "faulted.tar")
+        with use(enospc_at("sink.finalize")):
+            with pytest.raises(SinkWriteError):
+                materialize_image(small_image, TarSink(archive))
+            # Same workspace, fresh run: the fault fired once; retry succeeds.
+            result = materialize_image(small_image, TarSink(archive))
+        assert result.content_digest == baseline.content_digest
+
+
+class TestStreamingFaults:
+    def test_eio_during_files_phase_is_typed_and_clean(self, small_image, tmp_path):
+        archive = str(tmp_path / "image.tar")
+        plan = FaultPlan(specs=(FaultSpec(point="sink.add_file", kind="eio", occurrence=3),))
+        with use(plan):
+            with pytest.raises(SinkWriteError) as excinfo:
+                materialize_image(small_image, TarSink(archive))
+        assert excinfo.value.phase == "files"
+        assert not os.path.exists(archive)
+
+    def test_injected_crash_propagates_without_abort(self, small_image, tmp_path):
+        """A dead process cleans nothing up — the torn artifact must persist."""
+        archive = str(tmp_path / "image.tar")
+        plan = FaultPlan(specs=(FaultSpec(point="sink.add_file", kind="crash", occurrence=2),))
+        with use(plan):
+            with pytest.raises(InjectedCrash):
+                materialize_image(small_image, TarSink(archive))
+        assert os.path.exists(archive)  # torn state survives, as after a real crash

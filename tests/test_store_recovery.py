@@ -1,0 +1,133 @@
+"""ResultStore crash consistency: torn tails, quarantine, full recovery."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.campaign.store import ResultStore, StoreError
+from repro.faults import FaultPlan, FaultSpec, InjectedCrash, quarantine_dir, use
+
+
+def row(index: int) -> dict:
+    return {"fingerprint": f"fp-{index}", "scenario": f"s{index}", "metrics": {"n": index}}
+
+
+def write_lines(path: str, *chunks: bytes) -> None:
+    with open(path, "wb") as handle:
+        for chunk in chunks:
+            handle.write(chunk)
+
+
+def line(document: dict) -> bytes:
+    return json.dumps(document, sort_keys=True).encode("utf-8") + b"\n"
+
+
+class TestTornFinalLine:
+    def test_torn_tail_is_skipped_not_fatal(self, tmp_path):
+        """The regression: a crash mid-append must not break every later read."""
+        path = str(tmp_path / "results.jsonl")
+        write_lines(path, line(row(0)), line(row(1)), b'{"fingerprint": "fp-2", "met')
+        store = ResultStore(path)
+        rows = store.rows()  # must not raise json.JSONDecodeError
+        assert [entry["fingerprint"] for entry in rows] == ["fp-0", "fp-1"]
+
+    def test_torn_tail_is_quarantined_with_reason(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        torn = b'{"fingerprint": "fp-1", "tru'
+        write_lines(path, line(row(0)), torn)
+        ResultStore(path).rows()
+        sidecar = quarantine_dir(path)
+        bins = [name for name in os.listdir(sidecar) if name.endswith(".bin")]
+        assert len(bins) == 1
+        assert open(os.path.join(sidecar, bins[0]), "rb").read() == torn
+        with open(os.path.join(sidecar, bins[0] + ".reason.json"), encoding="utf-8") as handle:
+            assert json.load(handle)["reason"] == "torn_final_line"
+
+    def test_heal_torn_tail_truncates_back_to_valid_prefix(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        write_lines(path, line(row(0)), b"partial")
+        store = ResultStore(path)
+        assert store.heal_torn_tail() is True
+        assert open(path, "rb").read() == line(row(0))
+        assert store.heal_torn_tail() is False  # healthy file: nothing to do
+
+    def test_append_after_crash_heals_first(self, tmp_path):
+        """Appending onto an unhealed torn tail must not corrupt both rows."""
+        path = str(tmp_path / "results.jsonl")
+        write_lines(path, line(row(0)), b'{"fingerprint": "fp-1"')
+        store = ResultStore(path)
+        store.append(row(2))
+        assert [entry["fingerprint"] for entry in store.rows()] == ["fp-0", "fp-2"]
+
+    def test_whole_file_one_torn_line(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        write_lines(path, b'{"never finis')
+        store = ResultStore(path)
+        assert store.rows() == []
+        assert store.heal_torn_tail() is True
+        assert os.path.getsize(path) == 0
+
+
+class TestMidFileDamage:
+    def test_mid_file_damage_raises_pointing_at_recover(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        write_lines(path, line(row(0)), b"not json at all\n", line(row(2)))
+        with pytest.raises(StoreError, match="recover"):
+            ResultStore(path).rows()
+
+    def test_recover_quarantines_bad_lines_and_keeps_the_rest(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        write_lines(
+            path,
+            line(row(0)),
+            b"not json at all\n",
+            line(row(2)),
+            b'["a list is not a row"]\n',
+            line(row(4)),
+        )
+        store = ResultStore(path)
+        report = store.recover()
+        assert report["rows_kept"] == 3
+        assert report["lines_quarantined"] == 2
+        assert [entry["fingerprint"] for entry in store.rows()] == ["fp-0", "fp-2", "fp-4"]
+        sidecar = quarantine_dir(path)
+        assert len([n for n in os.listdir(sidecar) if n.endswith(".bin")]) == 2
+
+    def test_recover_on_healthy_store_is_a_noop(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        write_lines(path, line(row(0)), line(row(1)))
+        report = ResultStore(path).recover()
+        assert report["rows_kept"] == 2
+        assert report["lines_quarantined"] == 0
+
+
+class TestInjectedAppendFaults:
+    def test_crash_mid_append_recovers_by_fingerprint(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        store = ResultStore(path)
+        store.append(row(0))
+        plan = FaultPlan(
+            specs=(FaultSpec(point="store.append", kind="torn_write", offset=9),)
+        )
+        with use(plan):
+            with pytest.raises(InjectedCrash):
+                store.append(row(1))
+        # The "restarted" writer re-appends whatever fingerprint is missing.
+        if "fp-1" not in store.fingerprints():
+            store.append(row(1))
+        assert [entry["fingerprint"] for entry in store.rows()] == ["fp-0", "fp-1"]
+
+    def test_lying_fsync_detected_by_reconcile(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        store = ResultStore(path)
+        plan = FaultPlan(
+            specs=(FaultSpec(point="store.append", kind="fsync_loss", lost_bytes=10),)
+        )
+        with use(plan):
+            store.append(row(0))  # reports success, tail bytes never landed
+        assert "fp-0" not in store.fingerprints()
+        store.append(row(0))
+        assert [entry["fingerprint"] for entry in store.rows()] == ["fp-0"]
