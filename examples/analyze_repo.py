@@ -1,0 +1,125 @@
+"""Static-analysis walkthrough: running detlint as a library.
+
+Run with::
+
+    PYTHONPATH=src python examples/analyze_repo.py
+
+Demonstrates ``repro.analysis``: analyzing a deliberately buggy snippet,
+reading the findings and their fix hints, silencing one with a pragma,
+grandfathering the rest in a baseline, and running the self-hosted check the
+CI gate uses — the repo's own ``src/repro`` tree against the committed
+``analysis-baseline.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import textwrap
+
+from repro.analysis import Baseline, analyze, rule_descriptions, split_findings
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def banner(title: str) -> None:
+    print(f"\n=== {title} ===")
+
+
+BUGGY = """
+    import os
+    from repro.pipeline.stage import Stage
+
+    class LeakyStage(Stage):
+        name = "leaky"
+        provides = ("tree",)
+        config_knobs = ("num_directories",)
+
+        def run(self, context):
+            config = context.config
+            # reads a knob its fingerprint ignores -> cache poisoning
+            return config.num_directories * config.attachment_offset
+
+    def crawl(root):
+        names = []
+        for current, dirs, files in os.walk(root):  # enumeration order leak
+            names.extend(files)
+        return names
+
+    def cache_key(value):
+        return hash(value)  # salted per process
+"""
+
+
+def demo_findings(workspace: str) -> list:
+    banner("Findings carry precise spans and fix hints")
+    path = os.path.join(workspace, "buggy.py")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(textwrap.dedent(BUGGY))
+    result = analyze([path], root=workspace)
+    for finding in result.findings:
+        print(finding.render())
+    return result.findings
+
+
+def demo_pragma(workspace: str) -> None:
+    banner("A pragma silences one finding, with the why on record")
+    path = os.path.join(workspace, "buggy.py")
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    source = source.replace(
+        "return hash(value)",
+        "return hash(value)  # detlint: ignore[nondet-hash] demo only",
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(source)
+    result = analyze([path], root=workspace)
+    print(f"{len(result.findings)} findings, {len(result.suppressed)} suppressed")
+
+
+def demo_baseline(workspace: str) -> None:
+    banner("A baseline grandfathers existing debt; new findings still fail")
+    path = os.path.join(workspace, "buggy.py")
+    result = analyze([path], root=workspace)
+    baseline = Baseline.from_findings(result.findings)
+    baseline_path = os.path.join(workspace, "baseline.json")
+    baseline.save(baseline_path)
+
+    split = split_findings(result.findings, Baseline.load(baseline_path))
+    print(f"against the fresh baseline: {len(split.new)} new, "
+          f"{len(split.baselined)} baselined")
+
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("\n\ndef fresh_bug(v):\n    return hash(v)\n")
+    result = analyze([path], root=workspace)
+    split = split_findings(result.findings, Baseline.load(baseline_path))
+    print(f"after planting a new bug:  {len(split.new)} new, "
+          f"{len(split.baselined)} baselined  -> the gate fails")
+
+
+def demo_self_check() -> None:
+    banner("Self-hosting: the repo's own tree, modulo the committed baseline")
+    result = analyze(
+        [os.path.join(REPO_ROOT, "src", "repro")],
+        root=REPO_ROOT,
+    )
+    baseline = Baseline.load(os.path.join(REPO_ROOT, "analysis-baseline.json"))
+    split = split_findings(result.findings, baseline)
+    print(f"{result.files} files, {len(result.rules)} rules: "
+          f"{len(split.new)} new, {len(split.baselined)} baselined, "
+          f"{len(result.suppressed)} suppressed by pragma")
+    assert not split.new, "the shipped tree must be clean modulo the baseline"
+
+
+def main() -> None:
+    print("rule families:",
+          ", ".join(sorted({name.split("-")[0] for name in rule_descriptions()})))
+    with tempfile.TemporaryDirectory(prefix="detlint-demo-") as workspace:
+        demo_findings(workspace)
+        demo_pragma(workspace)
+        demo_baseline(workspace)
+    demo_self_check()
+
+
+if __name__ == "__main__":
+    main()

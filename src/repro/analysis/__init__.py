@@ -1,0 +1,58 @@
+"""repro.analysis — detlint: determinism & cache-soundness static analysis.
+
+A dependency-free (stdlib ``ast``) analyzer that certifies, at the source
+level, the invariants the rest of the repo merely assumes at runtime:
+
+* **knob purity** — every ``Stage`` reads exactly the config knobs it
+  declares in ``config_knobs``, so stage fingerprints cover precisely the
+  inputs that influence output (no cache poisoning, no false misses);
+* **nondeterminism** — no unsorted directory enumeration, set-iteration into
+  fingerprints, builtin ``hash()``, unseeded module-level randomness, or
+  wall-clock values feeding digests;
+* **exception safety** — fault-injection crashes and kill signals are never
+  silently swallowed;
+* **durability discipline** — durable writes go through the atomic-write
+  layer and sqlite mutations run under ``BEGIN IMMEDIATE``.
+
+Entry points: :func:`analyze` (library), ``impressions analyze`` (CLI).
+Findings can be suppressed per line with ``# detlint: ignore[rule]`` or
+accepted wholesale in a committed baseline file (see
+:mod:`repro.analysis.baseline`).
+"""
+
+from repro.analysis.baseline import Baseline, BaselineSplit, split_findings
+from repro.analysis.core import (
+    AnalysisError,
+    AnalysisResult,
+    Finding,
+    Module,
+    Project,
+    Rule,
+    all_rule_names,
+    analyze,
+    iter_python_files,
+    register_rule,
+    resolve_rules,
+    rule_descriptions,
+)
+from repro.analysis.report import render_json, render_text
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisResult",
+    "Baseline",
+    "BaselineSplit",
+    "Finding",
+    "Module",
+    "Project",
+    "Rule",
+    "all_rule_names",
+    "analyze",
+    "iter_python_files",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+    "rule_descriptions",
+    "split_findings",
+]

@@ -1,0 +1,96 @@
+"""Committed-baseline support: ratchet the repo clean without a flag day.
+
+A baseline file records currently-accepted findings as a multiset of
+``(rule, path, message)`` keys.  Line numbers are deliberately excluded so
+the baseline survives unrelated edits above a grandfathered site; two
+identical findings in one file are tracked by count.
+
+The contract is a ratchet:
+
+* findings present in the baseline are reported as *baselined* and do not
+  fail the run;
+* findings absent from the baseline are *new* and fail the run;
+* baseline entries with no matching finding are *stale* and reported so the
+  file can be shrunk — the baseline only ever gets smaller.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.core import Finding
+
+__all__ = ["Baseline", "BaselineSplit", "split_findings"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A persisted multiset of accepted finding keys."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(entries=Counter(finding.key() for finding in findings))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        entries: Counter = Counter()
+        for row in payload.get("findings", []):
+            key = (str(row["rule"]), str(row["path"]), str(row["message"]))
+            entries[key] += int(row.get("count", 1))
+        return cls(entries=entries)
+
+    def save(self, path: str | Path) -> None:
+        rows = [
+            {"rule": rule, "path": file_path, "message": message, "count": count}
+            for (rule, file_path, message), count in sorted(self.entries.items())
+        ]
+        payload = {"version": _FORMAT_VERSION, "findings": rows}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+
+@dataclass
+class BaselineSplit:
+    """The three-way partition of a run's findings against a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale: list[tuple[str, str, str]] = field(default_factory=list)
+
+
+def split_findings(
+    findings: Sequence[Finding], baseline: Baseline | None
+) -> BaselineSplit:
+    """Partition findings into new / baselined, and surface stale entries."""
+    split = BaselineSplit()
+    if baseline is None:
+        split.new = list(findings)
+        return split
+    remaining = Counter(baseline.entries)
+    for finding in findings:
+        key = finding.key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            split.baselined.append(finding)
+        else:
+            split.new.append(finding)
+    for key, count in sorted(remaining.items()):
+        split.stale.extend([key] * count)
+    return split

@@ -1,0 +1,62 @@
+"""Reporters: render an analysis run (plus baseline split) as text or JSON.
+
+The text reporter is for humans at a terminal; the JSON reporter is the
+machine interface the CI gate archives.  Both show the same three-way split
+against the baseline — *new* findings (fail the run), *baselined* findings
+(accepted debt), and *stale* baseline entries (debt already paid off, prune
+them from the file).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.baseline import BaselineSplit
+from repro.analysis.core import AnalysisResult
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(result: AnalysisResult, split: BaselineSplit) -> str:
+    """Human-readable report: new findings in full, the rest summarized."""
+    sections: list[str] = []
+    if split.new:
+        sections.append("\n".join(finding.render() for finding in split.new))
+    if split.baselined:
+        lines = ["baselined findings (accepted debt, not failing the run):"]
+        lines.extend(
+            f"  {finding.path}:{finding.line}: {finding.rule}: {finding.message}"
+            for finding in split.baselined
+        )
+        sections.append("\n".join(lines))
+    if split.stale:
+        lines = ["stale baseline entries (fixed — prune them from the baseline):"]
+        lines.extend(
+            f"  {path}: {rule}: {message}" for rule, path, message in split.stale
+        )
+        sections.append("\n".join(lines))
+    summary = (
+        f"{result.files} files, {len(result.rules)} rules: "
+        f"{len(split.new)} new, {len(split.baselined)} baselined, "
+        f"{len(split.stale)} stale, {len(result.suppressed)} suppressed by pragma"
+    )
+    sections.append(summary)
+    return "\n\n".join(sections)
+
+
+def render_json(result: AnalysisResult, split: BaselineSplit) -> str:
+    """Machine-readable report; ``new`` is the set that gates CI."""
+    payload = result.as_dict()
+    payload["new"] = [finding.as_dict() for finding in split.new]
+    payload["baselined"] = [finding.as_dict() for finding in split.baselined]
+    payload["stale"] = [
+        {"rule": rule, "path": path, "message": message}
+        for rule, path, message in split.stale
+    ]
+    payload["summary"] = {
+        "new": len(split.new),
+        "baselined": len(split.baselined),
+        "stale": len(split.stale),
+        "suppressed": len(result.suppressed),
+    }
+    return json.dumps(payload, indent=2)

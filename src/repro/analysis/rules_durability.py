@@ -1,0 +1,147 @@
+"""Durability-discipline rules: one write path, one transaction shape.
+
+Crash consistency in this repo rests on two conventions:
+
+* every durable artifact goes through
+  :func:`repro.faults.atomic.atomic_write_bytes` (tmp file + checksum seal +
+  fsync + rename) so a reader sees either the full sealed payload or a
+  detectable corruption — never a silent prefix;
+* every multi-statement sqlite mutation in the job queue runs inside a
+  ``BEGIN IMMEDIATE`` transaction, which takes the write lock *up front* and
+  makes lease handoff atomic under concurrent workers.
+
+Rules:
+
+* ``raw-write`` — a write-mode builtin ``open(...)`` in a module that imports
+  the atomic-write layer: it opted into the discipline, so a bare write is
+  either a bug or needs a pragma explaining why torn bytes are acceptable
+  (e.g. append-only logs with read-side healing, best-effort sidecars).
+* ``sqlite-tx`` — a deferred ``BEGIN`` (sqlite upgrades the lock mid-
+  transaction, which can deadlock or interleave under load), or mutating SQL
+  executed directly on a connection attribute instead of a cursor from the
+  ``BEGIN IMMEDIATE`` helper.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, Module, Project, Rule, register_rule
+
+__all__ = ["RawWriteRule", "SqliteTxRule"]
+
+_WRITE_MODE_CHARS = set("wax+")
+
+
+def _call_mode(node: ast.Call) -> str | None:
+    """The literal mode of a builtin ``open(...)`` call, or None."""
+    mode: ast.expr | None = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None  # dynamic mode: give the benefit of the doubt
+
+
+@register_rule
+class RawWriteRule(Rule):
+    name = "raw-write"
+    description = (
+        "write-mode open() in a module using the atomic-write layer — durable "
+        "bytes must go through atomic_write_bytes (seal + fsync + rename)"
+    )
+
+    def check(self, module: Module, project: Project) -> Iterable[Finding]:
+        imports = module.imported_modules()
+        if not any(
+            name in ("repro.faults.atomic", "repro.faults.atomic.atomic_write_bytes")
+            or name.startswith("repro.faults.atomic.")
+            for name in imports
+        ) and "repro.faults.atomic" not in imports:
+            return
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "open"
+            ):
+                continue
+            mode = _call_mode(node)
+            if mode is None or not (_WRITE_MODE_CHARS & set(mode)):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"open(..., {mode!r}) bypasses atomic_write_bytes in a module "
+                "that imports the atomic-write layer",
+                hint="write through repro.faults.atomic.atomic_write_bytes, or "
+                "annotate with '# detlint: ignore[raw-write] <why torn bytes "
+                "are tolerable here>'",
+            )
+
+
+_MUTATING_PREFIXES = ("INSERT", "UPDATE", "DELETE", "REPLACE")
+
+
+def _sql_literal(node: ast.Call) -> str | None:
+    if node.args and isinstance(node.args[0], ast.Constant) and isinstance(
+        node.args[0].value, str
+    ):
+        return node.args[0].value
+    return None
+
+
+@register_rule
+class SqliteTxRule(Rule):
+    name = "sqlite-tx"
+    description = (
+        "deferred BEGIN or connection-level mutation — queue writes must run "
+        "inside BEGIN IMMEDIATE so the write lock is taken up front"
+    )
+
+    def check(self, module: Module, project: Project) -> Iterable[Finding]:
+        if "sqlite3" not in module.imported_modules():
+            return
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("execute", "executescript", "executemany")
+            ):
+                continue
+            sql = _sql_literal(node)
+            if sql is None:
+                continue
+            statement = sql.lstrip().upper()
+            if statement.startswith("BEGIN") and "IMMEDIATE" not in statement:
+                yield self.finding(
+                    module,
+                    node,
+                    f"deferred transaction {sql.strip()!r} — the write lock is "
+                    "only taken at the first mutation",
+                    hint="use BEGIN IMMEDIATE so concurrent writers serialize "
+                    "at transaction start",
+                )
+                continue
+            receiver = node.func.value
+            on_connection = (
+                isinstance(receiver, ast.Attribute)
+                and receiver.attr in ("_conn", "conn", "connection")
+            )
+            if on_connection and statement.startswith(_MUTATING_PREFIXES):
+                yield self.finding(
+                    module,
+                    node,
+                    f"mutating SQL {sql.strip().split(chr(10))[0][:60]!r} executed "
+                    "directly on the connection, outside a BEGIN IMMEDIATE "
+                    "transaction",
+                    hint="run mutations on a cursor from the _tx() helper "
+                    "(BEGIN IMMEDIATE), or baseline/pragma genuinely idempotent "
+                    "bootstrap statements",
+                )

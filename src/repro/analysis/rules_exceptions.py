@@ -1,0 +1,144 @@
+"""Exception-safety rules: don't swallow simulated crashes or kill signals.
+
+The fault-injection plane (:mod:`repro.faults`) threads
+:class:`~repro.faults.plan.InjectedCrash` — a ``BaseException`` subclass —
+through the cache, store, queue, worker, and sink layers so chaos tests can
+prove crash consistency.  An overly broad handler on one of those paths can
+turn a simulated power cut into a silently-absorbed no-op, voiding the whole
+experiment; a ``BaseException`` handler that fails to re-raise additionally
+eats ``KeyboardInterrupt`` and worker lease-loss signals.
+
+Rules:
+
+* ``bare-except`` — ``except:`` anywhere; it catches everything including
+  ``SystemExit`` and gives the reader no contract at all.
+* ``broad-except`` — ``except Exception`` that does not re-raise, in a
+  package threaded with fault-injection points.  Intentional terminal
+  handlers (verdict capture, HTTP 500 boundaries, quarantine-and-heal) must
+  carry a ``# detlint: ignore[broad-except]`` pragma with a justification.
+* ``swallowed-crash`` — ``except BaseException`` without a bare ``raise``,
+  unless an earlier handler of the same ``try`` already re-raises
+  ``InjectedCrash``/``KeyboardInterrupt`` (the worker idiom: let process
+  death propagate, absorb everything else as a job failure).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, Module, Project, Rule, register_rule
+
+__all__ = ["BareExceptRule", "BroadExceptRule", "SwallowedCrashRule"]
+
+_CRASH_NAMES = frozenset({"InjectedCrash", "KeyboardInterrupt", "SystemExit"})
+
+
+def _handler_names(handler: ast.ExceptHandler) -> set[str]:
+    """The exception class names a handler catches (by trailing name)."""
+    names: set[str] = set()
+    node = handler.type
+    elements = node.elts if isinstance(node, ast.Tuple) else [node] if node else []
+    for element in elements:
+        if isinstance(element, ast.Name):
+            names.add(element.id)
+        elif isinstance(element, ast.Attribute):
+            names.add(element.attr)
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains a bare ``raise`` (outside nested defs)."""
+    stack: list[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _crash_propagated_earlier(try_node: ast.Try, handler: ast.ExceptHandler) -> bool:
+    """An earlier handler catches InjectedCrash/KeyboardInterrupt and re-raises."""
+    for earlier in try_node.handlers:
+        if earlier is handler:
+            return False
+        if _handler_names(earlier) & _CRASH_NAMES and _reraises(earlier):
+            return True
+    return False
+
+
+def _iter_handlers(module: Module) -> Iterable[tuple[ast.Try, ast.ExceptHandler]]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Try):
+            for handler in node.handlers:
+                yield node, handler
+
+
+@register_rule
+class BareExceptRule(Rule):
+    name = "bare-except"
+    description = "bare 'except:' catches everything, including SystemExit"
+
+    def check(self, module: Module, project: Project) -> Iterable[Finding]:
+        for _try_node, handler in _iter_handlers(module):
+            if handler.type is None:
+                yield self.finding(
+                    module,
+                    handler,
+                    "bare 'except:' clause",
+                    hint="name the exceptions this code can actually handle",
+                )
+
+
+@register_rule
+class BroadExceptRule(Rule):
+    name = "broad-except"
+    description = (
+        "'except Exception' without re-raise in a fault-threaded package — "
+        "audit against swallowing failure signals, then narrow or pragma"
+    )
+
+    def check(self, module: Module, project: Project) -> Iterable[Finding]:
+        if not project.is_fault_threaded(module):
+            return
+        for _try_node, handler in _iter_handlers(module):
+            if "Exception" not in _handler_names(handler):
+                continue
+            if _reraises(handler):
+                continue
+            yield self.finding(
+                module,
+                handler,
+                "'except Exception' without re-raise in a fault-threaded module",
+                hint="narrow to the exceptions this path produces, re-raise, or "
+                "annotate with '# detlint: ignore[broad-except] <why>' if the "
+                "broad catch is the contract",
+            )
+
+
+@register_rule
+class SwallowedCrashRule(Rule):
+    name = "swallowed-crash"
+    description = (
+        "'except BaseException' without re-raise can absorb InjectedCrash, "
+        "KeyboardInterrupt, and lease-loss signals"
+    )
+
+    def check(self, module: Module, project: Project) -> Iterable[Finding]:
+        for try_node, handler in _iter_handlers(module):
+            if "BaseException" not in _handler_names(handler):
+                continue
+            if _reraises(handler):
+                continue
+            if _crash_propagated_earlier(try_node, handler):
+                continue
+            yield self.finding(
+                module,
+                handler,
+                "'except BaseException' without a bare re-raise",
+                hint="re-raise after cleanup, or catch and re-raise "
+                "InjectedCrash/KeyboardInterrupt in an earlier handler",
+            )

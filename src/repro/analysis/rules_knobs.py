@@ -1,0 +1,443 @@
+"""Knob purity: a stage's ``config_knobs`` must equal what it actually reads.
+
+The content-addressed stage cache is sound only because a stage fingerprint
+covers *exactly* the config knobs that influence the stage
+(:mod:`repro.pipeline.stage`).  Both failure directions are bugs:
+
+* an **undeclared read** — the stage's behaviour varies with a knob its
+  fingerprint ignores, so two different configs share one cache key and the
+  second run restores the first run's artifact: silent cache poisoning
+  (``knob-purity``);
+* an **unused declaration** — the fingerprint varies with a knob the stage
+  never consults, so sweeping that knob regenerates artifacts that would have
+  been bit-identical: a false cache miss, wasted work (``knob-unused``).
+
+The checker resolves reads through three layers:
+
+1. direct attribute reads on a config alias (``config.layout_score``,
+   ``context.config.beta``, or a local bound from either);
+2. config *method* calls (``config.resolved_num_files()``) — charged with the
+   knobs that method transitively reads, computed once by parsing
+   :mod:`repro.core.config` itself;
+3. helpers in the same module: module-level functions the stage calls (with
+   the config/context threaded through) and methods inherited from
+   module-local stage base classes, resolved to a fixpoint.
+
+Reads of model-object attributes outside the knob view (``extension_model``,
+``timestamp_model``, …) are ignored: configs carrying such overrides are
+already excluded from the cache by
+:func:`repro.pipeline.cache.config_cache_safe`.  Two context attributes alias
+knobs: ``context.rng`` is seeded from the ``seed`` knob and
+``context.content_generator`` exists iff the ``content_model`` knob enables
+content.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Iterable, Iterator, Mapping
+
+from repro.analysis.core import Finding, Module, Project, Rule, register_rule
+
+__all__ = [
+    "KnobPurityRule",
+    "KnobUnusedRule",
+    "config_method_knobs",
+    "stage_classes",
+]
+
+#: Config attributes that are not knob names themselves but whose value is a
+#: function of one (see :meth:`ImpressionsConfig.to_knobs`).
+CONFIG_ATTRIBUTE_ALIASES: Mapping[str, str] = {
+    "generate_content": "content_model",
+    "content": "content_model",
+}
+
+#: GenerationContext attributes derived from config knobs: reading them is
+#: reading the knob.
+CONTEXT_ATTRIBUTE_ALIASES: Mapping[str, str] = {
+    "rng": "seed",
+    "content_generator": "content_model",
+}
+
+#: Class names that mark a stage hierarchy even when defined in another
+#: module (module-local bases are resolved by fixpoint on top of these).
+STAGE_BASE_NAMES = frozenset({"Stage", "PostGenerationStage"})
+
+
+def _knob_names() -> frozenset[str]:
+    from repro.core.config import KNOB_NAMES
+
+    return frozenset(KNOB_NAMES)
+
+
+@lru_cache(maxsize=1)
+def config_method_knobs() -> dict[str, frozenset[str]]:
+    """Map ``ImpressionsConfig`` method name → knobs it transitively reads.
+
+    Parsed from the real :mod:`repro.core.config` source so the map can never
+    drift from the code it describes; cached for the process lifetime.
+    """
+    import repro.core.config as config_module
+
+    with open(config_module.__file__, encoding="utf-8") as handle:
+        tree = ast.parse(handle.read())
+    class_node = next(
+        node
+        for node in tree.body
+        if isinstance(node, ast.ClassDef) and node.name == "ImpressionsConfig"
+    )
+    knobs = _knob_names()
+    direct: dict[str, set[str]] = {}
+    calls: dict[str, set[str]] = {}
+    for item in class_node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        reads: set[str] = set()
+        called: set[str] = set()
+        for node in ast.walk(item):
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                if node.value.id != "self":
+                    continue
+                if node.attr in knobs:
+                    reads.add(node.attr)
+                elif node.attr in CONFIG_ATTRIBUTE_ALIASES:
+                    reads.add(CONFIG_ATTRIBUTE_ALIASES[node.attr])
+                else:
+                    called.add(node.attr)  # resolved below iff it is a method
+        direct[item.name] = reads
+        calls[item.name] = called
+    closed = {name: set(reads) for name, reads in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name in closed:
+            for callee in calls[name]:
+                extra = closed.get(callee)
+                if extra and not extra <= closed[name]:
+                    closed[name] |= extra
+                    changed = True
+    return {name: frozenset(reads) for name, reads in closed.items()}
+
+
+# Per-function read collection -------------------------------------------------
+
+
+@dataclass
+class _FunctionSummary:
+    """Knob reads and local call edges of one function/method body."""
+
+    knobs: set[str] = field(default_factory=set)
+    knob_lines: dict[str, int] = field(default_factory=dict)  # first read line
+    local_calls: set[str] = field(default_factory=set)  # module-level f(...)
+    self_calls: set[str] = field(default_factory=set)  # self.m(...)
+
+    def add(self, knob: str, line: int) -> None:
+        self.knobs.add(knob)
+        self.knob_lines.setdefault(knob, line)
+
+
+class _ReadCollector(ast.NodeVisitor):
+    """Collect knob reads from one function, tracking config/context aliases."""
+
+    def __init__(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.summary = _FunctionSummary()
+        self._knobs = _knob_names()
+        self._methods = config_method_knobs()
+        args = node.args
+        params = [
+            arg.arg
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        ]
+        self.config_aliases = {name for name in params if name == "config"}
+        self.context_aliases = {name for name in params if name == "context"}
+        for statement in node.body:
+            self.visit(statement)
+
+    # Alias tracking -----------------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._track_alias(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._track_alias([node.target], node.value)
+        self.generic_visit(node)
+
+    def _track_alias(self, targets: list[ast.expr], value: ast.expr) -> None:
+        if len(targets) != 1 or not isinstance(targets[0], ast.Name):
+            return
+        name = targets[0].id
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "config"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self.context_aliases
+        ):
+            self.config_aliases.add(name)
+        elif isinstance(value, ast.Name) and value.id in self.config_aliases:
+            self.config_aliases.add(name)
+
+    # Reads --------------------------------------------------------------------
+
+    def _config_value(self, node: ast.expr) -> bool:
+        """Whether ``node`` evaluates to the config object."""
+        if isinstance(node, ast.Name):
+            return node.id in self.config_aliases
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr == "config"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.context_aliases
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and self._config_value(func.value):
+            # config.method(...): charge the method's transitive knob reads
+            # (an unknown name falls through to the attribute read below).
+            for knob in self._methods.get(func.attr, frozenset()):
+                self.summary.add(knob, node.lineno)
+        elif isinstance(func, ast.Name):
+            self.summary.local_calls.add(func.id)
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            self.summary.self_calls.add(func.attr)
+        if not (isinstance(func, ast.Attribute) and self._config_value(func.value)):
+            self.visit(func)
+        for arg in node.args:
+            self.visit(arg)
+        for keyword in node.keywords:
+            self.visit(keyword.value)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load):
+            if self._config_value(node.value):
+                if node.attr in self._knobs:
+                    self.summary.add(node.attr, node.lineno)
+                elif node.attr in CONFIG_ATTRIBUTE_ALIASES:
+                    self.summary.add(CONFIG_ATTRIBUTE_ALIASES[node.attr], node.lineno)
+            elif (
+                isinstance(node.value, ast.Name)
+                and node.value.id in self.context_aliases
+                and node.attr in CONTEXT_ATTRIBUTE_ALIASES
+            ):
+                self.summary.add(CONTEXT_ATTRIBUTE_ALIASES[node.attr], node.lineno)
+        self.generic_visit(node)
+
+
+# Stage discovery --------------------------------------------------------------
+
+
+@dataclass
+class _StageClass:
+    node: ast.ClassDef
+    declared: frozenset[str] | None  # None: no config_knobs assignment
+    name_attr: str | None
+    methods: dict[str, _FunctionSummary]
+
+
+def _class_string_tuple(class_node: ast.ClassDef, attribute: str) -> frozenset[str] | None:
+    """The value of a class-level ``attribute = ("a", "b")`` assignment."""
+    for item in class_node.body:
+        if not isinstance(item, ast.Assign):
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == attribute
+            for target in item.targets
+        ):
+            continue
+        if isinstance(item.value, (ast.Tuple, ast.List)):
+            values = []
+            for element in item.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                    values.append(element.value)
+            return frozenset(values)
+        return frozenset()
+    return None
+
+
+def _class_name_attr(class_node: ast.ClassDef) -> str | None:
+    for item in class_node.body:
+        if isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name) and target.id == "name":
+                    if isinstance(item.value, ast.Constant) and isinstance(
+                        item.value.value, str
+                    ):
+                        return item.value.value
+    return None
+
+
+def _base_names(class_node: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for base in class_node.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def stage_classes(module: Module) -> Iterator[tuple[ast.ClassDef, list[ast.ClassDef]]]:
+    """Yield ``(stage_class, local_ancestors)`` for every stage class.
+
+    A class is a stage when its base chain — resolved through classes defined
+    in the same module — reaches one of :data:`STAGE_BASE_NAMES`.
+    """
+    local_classes = {
+        node.name: node for node in module.tree.body if isinstance(node, ast.ClassDef)
+    }
+    stage_names: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, node in local_classes.items():
+            if name in stage_names:
+                continue
+            bases = _base_names(node)
+            if bases & STAGE_BASE_NAMES or bases & stage_names:
+                stage_names.add(name)
+                changed = True
+    for name in sorted(stage_names):
+        node = local_classes[name]
+        ancestors: list[ast.ClassDef] = []
+        frontier = [node]
+        while frontier:
+            current = frontier.pop()
+            for base in _base_names(current):
+                ancestor = local_classes.get(base)
+                if ancestor is not None and ancestor not in ancestors:
+                    ancestors.append(ancestor)
+                    frontier.append(ancestor)
+        yield node, ancestors
+
+
+def _module_function_knobs(module: Module) -> dict[str, set[str]]:
+    """Transitive knob reads of every module-level function (fixpoint)."""
+    summaries: dict[str, _FunctionSummary] = {}
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            summaries[node.name] = _ReadCollector(node).summary
+    closed = {name: set(summary.knobs) for name, summary in summaries.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name, summary in summaries.items():
+            for callee in summary.local_calls:
+                extra = closed.get(callee)
+                if extra and not extra <= closed[name]:
+                    closed[name] |= extra
+                    changed = True
+    return closed
+
+
+@dataclass
+class _StageAnalysis:
+    """Resolved declared/used knob sets for one concrete stage class."""
+
+    class_node: ast.ClassDef
+    stage_name: str
+    declared: frozenset[str]
+    used: frozenset[str]
+    read_lines: dict[str, int]
+
+
+def _analyze_stages(module: Module) -> Iterator[_StageAnalysis]:
+    function_knobs = _module_function_knobs(module)
+    for class_node, ancestors in stage_classes(module):
+        stage_name = _class_name_attr(class_node)
+        if not stage_name:
+            continue  # abstract base (Stage itself, PostGenerationStage, …)
+        declared = _class_string_tuple(class_node, "config_knobs")
+        if declared is None:
+            for ancestor in ancestors:
+                declared = _class_string_tuple(ancestor, "config_knobs")
+                if declared is not None:
+                    break
+        declared = declared if declared is not None else frozenset()
+
+        # Method table: ancestors first so subclass overrides win.
+        methods: dict[str, tuple[_FunctionSummary, int]] = {}
+        for owner in (*reversed(ancestors), class_node):
+            for item in owner.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods[item.name] = (
+                        _ReadCollector(item).summary,
+                        item.lineno,
+                    )
+
+        used: set[str] = set()
+        read_lines: dict[str, int] = {}
+        for summary, lineno in methods.values():
+            for knob in summary.knobs:
+                used.add(knob)
+                read_lines.setdefault(knob, summary.knob_lines.get(knob, lineno))
+            # self.m() edges all land in the same method table, and every
+            # method's reads are unioned anyway, so no per-edge resolution is
+            # needed — the union over methods *is* the fixpoint.
+            for callee in summary.local_calls:
+                for knob in function_knobs.get(callee, set()):
+                    used.add(knob)
+                    read_lines.setdefault(knob, lineno)
+        yield _StageAnalysis(
+            class_node=class_node,
+            stage_name=stage_name,
+            declared=declared,
+            used=frozenset(used),
+            read_lines=read_lines,
+        )
+
+
+@register_rule
+class KnobPurityRule(Rule):
+    name = "knob-purity"
+    description = (
+        "a Stage reads a config knob it does not declare in config_knobs — "
+        "its fingerprint ignores the knob, so distinct configs share a cache "
+        "key (cache poisoning)"
+    )
+
+    def check(self, module: Module, project: Project) -> Iterable[Finding]:
+        for stage in _analyze_stages(module):
+            for knob in sorted(stage.used - stage.declared):
+                line = stage.read_lines.get(knob, stage.class_node.lineno)
+                anchor = ast.Constant(value=None)
+                anchor.lineno = line
+                anchor.col_offset = 0
+                yield self.finding(
+                    module,
+                    anchor,
+                    f"stage '{stage.stage_name}' reads config knob '{knob}' "
+                    "not declared in its config_knobs",
+                    hint=f"add '{knob}' to {stage.class_node.name}.config_knobs "
+                    "so the stage fingerprint covers it",
+                )
+
+
+@register_rule
+class KnobUnusedRule(Rule):
+    name = "knob-unused"
+    description = (
+        "a Stage declares a config knob it never reads — sweeping that knob "
+        "invalidates cache entries that would have been bit-identical (false "
+        "cache miss)"
+    )
+
+    def check(self, module: Module, project: Project) -> Iterable[Finding]:
+        for stage in _analyze_stages(module):
+            for knob in sorted(stage.declared - stage.used):
+                yield self.finding(
+                    module,
+                    stage.class_node,
+                    f"stage '{stage.stage_name}' declares config knob '{knob}' "
+                    "in config_knobs but never reads it",
+                    hint=f"drop '{knob}' from {stage.class_node.name}.config_knobs, "
+                    "or annotate the declaration if the dependency is indirect",
+                )

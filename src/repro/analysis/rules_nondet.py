@@ -1,0 +1,360 @@
+"""Nondeterminism rules: sources of run-to-run or host-to-host variance.
+
+Every rule here targets a pattern that has actually broken a reproducible
+system somewhere: filesystem enumeration order is mount- and history-
+dependent, ``set`` iteration order and builtin ``hash()`` vary with
+``PYTHONHASHSEED``, module-level RNG calls vary with import order, and
+wall-clock/pid reads poison any fingerprint they reach.  A violation in this
+repo poisons the stage cache or breaks the ``jobs=1 ≡ jobs=N`` shard merge.
+
+Rules:
+
+* ``nondet-walk`` — ``os.walk`` loops must sort both ``dirnames`` and
+  ``filenames`` in the loop body (sorting ``dirnames`` in place also fixes
+  the traversal order of the walk itself).
+* ``nondet-listdir`` — ``os.listdir``/``os.scandir`` results must pass
+  through ``sorted(...)`` unless only their emptiness/length is consumed.
+* ``nondet-glob`` — ``glob.glob``/``glob.iglob`` likewise (glob results are
+  readdir-ordered, not sorted).
+* ``nondet-set-iter`` — iterating a set (or materializing one with
+  ``list``/``tuple``/``enumerate``/``join``) without ``sorted(...)``;
+  membership tests are fine.
+* ``nondet-hash`` — builtin ``hash()`` is salted per process; use
+  ``hashlib`` for anything persisted or fingerprinted.
+* ``nondet-random`` — module-level ``random.*`` / ``np.random.*`` draws use
+  hidden global state; thread a seeded ``Generator``/``Random`` instead.
+* ``nondet-time`` — ``time.time()``/``os.getpid()``/``uuid.uuid1|uuid4()``
+  flowing into fingerprint or digest computations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, Module, Project, Rule, register_rule
+
+__all__ = [
+    "NondetGlobRule",
+    "NondetHashRule",
+    "NondetListdirRule",
+    "NondetRandomRule",
+    "NondetSetIterRule",
+    "NondetTimeRule",
+    "NondetWalkRule",
+]
+
+
+def _dotted_name(node: ast.expr) -> str:
+    """Best-effort dotted name of an expression (``np.random.normal``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        prefix = _dotted_name(node.value)
+        return f"{prefix}.{node.attr}" if prefix else node.attr
+    if isinstance(node, ast.Call):
+        return _dotted_name(node.func)
+    return ""
+
+
+def _is_call_to(node: ast.expr, *dotted: str) -> bool:
+    return isinstance(node, ast.Call) and _dotted_name(node.func) in dotted
+
+
+def _wrapped_in(module: Module, node: ast.AST, names: frozenset[str]) -> bool:
+    """Whether ``node`` sits (transitively) inside a call to one of ``names``.
+
+    Only argument positions count: being the *iterable of a loop* inside a
+    ``sorted(...)`` elsewhere does not sanitize the loop itself.
+    """
+    current = node
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, ast.Call):
+            if current is not ancestor.func and _dotted_name(ancestor.func) in names:
+                return True
+        elif isinstance(ancestor, (ast.stmt, ast.comprehension)):
+            return False
+        current = ancestor
+    return False
+
+
+_SORTED = frozenset({"sorted"})
+_SIZE_ONLY = frozenset({"len", "bool", "sorted", "any"})
+
+
+def _size_only_context(module: Module, node: ast.AST) -> bool:
+    """True when only the result's size/emptiness is consumed.
+
+    Covers ``len(...)``/``bool(...)``/``sorted(...)`` wrappers, ``not ...``,
+    and the call standing alone as an ``if``/``while`` test.
+    """
+    if _wrapped_in(module, node, _SIZE_ONLY):
+        return True
+    parent = module.parent(node)
+    if isinstance(parent, ast.UnaryOp) and isinstance(parent.op, ast.Not):
+        return True
+    if isinstance(parent, (ast.If, ast.While)) and parent.test is node:
+        return True
+    if isinstance(parent, ast.BoolOp):
+        return True
+    if isinstance(parent, ast.Compare):
+        return True
+    return False
+
+
+@register_rule
+class NondetWalkRule(Rule):
+    name = "nondet-walk"
+    description = (
+        "os.walk iteration without sorting dirnames and filenames — "
+        "enumeration order is filesystem-dependent"
+    )
+
+    def check(self, module: Module, project: Project) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            iterable = node.iter
+            if _is_call_to(iterable, "sorted") and iterable.args:
+                iterable = iterable.args[0]
+            if not _is_call_to(iterable, "os.walk", "walk"):
+                continue
+            if _is_call_to(node.iter, "sorted"):
+                continue  # sorted(os.walk(...)) orders the triples themselves
+            target = node.target
+            unsorted: list[str] = []
+            if isinstance(target, ast.Tuple) and len(target.elts) == 3:
+                names = [
+                    element.id if isinstance(element, ast.Name) else None
+                    for element in target.elts
+                ]
+                sorts = self._sorted_names(node.body)
+                for position, name in zip(("dirnames", "filenames"), names[1:]):
+                    if name is None or name not in sorts:
+                        unsorted.append(name or position)
+            else:
+                unsorted = ["dirnames", "filenames"]
+            if unsorted:
+                yield self.finding(
+                    module,
+                    node,
+                    "os.walk loop does not sort "
+                    + " or ".join(f"'{name}'" for name in unsorted),
+                    hint="call .sort() on the dirnames and filenames lists at the "
+                    "top of the loop body (sorting dirnames in place also fixes "
+                    "the traversal order)",
+                )
+
+    @staticmethod
+    def _sorted_names(body: list[ast.stmt]) -> set[str]:
+        """Names ``X`` with an ``X.sort()`` call anywhere in the loop body."""
+        names: set[str] = set()
+        for statement in body:
+            for node in ast.walk(statement):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "sort"
+                    and isinstance(node.func.value, ast.Name)
+                ):
+                    names.add(node.func.value.id)
+        return names
+
+
+class _UnsortedEnumerationRule(Rule):
+    """Shared machinery for listdir/scandir/glob results used unsorted."""
+
+    dotted_names: tuple[str, ...] = ()
+
+    def check(self, module: Module, project: Project) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not _is_call_to(node, *self.dotted_names):
+                continue
+            if _wrapped_in(module, node, _SORTED):
+                continue
+            if _size_only_context(module, node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"{_dotted_name(node.func)}() result used without sorted() — "
+                "entry order is filesystem-dependent",
+                hint="wrap the call in sorted(...), or restrict usage to "
+                "len()/emptiness checks",
+            )
+
+
+@register_rule
+class NondetListdirRule(_UnsortedEnumerationRule):
+    name = "nondet-listdir"
+    description = "os.listdir/os.scandir results consumed without sorting"
+    dotted_names = ("os.listdir", "os.scandir", "listdir", "scandir")
+
+
+@register_rule
+class NondetGlobRule(_UnsortedEnumerationRule):
+    name = "nondet-glob"
+    description = "glob.glob/glob.iglob results consumed without sorting"
+    dotted_names = ("glob.glob", "glob.iglob", "iglob")
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    return isinstance(node, (ast.Set, ast.SetComp)) or _is_call_to(
+        node, "set", "frozenset"
+    )
+
+
+@register_rule
+class NondetSetIterRule(Rule):
+    name = "nondet-set-iter"
+    description = (
+        "iteration over a set — order varies with PYTHONHASHSEED; sort before "
+        "iterating (membership tests are fine)"
+    )
+
+    _MATERIALIZERS = frozenset({"list", "tuple", "enumerate"})
+
+    def check(self, module: Module, project: Project) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expression(
+                node.iter
+            ):
+                yield self._finding(module, node.iter, "iterated by a for loop")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    if _is_set_expression(generator.iter) and not isinstance(
+                        node, ast.SetComp
+                    ):
+                        yield self._finding(
+                            module, generator.iter, "iterated by a comprehension"
+                        )
+            elif isinstance(node, ast.Call):
+                func = _dotted_name(node.func)
+                is_join = isinstance(node.func, ast.Attribute) and node.func.attr == "join"
+                if func in self._MATERIALIZERS or is_join:
+                    for arg in node.args:
+                        if _is_set_expression(arg):
+                            yield self._finding(
+                                module, arg, f"materialized through {func or 'join'}()"
+                            )
+
+    def _finding(self, module: Module, node: ast.expr, context: str) -> Finding:
+        return self.finding(
+            module,
+            node,
+            f"set {context} — element order depends on PYTHONHASHSEED",
+            hint="wrap in sorted(...) before iterating, or keep the data in a "
+            "list/dict (insertion-ordered) instead of a set",
+        )
+
+
+@register_rule
+class NondetHashRule(Rule):
+    name = "nondet-hash"
+    description = (
+        "builtin hash() is salted per process (PYTHONHASHSEED); use hashlib "
+        "for anything persisted, compared across runs, or fingerprinted"
+    )
+
+    def check(self, module: Module, project: Project) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if _is_call_to(node, "hash"):
+                yield self.finding(
+                    module,
+                    node,
+                    "builtin hash() call — value varies across processes",
+                    hint="use hashlib.sha256 over a canonical encoding instead",
+                )
+
+
+@register_rule
+class NondetRandomRule(Rule):
+    name = "nondet-random"
+    description = (
+        "module-level random/np.random call draws from hidden global state; "
+        "thread an explicitly seeded Generator/Random instance instead"
+    )
+
+    #: Constructors and state plumbing that are fine to touch on the module.
+    _EXEMPT = frozenset(
+        {
+            "Random",
+            "SystemRandom",
+            "default_rng",
+            "Generator",
+            "SeedSequence",
+            "PCG64",
+            "Philox",
+            "RandomState",
+            "seed",
+            "get_state",
+            "set_state",
+            "getstate",
+            "setstate",
+        }
+    )
+
+    def check(self, module: Module, project: Project) -> Iterable[Finding]:
+        imports = module.imported_modules()
+        tracks_random = "random" in imports
+        tracks_numpy = bool(imports & {"numpy", "numpy.random"})
+        if not (tracks_random or tracks_numpy):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            parts = dotted.split(".")
+            if len(parts) < 2 or parts[-1] in self._EXEMPT:
+                continue
+            prefix = ".".join(parts[:-1])
+            if (tracks_random and prefix == "random") or (
+                tracks_numpy and prefix in ("np.random", "numpy.random")
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{dotted}() draws from the global RNG — result depends on "
+                    "import order and prior draws",
+                    hint="accept a seeded np.random.Generator / random.Random "
+                    "and draw from it",
+                )
+
+
+@register_rule
+class NondetTimeRule(Rule):
+    name = "nondet-time"
+    description = (
+        "wall clock / pid / uuid flowing into a fingerprint or digest — the "
+        "identity would differ on every run"
+    )
+
+    _SOURCES = frozenset({"time.time", "os.getpid", "uuid.uuid1", "uuid.uuid4"})
+    _SINK_MARKERS = ("fingerprint", "digest", "sha256", "sha1", "md5", "blake2", "seal")
+
+    def check(self, module: Module, project: Project) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and _dotted_name(node.func) in self._SOURCES):
+                continue
+            if self._in_fingerprint_context(module, node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{_dotted_name(node.func)}() feeds a fingerprint/digest "
+                    "computation — the identity changes every run",
+                    hint="derive fingerprints only from declared inputs (spec, "
+                    "seed, format version); record wall-clock separately",
+                )
+
+    def _in_fingerprint_context(self, module: Module, node: ast.AST) -> bool:
+        current = node
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, ast.Call) and current is not ancestor.func:
+                name = _dotted_name(ancestor.func).lower()
+                if any(marker in name for marker in self._SINK_MARKERS):
+                    return True
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if "fingerprint" in ancestor.name.lower():
+                    return True
+            current = ancestor
+        return False

@@ -55,6 +55,12 @@ HTTP control plane over the campaign machinery — lives under the
     impressions service start --queue farm.sqlite --store results.jsonl --workers 4
     impressions service submit sweep.json --url http://127.0.0.1:8765 --wait
     impressions service status --url http://127.0.0.1:8765
+
+The determinism / cache-soundness static analyzer (detlint) lives under the
+``analyze`` subcommand (:mod:`repro.analysis.cli`)::
+
+    impressions analyze src --baseline analysis-baseline.json
+    impressions analyze --list-rules
 """
 
 from __future__ import annotations
@@ -240,6 +246,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.faults.cli import main as faults_main
 
         return faults_main(list(argv[1:]))
+    if argv and argv[0] == "analyze":
+        from repro.analysis.cli import main as analyze_main
+
+        return analyze_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -44,6 +44,11 @@ def import_directory_tree(
     root_depth = root_path.rstrip(os.sep).count(os.sep)
 
     for current, directories, files in os.walk(root_path, followlinks=follow_symlinks):
+        # os.walk yields entries in on-disk order, which varies by filesystem;
+        # sorting in place pins record order AND the recursion order, so the
+        # same tree always yields the same snapshot (and directory ids).
+        directories.sort()
+        files.sort()
         depth = current.rstrip(os.sep).count(os.sep) - root_depth
         directory_id = directory_ids.setdefault(current, len(directory_ids))
         file_count = 0

@@ -178,7 +178,7 @@ class StageCache:
             state = pickle.loads(payload)
             if not isinstance(state, dict):
                 raise ValueError("snapshot entry is not a state dict")
-        except Exception:
+        except Exception:  # detlint: ignore[broad-except] quarantine-and-regenerate is the contract
             # The seal verified, so the bytes are what store() wrote — a
             # stale-format or wrong-object entry, not disk damage; still
             # quarantine and regenerate.
@@ -215,7 +215,9 @@ class StageCache:
     def entry_count(self) -> int:
         """Number of entries currently on disk (walks the directory)."""
         count = 0
-        for _, _, files in os.walk(self.root):
+        for _, dirnames, files in os.walk(self.root):
+            dirnames.sort()
+            files.sort()
             count += sum(1 for name in files if name.endswith(".pkl"))
         return count
 

@@ -153,6 +153,7 @@ class TraceReplayStage(PostGenerationStage):
 
     name = "trace_replay"
     provides = ("replay_stats",)
+    config_knobs = ("seed",)
 
     def execute(self, image: FileSystemImage, config: ImpressionsConfig) -> dict:
         params = self.params
@@ -175,6 +176,7 @@ class TraceAgingStage(PostGenerationStage):
 
     name = "trace_aging"
     provides = ("aging_stats",)
+    config_knobs = ("seed",)
 
     def execute(self, image: FileSystemImage, config: ImpressionsConfig) -> dict:
         target = self.params.get("target_score")

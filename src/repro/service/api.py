@@ -200,6 +200,7 @@ class _Handler(BaseHTTPRequestHandler):
                 self._error(404, f"no such resource {path!r}")
         except QueueError as error:
             self._error(404, str(error))
+        # detlint: ignore[broad-except] HTTP boundary: any leak becomes a 500, never a dead handler thread
         except Exception as error:  # pragma: no cover - defensive
             self._error(500, f"{type(error).__name__}: {error}")
 
@@ -221,6 +222,7 @@ class _Handler(BaseHTTPRequestHandler):
                 self._error(404, f"no such resource {path!r}")
         except (SpecError, QueueError, ValueError) as error:
             self._error(400, str(error))
+        # detlint: ignore[broad-except] HTTP boundary: any leak becomes a 500, never a dead handler thread
         except Exception as error:  # pragma: no cover - defensive
             self._error(500, f"{type(error).__name__}: {error}")
 

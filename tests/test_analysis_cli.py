@@ -1,0 +1,182 @@
+"""CLI, self-check, and seeded-violation tests for ``impressions analyze``."""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze
+from repro.analysis.cli import main as analyze_main
+from repro.core.cli import main as impressions_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+@pytest.fixture
+def violating_tree(tmp_path):
+    """A tiny tree with exactly one finding (builtin hash())."""
+    (tmp_path / "mod.py").write_text("def f(v):\n    return hash(v)\n")
+    return tmp_path
+
+
+class TestCliBasics:
+    def test_list_rules(self, capsys):
+        assert analyze_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "knob-purity:" in out and "nondet-walk:" in out
+
+    def test_new_findings_exit_one(self, violating_tree, capsys):
+        code = analyze_main([str(violating_tree), "--root", str(violating_tree)])
+        assert code == 1
+        assert "nondet-hash" in capsys.readouterr().out
+
+    def test_clean_tree_exit_zero(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("def f():\n    return 1\n")
+        assert analyze_main([str(tmp_path), "--root", str(tmp_path)]) == 0
+        assert "0 new" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, violating_tree, capsys):
+        code = analyze_main([str(violating_tree), "--rule", "bogus"])
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert analyze_main([str(tmp_path / "nope")]) == 2
+
+    def test_json_report_shape(self, violating_tree, capsys):
+        code = analyze_main(
+            [str(violating_tree), "--root", str(violating_tree), "--json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["summary"]["new"] == 1
+        assert payload["new"][0]["rule"] == "nondet-hash"
+        assert payload["counts"] == {"nondet-hash": 1}
+
+    def test_dispatch_through_impressions_entry_point(self, capsys):
+        assert impressions_main(["analyze", "--list-rules"]) == 0
+        assert "sqlite-tx:" in capsys.readouterr().out
+
+    def test_obs_dir_exports_counters(self, violating_tree, tmp_path):
+        obs_dir = tmp_path / "obs"
+        code = analyze_main(
+            [
+                str(violating_tree / "mod.py"),
+                "--root",
+                str(violating_tree),
+                "--obs-dir",
+                str(obs_dir),
+            ]
+        )
+        assert code == 1
+        metrics = (obs_dir / "metrics.prom").read_text()
+        assert "analysis_findings_total" in metrics
+
+
+class TestBaselineWorkflow:
+    def test_write_then_gate_then_stale(self, violating_tree, capsys):
+        baseline = violating_tree / "baseline.json"
+        args = [str(violating_tree / "mod.py"), "--root", str(violating_tree)]
+
+        assert analyze_main([*args, "--baseline", str(baseline), "--write-baseline"]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+
+        # Same findings, now baselined: the gate passes.
+        assert analyze_main([*args, "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+        # Fix the violation: the entry goes stale, still exit 0.
+        (violating_tree / "mod.py").write_text("def f():\n    return 1\n")
+        assert analyze_main([*args, "--baseline", str(baseline)]) == 0
+        assert "stale baseline entries" in capsys.readouterr().out
+
+        # A new violation is never absorbed by the old entry's key.
+        (violating_tree / "mod.py").write_text(
+            "import os\n\ndef f(p):\n    return list(os.listdir(p))\n"
+        )
+        assert analyze_main([*args, "--baseline", str(baseline)]) == 1
+
+    def test_write_baseline_requires_baseline_path(self, violating_tree):
+        with pytest.raises(SystemExit):
+            analyze_main([str(violating_tree), "--write-baseline"])
+
+    def test_corrupt_baseline_exits_two(self, violating_tree, capsys):
+        baseline = violating_tree / "baseline.json"
+        baseline.write_text("{not json")
+        code = analyze_main(
+            [
+                str(violating_tree / "mod.py"),
+                "--root",
+                str(violating_tree),
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert code == 2
+        assert "bad baseline" in capsys.readouterr().err
+
+
+class TestSelfCheck:
+    """The shipped tree must be clean modulo the committed baseline."""
+
+    def test_src_repro_is_clean_modulo_baseline(self):
+        code = analyze_main(
+            [
+                str(SRC / "repro"),
+                "--root",
+                str(REPO_ROOT),
+                "--baseline",
+                str(REPO_ROOT / "analysis-baseline.json"),
+            ]
+        )
+        assert code == 0
+
+    def test_committed_baseline_is_small_and_current(self):
+        payload = json.loads((REPO_ROOT / "analysis-baseline.json").read_text())
+        assert payload["version"] == 1
+        # The baseline is a ratchet: additions need a very good reason.
+        assert len(payload["findings"]) <= 2
+
+
+class TestSeededViolations:
+    """The acceptance gates: detlint must catch deliberately planted bugs."""
+
+    def test_undeclared_knob_read_in_generation_stage_is_caught(self, tmp_path):
+        source = (SRC / "repro" / "pipeline" / "stages.py").read_text()
+        anchor = "config = context.config\n"
+        assert anchor in source
+        planted = source.replace(
+            anchor, anchor + "        _ = config.layout_score\n", 1
+        )
+        (tmp_path / "stages.py").write_text(planted)
+
+        result = analyze([str(tmp_path)], rules=["knob-purity"], root=str(tmp_path))
+        assert any(
+            f.rule == "knob-purity" and "'layout_score'" in f.message
+            for f in result.findings
+        )
+
+        # The unmodified stages module is knob-pure.
+        (tmp_path / "stages.py").write_text(source)
+        clean = analyze([str(tmp_path)], rules=["knob"], root=str(tmp_path))
+        assert clean.findings == []
+
+    def test_unsorted_walk_in_importer_is_caught(self, tmp_path):
+        source = (SRC / "repro" / "dataset" / "importer.py").read_text()
+        stripped = re.sub(r"[ ]+(directories|files)\.sort\(\)\n", "", source)
+        assert stripped != source
+        (tmp_path / "importer.py").write_text(stripped)
+
+        result = analyze([str(tmp_path)], rules=["nondet-walk"], root=str(tmp_path))
+        assert [f.rule for f in result.findings] == ["nondet-walk"]
+
+        # The shipped importer passes.
+        (tmp_path / "importer.py").write_text(source)
+        clean = analyze([str(tmp_path)], rules=["nondet-walk"], root=str(tmp_path))
+        assert clean.findings == []

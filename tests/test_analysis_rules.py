@@ -1,0 +1,535 @@
+"""Unit tests for the detlint rule families, driven by fixture snippets."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze
+from repro.analysis.baseline import Baseline, split_findings
+from repro.analysis.core import AnalysisError, all_rule_names, resolve_rules
+from repro.analysis.rules_knobs import config_method_knobs
+
+
+def run_rules(tmp_path, source, rules=None, filename="snippet.py"):
+    """Analyze one fixture snippet and return its (unsuppressed) findings."""
+    path = tmp_path / filename
+    path.write_text(textwrap.dedent(source))
+    result = analyze([str(path)], rules=rules, root=str(tmp_path))
+    return result
+
+
+CLEAN_STAGE = """
+    from repro.pipeline.stage import Stage
+
+    class GoodStage(Stage):
+        name = "good"
+        provides = ("x",)
+        config_knobs = ("num_files", "seed")
+
+        def run(self, context):
+            config = context.config
+            return {"x": config.num_files + context.config.seed}
+"""
+
+IMPURE_STAGE = """
+    from repro.pipeline.stage import Stage
+
+    class SneakyStage(Stage):
+        name = "sneaky"
+        provides = ("x",)
+        config_knobs = ("num_files",)
+
+        def run(self, context):
+            config = context.config
+            return {"x": config.num_files * config.layout_score}
+"""
+
+UNUSED_KNOB_STAGE = """
+    from repro.pipeline.stage import Stage
+
+    class PaddedStage(Stage):
+        name = "padded"
+        provides = ("x",)
+        config_knobs = ("num_files", "beta")
+
+        def run(self, context):
+            return {"x": context.config.num_files}
+"""
+
+HELPER_READ_STAGE = """
+    from repro.pipeline.stage import Stage
+
+    def _pick(config):
+        return config.block_size * 2
+
+    class HelperStage(Stage):
+        name = "helper"
+        provides = ("x",)
+        config_knobs = ("num_files",)
+
+        def run(self, context):
+            config = context.config
+            return {"x": _pick(config) + config.num_files}
+"""
+
+CONTEXT_RNG_STAGE = """
+    from repro.pipeline.stage import Stage
+
+    class RngStage(Stage):
+        name = "rng_user"
+        provides = ("x",)
+        config_knobs = ()
+
+        def run(self, context):
+            return {"x": context.rng.integers(10)}
+"""
+
+METHOD_CALL_STAGE = """
+    from repro.pipeline.stage import Stage
+
+    class ResolvedStage(Stage):
+        name = "resolved"
+        provides = ("x",)
+        config_knobs = ("num_files", "fs_size_bytes", "use_simple_size_model", "seed")
+
+        def run(self, context):
+            config = context.config
+            return {"x": config.resolved_num_files()}
+"""
+
+
+class TestKnobRules:
+    def test_clean_stage_has_no_findings(self, tmp_path):
+        result = run_rules(tmp_path, CLEAN_STAGE, rules=["knob"])
+        assert result.findings == []
+
+    def test_undeclared_read_is_cache_poisoning(self, tmp_path):
+        result = run_rules(tmp_path, IMPURE_STAGE, rules=["knob-purity"])
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.rule == "knob-purity"
+        assert "'layout_score'" in finding.message
+        assert "SneakyStage" in finding.hint
+        # The span points at the read, not the class statement.
+        assert finding.line == 11
+
+    def test_unused_declaration_is_false_cache_miss(self, tmp_path):
+        result = run_rules(tmp_path, UNUSED_KNOB_STAGE, rules=["knob-unused"])
+        assert [f.rule for f in result.findings] == ["knob-unused"]
+        assert "'beta'" in result.findings[0].message
+
+    def test_read_through_module_helper_is_charged(self, tmp_path):
+        result = run_rules(tmp_path, HELPER_READ_STAGE, rules=["knob-purity"])
+        assert ["block_size" in f.message for f in result.findings] == [True]
+
+    def test_context_rng_aliases_seed(self, tmp_path):
+        result = run_rules(tmp_path, CONTEXT_RNG_STAGE, rules=["knob-purity"])
+        assert len(result.findings) == 1
+        assert "'seed'" in result.findings[0].message
+
+    def test_config_method_call_charges_transitive_knobs(self, tmp_path):
+        result = run_rules(tmp_path, METHOD_CALL_STAGE, rules=["knob"])
+        assert result.findings == []
+
+    def test_config_method_map_matches_source(self):
+        knobs = config_method_knobs()["resolved_num_files"]
+        assert "num_files" in knobs
+        assert "fs_size_bytes" in knobs
+
+
+class TestNondetRules:
+    def test_unsorted_walk_flagged(self, tmp_path):
+        result = run_rules(
+            tmp_path,
+            """
+            import os
+
+            def crawl(root):
+                out = []
+                for current, dirs, files in os.walk(root):
+                    out.extend(files)
+                return out
+            """,
+            rules=["nondet-walk"],
+        )
+        assert [f.rule for f in result.findings] == ["nondet-walk"]
+
+    def test_sorted_walk_clean(self, tmp_path):
+        result = run_rules(
+            tmp_path,
+            """
+            import os
+
+            def crawl(root):
+                out = []
+                for current, dirs, files in os.walk(root):
+                    dirs.sort()
+                    files.sort()
+                    out.extend(files)
+                return out
+            """,
+            rules=["nondet-walk"],
+        )
+        assert result.findings == []
+
+    def test_listdir_without_sorted_flagged(self, tmp_path):
+        result = run_rules(
+            tmp_path,
+            """
+            import os
+
+            def entries(path):
+                return [name for name in os.listdir(path)]
+            """,
+            rules=["nondet-listdir"],
+        )
+        assert [f.rule for f in result.findings] == ["nondet-listdir"]
+
+    def test_listdir_sorted_or_size_only_clean(self, tmp_path):
+        result = run_rules(
+            tmp_path,
+            """
+            import os
+
+            def entries(path):
+                if not os.listdir(path):
+                    return []
+                return sorted(os.listdir(path))
+
+            def count(path):
+                return len(os.listdir(path))
+            """,
+            rules=["nondet-listdir"],
+        )
+        assert result.findings == []
+
+    def test_glob_flagged(self, tmp_path):
+        result = run_rules(
+            tmp_path,
+            """
+            import glob
+
+            def pys(root):
+                return list(glob.glob(root + "/*.py"))
+            """,
+            rules=["nondet-glob"],
+        )
+        assert [f.rule for f in result.findings] == ["nondet-glob"]
+
+    def test_set_iteration_flagged_membership_clean(self, tmp_path):
+        result = run_rules(
+            tmp_path,
+            """
+            def bad(items):
+                seen = set(items)
+                for entry in {1, 2, 3}:
+                    yield entry
+                return [x for x in set(items)]
+
+            def good(items):
+                seen = set(items)
+                if 3 in seen:
+                    return sorted(set(items))
+                return None
+            """,
+            rules=["nondet-set-iter"],
+        )
+        assert len(result.findings) == 2
+
+    def test_builtin_hash_flagged(self, tmp_path):
+        result = run_rules(
+            tmp_path,
+            """
+            def key(value):
+                return hash(value) % 1024
+            """,
+            rules=["nondet-hash"],
+        )
+        assert [f.rule for f in result.findings] == ["nondet-hash"]
+
+    def test_global_random_flagged_seeded_instances_clean(self, tmp_path):
+        result = run_rules(
+            tmp_path,
+            """
+            import random
+            import numpy as np
+
+            def bad():
+                return random.random() + np.random.normal()
+
+            def good(seed):
+                rng = np.random.default_rng(seed)
+                local = random.Random(seed)
+                return rng.normal() + local.random()
+            """,
+            rules=["nondet-random"],
+        )
+        assert len(result.findings) == 2
+        assert all(f.rule == "nondet-random" for f in result.findings)
+
+    def test_wall_clock_into_fingerprint_flagged(self, tmp_path):
+        result = run_rules(
+            tmp_path,
+            """
+            import hashlib
+            import time
+
+            def fingerprint(spec):
+                return hashlib.sha256(str(time.time()).encode()).hexdigest()
+
+            def timestamp():
+                return time.time()
+            """,
+            rules=["nondet-time"],
+        )
+        assert len(result.findings) == 1
+        assert "time.time" in result.findings[0].message
+
+
+FAULTY_PACKAGE_IMPORT = "from repro.faults import plan as fault_plan\n"
+
+
+class TestExceptionRules:
+    def test_bare_except_always_flagged(self, tmp_path):
+        result = run_rules(
+            tmp_path,
+            """
+            def risky():
+                try:
+                    return 1
+                except:
+                    return None
+            """,
+            rules=["bare-except"],
+        )
+        assert [f.rule for f in result.findings] == ["bare-except"]
+
+    def test_broad_except_gated_on_fault_threaded_package(self, tmp_path):
+        source = """
+            def swallow():
+                try:
+                    return 1
+                except Exception:
+                    return None
+            """
+        clean = run_rules(tmp_path, source, rules=["broad-except"])
+        assert clean.findings == []  # no fault machinery in this directory
+
+        flagged = run_rules(
+            tmp_path,
+            FAULTY_PACKAGE_IMPORT + textwrap.dedent(source),
+            rules=["broad-except"],
+            filename="threaded.py",
+        )
+        assert [f.rule for f in flagged.findings] == ["broad-except"]
+
+    def test_broad_except_with_reraise_clean(self, tmp_path):
+        result = run_rules(
+            tmp_path,
+            FAULTY_PACKAGE_IMPORT
+            + textwrap.dedent(
+                """
+                def cleanup_then_raise():
+                    try:
+                        return 1
+                    except Exception:
+                        print("cleanup")
+                        raise
+                """
+            ),
+            rules=["broad-except"],
+        )
+        assert result.findings == []
+
+    def test_swallowed_crash_flagged(self, tmp_path):
+        result = run_rules(
+            tmp_path,
+            """
+            def eat_everything():
+                try:
+                    return 1
+                except BaseException:
+                    return None
+            """,
+            rules=["swallowed-crash"],
+        )
+        assert [f.rule for f in result.findings] == ["swallowed-crash"]
+
+    def test_crash_propagating_earlier_handler_exempts(self, tmp_path):
+        result = run_rules(
+            tmp_path,
+            """
+            from repro.faults.plan import InjectedCrash
+
+            def worker_loop():
+                try:
+                    return 1
+                except (KeyboardInterrupt, InjectedCrash):
+                    raise
+                except BaseException:
+                    return None
+            """,
+            rules=["swallowed-crash"],
+        )
+        assert result.findings == []
+
+
+class TestDurabilityRules:
+    def test_raw_write_flagged_in_atomic_importing_module(self, tmp_path):
+        result = run_rules(
+            tmp_path,
+            """
+            from repro.faults import atomic as fault_atomic
+
+            def save(path, payload):
+                with open(path, "wb") as handle:
+                    handle.write(payload)
+
+            def load(path):
+                with open(path, "rb") as handle:
+                    return handle.read()
+            """,
+            rules=["raw-write"],
+        )
+        assert len(result.findings) == 1
+        assert "'wb'" in result.findings[0].message
+
+    def test_raw_write_ignored_without_atomic_import(self, tmp_path):
+        result = run_rules(
+            tmp_path,
+            """
+            def save(path, payload):
+                with open(path, "wb") as handle:
+                    handle.write(payload)
+            """,
+            rules=["raw-write"],
+        )
+        assert result.findings == []
+
+    def test_deferred_begin_and_connection_mutation_flagged(self, tmp_path):
+        result = run_rules(
+            tmp_path,
+            """
+            import sqlite3
+
+            class Store:
+                def __init__(self, path):
+                    self._conn = sqlite3.connect(path)
+
+                def bad_tx(self):
+                    self._conn.execute("BEGIN")
+
+                def good_tx(self):
+                    self._conn.execute("BEGIN IMMEDIATE")
+
+                def bad_insert(self):
+                    self._conn.execute("INSERT INTO t VALUES (1)")
+
+                def cursor_insert(self, cursor):
+                    cursor.execute("INSERT INTO t VALUES (1)")
+            """,
+            rules=["sqlite-tx"],
+        )
+        messages = sorted(f.message for f in result.findings)
+        assert len(messages) == 2
+        assert any("BEGIN" in message for message in messages)
+        assert any("INSERT" in message for message in messages)
+
+
+class TestPragmasAndBaseline:
+    def test_pragma_on_line_and_line_above_suppresses(self, tmp_path):
+        result = run_rules(
+            tmp_path,
+            """
+            def one(value):
+                return hash(value)  # detlint: ignore[nondet-hash] test fixture
+
+            def two(value):
+                # detlint: ignore[nondet-hash] test fixture
+                return hash(value)
+
+            def three(value):
+                return hash(value)  # detlint: ignore[nondet-walk] wrong rule
+            """,
+            rules=["nondet-hash"],
+        )
+        assert len(result.findings) == 1
+        assert len(result.suppressed) == 2
+
+    def test_baseline_round_trip_and_split(self, tmp_path):
+        result = run_rules(
+            tmp_path,
+            """
+            def one(value):
+                return hash(value)
+
+            def two(value):
+                return hash(value)
+            """,
+            rules=["nondet-hash"],
+        )
+        assert len(result.findings) == 2
+
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_findings(result.findings).save(baseline_path)
+        loaded = Baseline.load(baseline_path)
+        assert len(loaded) == 2
+
+        split = split_findings(result.findings, loaded)
+        assert split.new == [] and len(split.baselined) == 2 and split.stale == []
+
+        # One finding fixed: its baseline entry goes stale, nothing fails.
+        split = split_findings(result.findings[:1], loaded)
+        assert split.new == [] and len(split.baselined) == 1 and len(split.stale) == 1
+
+        # A brand-new finding is not absorbed by unrelated entries.
+        split = split_findings(result.findings, Baseline())
+        assert len(split.new) == 2
+
+    def test_baseline_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+class TestEngine:
+    def test_rule_registry_is_complete(self):
+        names = all_rule_names()
+        assert set(names) >= {
+            "knob-purity",
+            "knob-unused",
+            "nondet-walk",
+            "nondet-listdir",
+            "nondet-glob",
+            "nondet-set-iter",
+            "nondet-hash",
+            "nondet-random",
+            "nondet-time",
+            "bare-except",
+            "broad-except",
+            "swallowed-crash",
+            "raw-write",
+            "sqlite-tx",
+        }
+
+    def test_family_prefix_selection(self):
+        rules = resolve_rules(["nondet"])
+        assert all(rule.name.startswith("nondet-") for rule in rules)
+        assert len(rules) == 7
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(AnalysisError):
+            resolve_rules(["no-such-rule"])
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            analyze([str(tmp_path / "missing")], root=str(tmp_path))
+
+    def test_results_are_deterministically_ordered(self, tmp_path):
+        for name in ("b.py", "a.py"):
+            (tmp_path / name).write_text("def f(v):\n    return hash(v)\n")
+        result = analyze([str(tmp_path)], rules=["nondet-hash"], root=str(tmp_path))
+        assert [f.path for f in result.findings] == ["a.py", "b.py"]

@@ -75,6 +75,42 @@ class TestImport:
         distributions = analyze_snapshot(snapshot)
         assert distributions.total_files == snapshot.file_count
 
+    def test_import_independent_of_on_disk_order(self, sample_tree, monkeypatch):
+        """Identical snapshots no matter what order os.walk yields entries in.
+
+        Real filesystems return readdir entries in mount- and history-
+        dependent order; the importer must sort so that record order (and
+        directory ids) never depend on it.  Simulated by shuffling each
+        walk tuple's lists in place with differently-seeded RNGs.
+        """
+        import random
+
+        import repro.dataset.importer as importer_module
+
+        root, _ = sample_tree
+        real_walk = os.walk
+
+        def shuffled_walk(seed):
+            def walk(path, **kwargs):
+                rng = random.Random(seed)
+                for current, dirs, files in real_walk(path, **kwargs):
+                    rng.shuffle(dirs)
+                    rng.shuffle(files)
+                    yield current, dirs, files
+
+            return walk
+
+        snapshots = []
+        for seed in (1, 2):
+            monkeypatch.setattr(importer_module.os, "walk", shuffled_walk(seed))
+            snapshots.append(import_directory_tree(str(root)))
+        monkeypatch.setattr(importer_module.os, "walk", real_walk)
+
+        first, second = snapshots
+        assert first.files == second.files
+        assert first.directories == second.directories
+        assert first.files == import_directory_tree(str(root)).files
+
 
 class TestFitFromSnapshot:
     def test_fits_lognormal_for_small_trees(self, sample_tree):
